@@ -1,0 +1,178 @@
+// Benchmarks regenerating every figure in the paper's evaluation plus the
+// prose-claim tables and ablations, one testing.B benchmark per
+// experiment. Each iteration runs the complete experiment in virtual time
+// (so wall-clock cost measures the simulator, while the reported custom
+// metrics carry the experiment's virtual-time results).
+//
+//	go test -bench=. -benchmem
+//
+// Full paper-scale sweeps are produced by cmd/figures -scale full; the
+// benchmarks here use the smoke scale so the whole suite runs in seconds.
+package persistmem_test
+
+import (
+	"testing"
+
+	"persistmem/internal/bench"
+	"persistmem/internal/hotstock"
+	"persistmem/internal/ods"
+	"persistmem/internal/recovery"
+)
+
+// BenchmarkFigure1 regenerates Figure 1 (response-time speedup with PM vs
+// transaction size, 1–4 drivers). Reported metrics: the speedup at the
+// paper's headline point (32k, 1 driver) and the minimum speedup across
+// the whole figure.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.RunFigure1(1, bench.Smoke)
+		if errs := f.CheckShape(); len(errs) > 0 {
+			b.Fatalf("shape: %v", errs)
+		}
+		min := f.Speedup[0][0]
+		for _, row := range f.Speedup {
+			for _, s := range row {
+				if s < min {
+					min = s
+				}
+			}
+		}
+		b.ReportMetric(f.Speedup[0][0], "speedup32k1drv")
+		b.ReportMetric(min, "speedupMin")
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (elapsed time vs transaction
+// size, 1–2 drivers, PM vs no-PM). Reported metrics: how steeply the
+// no-PM elapsed time grows from 128k to 32k boxcars versus PM's.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := bench.RunFigure2(1, bench.Smoke)
+		if errs := f.CheckShape(); len(errs) > 0 {
+			b.Fatalf("shape: %v", errs)
+		}
+		last := len(f.Elapsed) - 1
+		b.ReportMetric(float64(f.Elapsed[0][0])/float64(f.Elapsed[last][0]), "noPMgrowth")
+		b.ReportMetric(float64(f.Elapsed[0][2])/float64(f.Elapsed[last][2]), "pmGrowth")
+	}
+}
+
+// BenchmarkClaimLatency regenerates the C1 storage-gap table (§3.2/§3.3):
+// disk-stack write latency vs synchronous mirrored PM write latency.
+// Reported metrics: both latencies at 512 B, in virtual microseconds.
+func BenchmarkClaimLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.RunClaimC1(1)
+		if errs := c.CheckShape(); len(errs) > 0 {
+			b.Fatalf("shape: %v", errs)
+		}
+		b.ReportMetric(c.DiskWrite[1].Micros(), "diskWrite512B-us")
+		b.ReportMetric(c.PMWrite[1].Micros(), "pmWrite512B-us")
+	}
+}
+
+// BenchmarkClaimMTTR regenerates the C2 recovery experiment (§3.4):
+// restart recovery time from disk audit vs PM audit with fine-grained
+// transaction control blocks. Reported metrics: both MTTRs in virtual
+// milliseconds.
+func BenchmarkClaimMTTR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dres := recovery.RunScenario(ods.DiskDurability, 100, 1)
+		diskRep, _, err := dres.RecoverDisk(recovery.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dres.Store.Eng.Shutdown()
+		pres := recovery.RunScenario(ods.PMDurability, 100, 1)
+		pmRep, _, err := pres.RecoverPM(recovery.Options{}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pres.Store.Eng.Shutdown()
+		if pmRep.MTTR >= diskRep.MTTR {
+			b.Fatalf("PM MTTR %v not below disk %v", pmRep.MTTR, diskRep.MTTR)
+		}
+		b.ReportMetric(diskRep.MTTR.Millis(), "diskMTTR-ms")
+		b.ReportMetric(pmRep.MTTR.Millis(), "pmMTTR-ms")
+	}
+}
+
+// BenchmarkClaimWriteAmp regenerates the C3 write-amplification table
+// (§3.4): bytes moved per inserted row for durability, disk vs PM
+// configuration. Reported metric: the log writer's backup-checkpoint
+// bytes per row in each mode (the hop PM eliminates).
+func BenchmarkClaimWriteAmp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.RunClaimC3(1, bench.Smoke)
+		if errs := c.CheckShape(); len(errs) > 0 {
+			b.Fatalf("shape: %v", errs)
+		}
+		b.ReportMetric(float64(c.Disk.ADPCheckpointBytes)/float64(c.Rows), "diskLogCkptB/row")
+		b.ReportMetric(float64(c.PM.ADPCheckpointBytes)/float64(c.Rows), "pmLogCkptB/row")
+	}
+}
+
+// BenchmarkAblationGroupCommit measures ablation A1: elapsed-time penalty
+// of disabling commit piggybacking in the disk log writer at 4 drivers.
+func BenchmarkAblationGroupCommit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := bench.RunAblationA1(1, bench.Smoke)
+		if errs := a.CheckShape(); len(errs) > 0 {
+			b.Fatalf("shape: %v", errs)
+		}
+		last := len(a.Drivers) - 1
+		b.ReportMetric(float64(a.ElapsedOff[last])/float64(a.ElapsedOn[last]), "penalty4drv")
+	}
+}
+
+// BenchmarkAblationMirroring measures ablation A2: response-time overhead
+// of writing both NPMUs of the mirrored pair versus a single device.
+func BenchmarkAblationMirroring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := bench.RunAblationA2(1, bench.Smoke)
+		if errs := a.CheckShape(); len(errs) > 0 {
+			b.Fatalf("shape: %v", errs)
+		}
+		b.ReportMetric(float64(a.MirroredResp)/float64(a.SingleResp), "mirrorOverhead")
+	}
+}
+
+// BenchmarkAblationNetLatency measures ablation A3: PM-mode response time
+// across the paper's 10–20 µs ServerNet software-latency range.
+func BenchmarkAblationNetLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := bench.RunAblationA3(1, bench.Smoke)
+		if errs := a.CheckShape(); len(errs) > 0 {
+			b.Fatalf("shape: %v", errs)
+		}
+		b.ReportMetric(a.PMResp[0].Micros(), "resp10us-us")
+		b.ReportMetric(a.PMResp[len(a.PMResp)-1].Micros(), "resp20us-us")
+	}
+}
+
+// BenchmarkHotStockDisk and BenchmarkHotStockPM measure the simulator
+// itself: wall-clock cost of one full hot-stock transaction (virtual
+// response time is reported as a metric).
+func BenchmarkHotStockDisk(b *testing.B) {
+	benchmarkHotStock(b, ods.DiskDurability)
+}
+
+// BenchmarkHotStockPM is the PM-mode counterpart of BenchmarkHotStockDisk.
+func BenchmarkHotStockPM(b *testing.B) {
+	benchmarkHotStock(b, ods.PMDurability)
+}
+
+func benchmarkHotStock(b *testing.B, d ods.Durability) {
+	txns := b.N
+	opts := ods.DefaultOptions()
+	opts.Durability = d
+	b.ResetTimer()
+	r := hotstock.Run(opts, hotstock.Params{
+		Drivers:          1,
+		RecordsPerDriver: txns * 8,
+		InsertsPerTxn:    8,
+		RecordBytes:      4096,
+	})
+	b.StopTimer()
+	b.ReportMetric(r.MeanResp().Micros(), "virtResp-us")
+}

@@ -1,0 +1,77 @@
+// Command hotstock runs one configuration of the paper's hot-stock
+// benchmark (§4.3) and prints per-driver response times and the total
+// elapsed time.
+//
+// Usage:
+//
+//	hotstock -drivers 2 -inserts 8 -records 32000        # disk audit
+//	hotstock -drivers 2 -inserts 8 -records 32000 -pm    # PM audit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"persistmem/internal/hotstock"
+	"persistmem/internal/ods"
+	"persistmem/internal/trace"
+)
+
+func main() {
+	var (
+		drivers = flag.Int("drivers", 1, "number of hot stocks (1-4)")
+		inserts = flag.Int("inserts", 8, "4KB inserts per transaction (8=32k, 16=64k, 32=128k)")
+		records = flag.Int("records", 3200, "records per driver (paper: 32000)")
+		pm      = flag.Bool("pm", false, "use persistent-memory audit instead of disk")
+		pmp     = flag.Bool("pmp", false, "with -pm: use the PMP prototype device instead of hardware NPMUs")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		trc     = flag.Bool("trace", false, "print a sample transaction timeline and the issue/commit breakdown")
+	)
+	flag.Parse()
+
+	opts := ods.DefaultOptions()
+	opts.Seed = *seed
+	if *pm {
+		opts.Durability = ods.PMDurability
+		opts.UsePMP = *pmp
+	}
+	params := hotstock.Params{
+		Drivers:          *drivers,
+		RecordsPerDriver: (*records / *inserts) * *inserts,
+		InsertsPerTxn:    *inserts,
+		RecordBytes:      4096,
+	}
+	if params.RecordsPerDriver == 0 {
+		fmt.Fprintln(os.Stderr, "records must cover at least one transaction")
+		os.Exit(2)
+	}
+
+	var rec *trace.Recorder
+	if *trc {
+		rec = trace.New(0)
+		params.Tracer = rec
+	}
+
+	fmt.Printf("hot-stock: %d driver(s), %dk transactions (%d inserts x 4KB), %d records/driver, %s audit\n",
+		params.Drivers, params.TxnKB(), params.InsertsPerTxn, params.RecordsPerDriver, opts.Durability)
+
+	r := hotstock.Run(opts, params)
+
+	fmt.Printf("\n%-8s %8s %12s %12s %12s %8s\n", "driver", "txns", "mean resp", "p95 resp", "max resp", "errors")
+	for _, d := range r.Drivers {
+		fmt.Printf("%-8d %8d %12v %12v %12v %8d\n",
+			d.Driver, d.Txns, d.MeanResp, d.P95Resp, d.MaxResp, d.Errors)
+	}
+	fmt.Printf("\nelapsed: %v   throughput: %.1f txn/s (%.0f records/s)\n",
+		r.Elapsed, r.Throughput(), r.Throughput()*float64(params.InsertsPerTxn))
+
+	if rec != nil {
+		issue, commit, txns := rec.Breakdown()
+		fmt.Printf("\nresponse-time breakdown over %d txns: issue=%v commit=%v (commit is %.0f%% of the pole)\n",
+			txns, issue, commit, 100*float64(commit)/float64(issue+commit))
+		if ids := rec.Txns(); len(ids) > 1 {
+			fmt.Printf("\nsample timeline:\n%s", rec.Timeline(ids[1]))
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command mttr runs the paper's claim-C2 experiment: after a crash with
+// committed work in the durable trail and one transaction in flight, how
+// long does restart recovery take? It compares the disk path (sequential
+// audit-volume scan, two passes) against the PM path (RDMA log reads with
+// fine-grained transaction control blocks), and verifies both rebuild the
+// same committed image.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"persistmem/internal/avail"
+	"persistmem/internal/ods"
+	"persistmem/internal/recovery"
+	"persistmem/internal/sim"
+)
+
+func main() {
+	var (
+		txns = flag.Int("txns", 500, "committed transactions before the crash (4 x 4KB inserts each)")
+		seed = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("crash scenario: %d committed transactions + 1 in flight, then power failure\n\n", *txns)
+
+	type row struct {
+		name string
+		rep  recovery.Report
+		rows int
+	}
+	var rows []row
+
+	dres := recovery.RunScenario(ods.DiskDurability, *txns, *seed)
+	if len(dres.Errs) > 0 {
+		fmt.Fprintf(os.Stderr, "disk workload failed: %v\n", dres.Errs)
+		os.Exit(1)
+	}
+	rep, rb, err := dres.RecoverDisk(recovery.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "disk recovery: %v\n", err)
+		os.Exit(1)
+	}
+	rows = append(rows, row{"disk audit, log scan", rep, rb.Rows()})
+
+	pres := recovery.RunScenario(ods.PMDurability, *txns, *seed)
+	rep2, rb2, err := pres.RecoverPM(recovery.Options{}, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm recovery (no TCB): %v\n", err)
+		os.Exit(1)
+	}
+	rows = append(rows, row{"PM audit, log scan (no TCB)", rep2, rb2.Rows()})
+
+	pres2 := recovery.RunScenario(ods.PMDurability, *txns, *seed)
+	rep3, rb3, err := pres2.RecoverPM(recovery.Options{}, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm recovery (TCB): %v\n", err)
+		os.Exit(1)
+	}
+	rows = append(rows, row{"PM audit + fine-grained TCBs", rep3, rb3.Rows()})
+
+	fmt.Printf("%-30s %12s %10s %10s %10s %8s\n",
+		"recovery path", "MTTR", "read", "records", "committed", "rows")
+	for _, r := range rows {
+		fmt.Printf("%-30s %12v %9dK %10d %10d %8d\n",
+			r.name, r.rep.MTTR, r.rep.BytesRead/1024, r.rep.RecordsScanned,
+			r.rep.Committed, r.rows)
+	}
+	fmt.Printf("\nPM with TCBs is %.1fx faster to recover than the disk path.\n",
+		float64(rows[0].rep.MTTR)/float64(rows[2].rep.MTTR))
+	if rows[0].rows != rows[2].rows {
+		fmt.Fprintln(os.Stderr, "WARNING: recovered images differ in row count")
+		os.Exit(1)
+	}
+
+	// §1.3: MTTR is "the mantra for both better availability and data
+	// integrity" — project what these recovery times mean at one node
+	// crash per month.
+	month := 30 * 24 * 3600 * sim.Second
+	fmt.Printf("\nprojected availability at one crash/month (MTBF=%v):\n", month)
+	for _, r := range rows {
+		_, class := avail.Project(month, r.rep.MTTR)
+		fmt.Printf("  %-30s %s\n", r.name, class)
+	}
+}

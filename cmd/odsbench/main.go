@@ -1,0 +1,70 @@
+// Command odsbench drives a configurable workload against the online
+// data store — concurrent clients, an insert/read mix, a value size and a
+// time window — and reports throughput plus commit/read latency
+// percentiles and distributions. Use it to compare the three durability
+// architectures under your own workload shape.
+//
+// Usage:
+//
+//	odsbench -clients 4 -duration 5s -inserts 8 -readfrac 0.3 -durability pm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"persistmem/internal/loadgen"
+	"persistmem/internal/ods"
+	"persistmem/internal/sim"
+)
+
+func main() {
+	var (
+		clients  = flag.Int("clients", 4, "concurrent client sessions")
+		duration = flag.Duration("duration", 2*time.Second, "virtual-time measurement window")
+		ops      = flag.Int("inserts", 8, "data operations per transaction")
+		readfrac = flag.Float64("readfrac", 0.2, "fraction of operations that are browse reads")
+		value    = flag.Int("value", 1024, "inserted value size in bytes")
+		dur      = flag.String("durability", "disk", "durability architecture: disk, pm, pmdirect")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		bars     = flag.Bool("bars", false, "print latency distribution bars")
+	)
+	flag.Parse()
+
+	opts := ods.DefaultOptions()
+	opts.Seed = *seed
+	opts.PMRegionBytes = 8 << 20
+	switch *dur {
+	case "disk":
+		opts.Durability = ods.DiskDurability
+	case "pm":
+		opts.Durability = ods.PMDurability
+	case "pmdirect":
+		opts.Durability = ods.PMDirectDurability
+	default:
+		fmt.Fprintf(os.Stderr, "unknown durability %q\n", *dur)
+		os.Exit(2)
+	}
+
+	cfg := loadgen.Config{
+		Clients:      *clients,
+		Duration:     sim.Time(duration.Nanoseconds()),
+		OpsPerTxn:    *ops,
+		ReadFraction: *readfrac,
+		ValueBytes:   *value,
+	}
+	fmt.Printf("odsbench: %d clients, %v window, %d ops/txn (%.0f%% reads), %dB values, %s audit\n\n",
+		cfg.Clients, cfg.Duration, cfg.OpsPerTxn, 100*cfg.ReadFraction, cfg.ValueBytes, opts.Durability)
+
+	s := ods.Build(opts)
+	r := loadgen.Run(s, cfg)
+	fmt.Println(r.String())
+	if *bars {
+		fmt.Printf("\ncommit latency distribution:\n%s", r.CommitLatency.Bars(40))
+		if r.Reads > 0 {
+			fmt.Printf("\nread latency distribution:\n%s", r.ReadLatency.Bars(40))
+		}
+	}
+}

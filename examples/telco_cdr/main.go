@@ -1,0 +1,128 @@
+// Telco call-data-record store: §1's motivating ODS. A telecom operator
+// ingests call-data records at high rate while billing and fraud-
+// detection applications read the same store concurrently. The ingest
+// path is response-time critical per switch (a switch's feed is ordered),
+// so the audit-flush latency bounds per-feed throughput.
+//
+//	go run ./examples/telco_cdr
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"persistmem/internal/core"
+	"persistmem/internal/ods"
+	"persistmem/internal/sim"
+)
+
+const (
+	switches   = 3  // concurrent ordered CDR feeds
+	cdrsPerTxn = 4  // records batched per transaction
+	txnsPerSw  = 40 // transactions per feed
+)
+
+// cdr encodes a fake call-data record: caller, callee, duration.
+func cdr(caller, callee uint64, seconds uint32) []byte {
+	rec := make([]byte, 512)
+	binary.LittleEndian.PutUint64(rec[0:], caller)
+	binary.LittleEndian.PutUint64(rec[8:], callee)
+	binary.LittleEndian.PutUint32(rec[16:], seconds)
+	return rec
+}
+
+func main() {
+	cfg := core.DefaultConfig()
+	odsOpts := ods.DefaultOptions()
+	odsOpts.Files = []ods.FileSpec{
+		{Name: "CDR", Partitions: 8},     // the call-data records
+		{Name: "BILLING", Partitions: 4}, // per-account running totals
+	}
+	odsOpts.RetainData = true // the readers below want real bytes
+	cfg.ODS = &odsOpts
+	sys := core.NewSystem(cfg)
+	fmt.Println(sys.Describe())
+
+	ingested := make([]int, switches)
+	var ingestDone sim.Time
+	// Ingest feeds: one ordered stream per switch.
+	for sw := 0; sw < switches; sw++ {
+		sw := sw
+		sys.Spawn(sw%4, fmt.Sprintf("switch-%d", sw), func(c *core.Client) {
+			seq := uint64(sw)<<40 | 1
+			for t := 0; t < txnsPerSw; t++ {
+				txn, err := c.Session.Begin()
+				if err != nil {
+					log.Fatalf("begin: %v", err)
+				}
+				for i := 0; i < cdrsPerTxn; i++ {
+					caller := uint64(7000000 + sw*1000 + i)
+					if err := txn.InsertAsync("CDR", seq, cdr(caller, 8000001, 42)); err != nil {
+						log.Fatalf("insert: %v", err)
+					}
+					if err := txn.InsertAsync("BILLING", seq, cdr(caller, 0, 42)); err != nil {
+						log.Fatalf("insert: %v", err)
+					}
+					seq++
+				}
+				if err := txn.Commit(); err != nil {
+					log.Fatalf("commit: %v", err)
+				}
+				ingested[sw] += cdrsPerTxn
+			}
+			if c.Now() > ingestDone {
+				ingestDone = c.Now()
+			}
+		})
+	}
+
+	// Fraud detection reads recent CDRs with browse access (§1.1's
+	// weakest isolation — it must not block the ingest path).
+	var fraudReads int
+	sys.Spawn(3, "fraud-scanner", func(c *core.Client) {
+		for round := 0; round < 20; round++ {
+			c.Wait(20 * sim.Millisecond)
+			for sw := 0; sw < switches; sw++ {
+				key := uint64(sw)<<40 | uint64(1+round*2)
+				if rec, err := c.Session.ReadBrowse("CDR", key); err == nil {
+					fraudReads++
+					if len(rec) != 512 {
+						log.Fatalf("truncated CDR for key %#x", key)
+					}
+				}
+			}
+		}
+	})
+
+	// Billing reads its totals transactionally (repeatable reads).
+	var billingReads int
+	sys.Spawn(2, "billing", func(c *core.Client) {
+		for round := 0; round < 10; round++ {
+			c.Wait(50 * sim.Millisecond)
+			txn, err := c.Session.Begin()
+			if err != nil {
+				continue
+			}
+			for sw := 0; sw < switches; sw++ {
+				key := uint64(sw)<<40 | uint64(1+round)
+				if _, err := txn.Read("BILLING", key); err == nil {
+					billingReads++
+				}
+			}
+			if err := txn.Commit(); err != nil {
+				log.Fatalf("billing commit: %v", err)
+			}
+		}
+	})
+
+	sys.Run()
+	totalCDRs := 0
+	for sw, n := range ingested {
+		fmt.Printf("switch %d ingested %d CDRs\n", sw, n)
+		totalCDRs += n
+	}
+	fmt.Printf("fraud scanner saw %d records, billing read %d totals\n", fraudReads, billingReads)
+	fmt.Printf("%d CDRs durable in %v — %.0f CDRs/s with %s audit\n",
+		totalCDRs, ingestDone, float64(totalCDRs)/ingestDone.Seconds(), sys.Store.Opts.Durability)
+}

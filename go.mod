@@ -1,0 +1,3 @@
+module persistmem
+
+go 1.22

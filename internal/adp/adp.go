@@ -1,0 +1,406 @@
+// Package adp implements the Audit Data Process — the NSK log writer the
+// paper's prototype modified (§4.2). The ADP runs as a process pair and
+// owns one audit-trail stream. Database writers send it audit deltas;
+// the transaction monitor asks it to make the trail durable through a
+// given LSN before transactions commit.
+//
+// Two durability backends are provided:
+//
+//   - Disk: the standard configuration. Appends are buffered in process
+//     memory (and checkpointed to the backup so an ADP failure loses no
+//     audit), and flushes write the buffer sequentially to an audit disk
+//     volume. Concurrent commit requests piggyback on in-progress flushes
+//     — classic group commit, which is what makes boxcarring matter.
+//   - PM: the paper's modification. Every append is synchronously RDMA-
+//     written to a mirrored persistent-memory region, so the trail is
+//     durable immediately, flushes are no-ops, and the data-checkpoint to
+//     the backup disappears (§3.4's "eliminates repeated persistence
+//     actions").
+package adp
+
+import (
+	"fmt"
+
+	"persistmem/internal/audit"
+	"persistmem/internal/cluster"
+	"persistmem/internal/disk"
+	"persistmem/internal/pmclient"
+	"persistmem/internal/sim"
+)
+
+// Mode selects the durability backend.
+type Mode int
+
+// Durability backends.
+const (
+	// Disk flushes audit to a disk volume at commit time.
+	Disk Mode = iota
+	// PM writes audit synchronously to persistent memory on append.
+	PM
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == PM {
+		return "pm"
+	}
+	return "disk"
+}
+
+// Config describes one ADP instance.
+type Config struct {
+	// Name is the service name (e.g. "$ADP0").
+	Name string
+	// PrimaryCPU and BackupCPU place the process pair.
+	PrimaryCPU, BackupCPU int
+	// Mode selects the durability backend.
+	Mode Mode
+
+	// Volume is the audit disk volume (Disk mode).
+	Volume *disk.Volume
+
+	// PMVolume names the PM volume's PMM service (PM mode); RegionSize is
+	// the log region's size — the log wraps within it (old audit is
+	// reclaimable after data volumes destage).
+	PMVolume   string
+	RegionSize int64
+
+	// NoGroupCommit disables flush piggybacking: each commit performs its
+	// own device flush (the A1 ablation).
+	NoGroupCommit bool
+
+	// RequestCPU is the log writer's CPU cost per request handled.
+	RequestCPU sim.Time
+	// FlushCPU is the extra CPU per physical flush.
+	FlushCPU sim.Time
+}
+
+// protocol messages
+type (
+	// AppendReq adds pre-encoded audit records to the trail.
+	AppendReq struct {
+		Data []byte
+	}
+	// AppendResp acknowledges an append. In PM mode the bytes are already
+	// durable; in Disk mode they are buffered and backup-protected.
+	AppendResp struct {
+		// End is the LSN just past the appended bytes.
+		End audit.LSN
+		Err error
+	}
+	// CommitReq appends a commit record for Txn and replies once it (and
+	// all earlier audit) is durable.
+	CommitReq struct {
+		Txn audit.TxnID
+	}
+	// CommitResp reports the durable commit.
+	CommitResp struct {
+		LSN audit.LSN
+		Err error
+	}
+	// AbortReq appends an abort record (lazily durable).
+	AbortReq struct {
+		Txn audit.TxnID
+	}
+	// FlushReq asks for durability through UpTo.
+	FlushReq struct {
+		UpTo audit.LSN
+	}
+	// FlushResp acknowledges durability through Durable.
+	FlushResp struct {
+		Durable audit.LSN
+		Err     error
+	}
+	// StateReq asks for a Stats snapshot (tests and harnesses).
+	StateReq struct{}
+)
+
+// Stats describes an ADP's activity.
+type Stats struct {
+	Mode        Mode
+	NextLSN     audit.LSN
+	DurableLSN  audit.LSN
+	Appends     int64
+	AppendBytes int64
+	Flushes     int64 // physical device flushes (Disk mode)
+	FlushBytes  int64
+	Commits     int64
+	Aborts      int64
+	// GroupedCommits counts commit/flush waiters satisfied by a flush
+	// they shared with others (group-commit effectiveness).
+	GroupedCommits int64
+	// PMWrites counts synchronous PM writes (PM mode; each is mirrored,
+	// so bytes hit two NPMUs).
+	PMWrites int64
+	PMBytes  int64
+}
+
+// adpState is the checkpointable log-writer state.
+type adpState struct {
+	nextLSN    audit.LSN
+	durableLSN audit.LSN
+	// buf holds encoded-but-unflushed audit (Disk mode); bufStart is the
+	// LSN of buf[0].
+	buf      []byte
+	bufStart audit.LSN
+}
+
+func (s *adpState) clone() *adpState {
+	c := *s
+	c.buf = append([]byte(nil), s.buf...)
+	return &c
+}
+
+// ADP is a running audit data process pair.
+type ADP struct {
+	cl   *cluster.Cluster
+	cfg  Config
+	pair *cluster.Pair
+
+	stats Stats
+}
+
+// Start launches the ADP process pair.
+func Start(cl *cluster.Cluster, cfg Config) *ADP {
+	if cfg.RequestCPU == 0 {
+		cfg.RequestCPU = 10 * sim.Microsecond
+	}
+	if cfg.FlushCPU == 0 {
+		cfg.FlushCPU = 30 * sim.Microsecond
+	}
+	if cfg.Mode == Disk && cfg.Volume == nil {
+		panic("adp: Disk mode requires a volume")
+	}
+	if cfg.Mode == PM && cfg.PMVolume == "" {
+		panic("adp: PM mode requires a PM volume name")
+	}
+	if cfg.RegionSize == 0 {
+		cfg.RegionSize = 16 << 20
+	}
+	a := &ADP{cl: cl, cfg: cfg}
+	a.stats.Mode = cfg.Mode
+	a.pair = cl.StartPair(cfg.Name, cfg.PrimaryCPU, cfg.BackupCPU, a.serve)
+	return a
+}
+
+// Name returns the ADP service name.
+func (a *ADP) Name() string { return a.cfg.Name }
+
+// Pair returns the process pair, for fault injection.
+func (a *ADP) Pair() *cluster.Pair { return a.pair }
+
+// Stats returns a snapshot of activity counters.
+func (a *ADP) Stats() Stats {
+	return a.stats
+}
+
+// Stop shuts the ADP down.
+func (a *ADP) Stop() { a.pair.Stop() }
+
+// RegionName returns the PM log region name for this ADP.
+func (a *ADP) RegionName() string { return a.cfg.Name + "-log" }
+
+// waiter is a pending commit/flush reply.
+type flushWaiter struct {
+	upTo audit.LSN
+	ev   cluster.Envelope
+	kind audit.RecType // RecCommit for commits, 0 for plain flushes
+}
+
+func (a *ADP) serve(ctx *cluster.PairCtx) {
+	st := &adpState{}
+	if ctx.Restored != nil {
+		st = ctx.Restored.(*adpState)
+	}
+
+	var region *pmclient.Region
+	if a.cfg.Mode == PM {
+		region = a.openRegion(ctx)
+		if region == nil {
+			return // PM volume unreachable; pair retires
+		}
+	}
+
+	for {
+		ev := ctx.Recv()
+		batch := []cluster.Envelope{ev}
+		if !a.cfg.NoGroupCommit {
+			for {
+				more, ok := ctx.Inbox.TryRecv()
+				if !ok {
+					break
+				}
+				batch = append(batch, more.(cluster.Envelope))
+			}
+		}
+
+		var waiters []flushWaiter
+		for _, ev := range batch {
+			ctx.Compute(a.cfg.RequestCPU)
+			switch req := ev.Payload.(type) {
+			case AppendReq:
+				end, err := a.append(ctx, st, region, req.Data)
+				a.stats.Appends++
+				a.stats.AppendBytes += int64(len(req.Data))
+				ev.Reply(AppendResp{End: end, Err: err})
+			case CommitReq:
+				rec := audit.AppendRecord(nil, &audit.Record{Type: audit.RecCommit, Txn: req.Txn})
+				end, err := a.append(ctx, st, region, rec)
+				if err != nil {
+					ev.Reply(CommitResp{Err: err})
+					continue
+				}
+				a.stats.Commits++
+				waiters = append(waiters, flushWaiter{upTo: end, ev: ev, kind: audit.RecCommit})
+			case AbortReq:
+				rec := audit.AppendRecord(nil, &audit.Record{Type: audit.RecAbort, Txn: req.Txn})
+				a.append(ctx, st, region, rec)
+				a.stats.Aborts++
+				ev.Reply(FlushResp{Durable: st.durableLSN})
+			case FlushReq:
+				waiters = append(waiters, flushWaiter{upTo: req.UpTo, ev: ev})
+			case StateReq:
+				s := a.stats
+				s.NextLSN = st.nextLSN
+				s.DurableLSN = st.durableLSN
+				ev.Reply(s)
+			default:
+				ev.Reply(FlushResp{Err: fmt.Errorf("adp: unknown request %T", req)})
+			}
+		}
+
+		if len(waiters) == 0 {
+			continue // appends checkpointed individually before their acks
+		}
+
+		// Make the trail durable through the highest requested LSN. In PM
+		// mode appends already were; in Disk mode this is the group-commit
+		// flush: every waiter in this batch shares one device write.
+		var err error
+		if a.cfg.Mode == Disk {
+			err = a.flushDisk(ctx, st)
+			a.checkpoint(ctx, st, 0) // durableLSN advanced
+		}
+		if len(waiters) > 1 {
+			a.stats.GroupedCommits += int64(len(waiters))
+		}
+		for _, w := range waiters {
+			if err != nil {
+				if w.kind == audit.RecCommit {
+					w.ev.Reply(CommitResp{Err: err})
+				} else {
+					w.ev.Reply(FlushResp{Err: err})
+				}
+				continue
+			}
+			if w.kind == audit.RecCommit {
+				w.ev.Reply(CommitResp{LSN: w.upTo})
+			} else {
+				w.ev.Reply(FlushResp{Durable: st.durableLSN})
+			}
+		}
+	}
+}
+
+// append adds encoded records to the trail. Disk mode buffers; PM mode
+// writes through synchronously to the mirrored region.
+func (a *ADP) append(ctx *cluster.PairCtx, st *adpState, region *pmclient.Region, data []byte) (audit.LSN, error) {
+	start := st.nextLSN
+	end := start + audit.LSN(len(data))
+	switch a.cfg.Mode {
+	case Disk:
+		if len(st.buf) == 0 {
+			st.bufStart = start
+		}
+		st.buf = append(st.buf, data...)
+		st.nextLSN = end
+		// The unflushed buffer must survive an ADP process failure:
+		// checkpoint the delta to the backup before acknowledging.
+		a.checkpoint(ctx, st, len(data))
+	case PM:
+		// Synchronous mirrored write; the log wraps within the region.
+		off := int64(start) % a.cfg.RegionSize
+		if err := a.writeWrapped(ctx, region, off, data); err != nil {
+			return start, err
+		}
+		st.nextLSN = end
+		st.durableLSN = end
+		a.stats.PMWrites++
+		a.stats.PMBytes += int64(len(data))
+		// Only tiny control state needs backup protection now: the log
+		// itself is already persistent.
+		a.checkpoint(ctx, st, 0)
+	}
+	return end, nil
+}
+
+// writeWrapped performs a region write that may wrap the ring boundary.
+func (a *ADP) writeWrapped(ctx *cluster.PairCtx, region *pmclient.Region, off int64, data []byte) error {
+	size := a.cfg.RegionSize
+	for len(data) > 0 {
+		n := int64(len(data))
+		if off+n > size {
+			n = size - off
+		}
+		if err := region.Write(ctx.Process, off, data[:n]); err != nil {
+			return err
+		}
+		data = data[n:]
+		off = (off + n) % size
+	}
+	return nil
+}
+
+// flushDisk writes the buffered trail sequentially to the audit volume.
+func (a *ADP) flushDisk(ctx *cluster.PairCtx, st *adpState) error {
+	if len(st.buf) == 0 {
+		return nil
+	}
+	ctx.Compute(a.cfg.FlushCPU)
+	volOff := int64(st.bufStart) % a.cfg.Volume.Capacity()
+	n := len(st.buf)
+	if volOff+int64(n) > a.cfg.Volume.Capacity() {
+		// Wrap the volume like a circular trail (auxiliary audit volumes
+		// are recycled after control points).
+		first := a.cfg.Volume.Capacity() - volOff
+		if err := a.cfg.Volume.Write(ctx.Sim(), volOff, st.buf[:first]); err != nil {
+			return err
+		}
+		if err := a.cfg.Volume.Write(ctx.Sim(), 0, st.buf[first:]); err != nil {
+			return err
+		}
+	} else if err := a.cfg.Volume.Write(ctx.Sim(), volOff, st.buf); err != nil {
+		return err
+	}
+	a.stats.Flushes++
+	a.stats.FlushBytes += int64(n)
+	st.durableLSN = st.bufStart + audit.LSN(n)
+	st.buf = st.buf[:0]
+	st.bufStart = st.durableLSN
+	return nil
+}
+
+// checkpoint protects state at the backup. deltaBytes sizes the wire
+// payload: in Disk mode the appended audit must cross to the backup; in
+// PM mode only counters do.
+func (a *ADP) checkpoint(ctx *cluster.PairCtx, st *adpState, deltaBytes int) {
+	sz := 48 + deltaBytes
+	ctx.Checkpoint(sz, st.clone())
+}
+
+// openRegion attaches to the PM volume and opens (creating if necessary)
+// this ADP's log region.
+func (a *ADP) openRegion(ctx *cluster.PairCtx) *pmclient.Region {
+	vol := pmclient.Attach(a.cl, a.cfg.PMVolume)
+	name := a.RegionName()
+	for attempt := 0; attempt < 3; attempt++ {
+		r, err := vol.Open(ctx.Process, name)
+		if err == nil {
+			return r
+		}
+		if cerr := vol.Create(ctx.Process, name, a.cfg.RegionSize); cerr != nil {
+			ctx.Wait(10 * sim.Millisecond)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+// Package audit defines the database audit trail (§1.2): the durable,
+// LSN-ordered record of every change made by every transaction, from
+// which transactions can be redone or undone, and which implicitly
+// records the commit order.
+//
+// Records are length-prefixed, CRC-protected binary frames so that a
+// recovery scan over a byte stream (read back from an audit disk volume
+// or a PM region) can detect the torn tail of the log.
+package audit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// LSN is a log sequence number: the byte offset of a record's frame in
+// its log stream. LSNs are per-log (each ADP owns one stream).
+type LSN uint64
+
+// TxnID identifies a transaction system-wide.
+type TxnID uint64
+
+// RecType enumerates audit record kinds.
+type RecType uint8
+
+// Audit record types.
+const (
+	// RecBegin marks a transaction's first activity.
+	RecBegin RecType = iota + 1
+	// RecInsert carries the after-image of an inserted row.
+	RecInsert
+	// RecUpdate carries the after-image of an updated row.
+	RecUpdate
+	// RecDelete marks a row removal.
+	RecDelete
+	// RecCommit marks a committed transaction (its commit point if this
+	// log is the transaction's master log).
+	RecCommit
+	// RecAbort marks an aborted transaction.
+	RecAbort
+	// RecControlPoint is a periodic marker allowing log truncation: all
+	// data records before the previous control point are destaged.
+	RecControlPoint
+)
+
+var typeNames = map[RecType]string{
+	RecBegin: "BEGIN", RecInsert: "INSERT", RecUpdate: "UPDATE",
+	RecDelete: "DELETE", RecCommit: "COMMIT", RecAbort: "ABORT",
+	RecControlPoint: "CTRLPT",
+}
+
+// String names the record type.
+func (t RecType) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("RecType(%d)", uint8(t))
+}
+
+// Record is one audit record.
+type Record struct {
+	Type RecType
+	Txn  TxnID
+	// File and Partition locate the touched row for data records.
+	File      string
+	Partition uint16
+	Key       uint64
+	// Body is the after-image for data records.
+	Body []byte
+}
+
+// Decode errors.
+var (
+	// ErrTornRecord means a frame failed its CRC or structure check —
+	// the unflushed tail of a log after a crash.
+	ErrTornRecord = errors.New("audit: torn or corrupt record")
+	// ErrEndOfLog means a clean end of the record stream.
+	ErrEndOfLog = errors.New("audit: end of log")
+)
+
+const frameHeader = 4 // u32 frame length (excluding itself)
+
+// EncodedSize returns the frame size of r including length prefix and CRC.
+func EncodedSize(r *Record) int {
+	return frameHeader + 1 + 8 + 2 + len(r.File) + 2 + 8 + 4 + len(r.Body) + 4
+}
+
+// AppendRecord encodes r as one frame onto buf and returns the extended
+// slice.
+func AppendRecord(buf []byte, r *Record) []byte {
+	if len(r.File) > 0xFFFF {
+		panic("audit: file name too long")
+	}
+	start := len(buf)
+	inner := EncodedSize(r) - frameHeader
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(inner))
+	buf = append(buf, scratch[:4]...)
+
+	payloadStart := len(buf)
+	buf = append(buf, byte(r.Type))
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(r.Txn))
+	buf = append(buf, scratch[:8]...)
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(r.File)))
+	buf = append(buf, scratch[:2]...)
+	buf = append(buf, r.File...)
+	binary.LittleEndian.PutUint16(scratch[:2], r.Partition)
+	buf = append(buf, scratch[:2]...)
+	binary.LittleEndian.PutUint64(scratch[:8], r.Key)
+	buf = append(buf, scratch[:8]...)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(r.Body)))
+	buf = append(buf, scratch[:4]...)
+	buf = append(buf, r.Body...)
+
+	crc := crc32.ChecksumIEEE(buf[payloadStart:])
+	binary.LittleEndian.PutUint32(scratch[:4], crc)
+	buf = append(buf, scratch[:4]...)
+
+	if len(buf)-start != EncodedSize(r) {
+		panic("audit: EncodedSize mismatch")
+	}
+	return buf
+}
+
+// DecodeRecord parses one frame from the front of data, returning the
+// record and the number of bytes consumed. A zero length prefix (or
+// insufficient bytes) is treated as a clean ErrEndOfLog, since logs are
+// scanned out of zero-initialized media; anything structurally wrong is
+// ErrTornRecord.
+func DecodeRecord(data []byte) (*Record, int, error) {
+	if len(data) < frameHeader {
+		return nil, 0, ErrEndOfLog
+	}
+	inner := binary.LittleEndian.Uint32(data)
+	if inner == 0 {
+		return nil, 0, ErrEndOfLog
+	}
+	// Smallest legal frame interior: fixed fields plus CRC, 29 bytes.
+	if inner < 29 || int(inner) > len(data)-frameHeader {
+		return nil, 0, ErrTornRecord
+	}
+	payload := data[frameHeader : frameHeader+int(inner)-4]
+	crc := binary.LittleEndian.Uint32(data[frameHeader+int(inner)-4:])
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, ErrTornRecord
+	}
+
+	r := &Record{}
+	pos := 0
+	r.Type = RecType(payload[pos])
+	pos++
+	r.Txn = TxnID(binary.LittleEndian.Uint64(payload[pos:]))
+	pos += 8
+	fl := int(binary.LittleEndian.Uint16(payload[pos:]))
+	pos += 2
+	if pos+fl > len(payload) {
+		return nil, 0, ErrTornRecord
+	}
+	r.File = string(payload[pos : pos+fl])
+	pos += fl
+	if pos+14 > len(payload) {
+		return nil, 0, ErrTornRecord
+	}
+	r.Partition = binary.LittleEndian.Uint16(payload[pos:])
+	pos += 2
+	r.Key = binary.LittleEndian.Uint64(payload[pos:])
+	pos += 8
+	bl := int(binary.LittleEndian.Uint32(payload[pos:]))
+	pos += 4
+	if pos+bl != len(payload) {
+		return nil, 0, ErrTornRecord
+	}
+	r.Body = append([]byte(nil), payload[pos:pos+bl]...)
+	return r, frameHeader + int(inner), nil
+}
+
+// Scanner iterates the records of a log byte stream.
+type Scanner struct {
+	data []byte
+	off  int
+	err  error
+	rec  *Record
+	lsn  LSN
+}
+
+// NewScanner scans the given log bytes from the beginning.
+func NewScanner(data []byte) *Scanner { return &Scanner{data: data} }
+
+// Next advances to the next record, returning false at end of log or on a
+// torn record (check Err to distinguish).
+func (s *Scanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	rec, n, err := DecodeRecord(s.data[s.off:])
+	if err != nil {
+		if !errors.Is(err, ErrEndOfLog) {
+			s.err = err
+		}
+		return false
+	}
+	s.lsn = LSN(s.off)
+	s.rec = rec
+	s.off += n
+	return true
+}
+
+// Record returns the current record.
+func (s *Scanner) Record() *Record { return s.rec }
+
+// LSN returns the current record's log sequence number.
+func (s *Scanner) LSN() LSN { return s.lsn }
+
+// Err returns a non-nil error if the scan stopped on a torn record.
+func (s *Scanner) Err() error { return s.err }
+
+// Offset returns the byte position after the last good record — where a
+// recovered log would resume appending.
+func (s *Scanner) Offset() int { return s.off }

@@ -1,0 +1,71 @@
+// Package avail implements §1.3's availability arithmetic: availability
+// as MTBF/(MTBF+MTTR), its expression as "number of leading 9s", and
+// projected outage time per year. The mttr command uses it to translate
+// the measured recovery times into the availability classes the paper
+// discusses ("highly available servers supporting 5 or more 9s ... fewer
+// than 10 outage minutes per year").
+package avail
+
+import (
+	"fmt"
+	"math"
+
+	"persistmem/internal/sim"
+)
+
+// Availability computes MTBF/(MTBF+MTTR).
+func Availability(mtbf, mttr sim.Time) float64 {
+	if mtbf <= 0 {
+		return 0
+	}
+	return float64(mtbf) / float64(mtbf+mttr)
+}
+
+// Nines returns the number of leading 9s in an availability ratio
+// (0.9995 → 3), capped at 12 for numerically-perfect inputs.
+func Nines(a float64) int {
+	if a >= 1 {
+		return 12
+	}
+	if a <= 0 {
+		return 0
+	}
+	// The epsilon absorbs float error so that exactly-0.99 counts as two
+	// nines rather than 1.9999….
+	n := -math.Log10(1-a) + 1e-9
+	if n < 0 {
+		return 0
+	}
+	if n > 12 {
+		return 12
+	}
+	return int(n)
+}
+
+// YearlyOutage returns the expected outage duration per year at the given
+// availability ratio.
+func YearlyOutage(a float64) sim.Time {
+	const yearSeconds = 365.25 * 24 * 3600
+	return sim.Time((1 - a) * yearSeconds * float64(sim.Second))
+}
+
+// Class describes an availability level in the paper's terms.
+func Class(a float64) string {
+	n := Nines(a)
+	outage := YearlyOutage(a)
+	switch {
+	case n >= 5:
+		return fmt.Sprintf("%d nines — %v outage/year (high availability, <10 min/yr)", n, outage)
+	case n >= 3:
+		return fmt.Sprintf("%d nines — %v outage/year", n, outage)
+	default:
+		return fmt.Sprintf("%d nines — %v outage/year (not business-critical grade)", n, outage)
+	}
+}
+
+// Project computes availability for a component that fails every mtbf and
+// recovers in mttr, returning the ratio and its description.
+func Project(mtbf, mttr sim.Time) (float64, string) {
+	a := Availability(mtbf, mttr)
+	return a, Class(a)
+}

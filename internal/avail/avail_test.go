@@ -1,0 +1,98 @@
+package avail
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"persistmem/internal/sim"
+)
+
+func TestAvailability(t *testing.T) {
+	// MTBF 99s, MTTR 1s -> 0.99.
+	a := Availability(99*sim.Second, sim.Second)
+	if a < 0.9899 || a > 0.9901 {
+		t.Errorf("Availability = %v, want 0.99", a)
+	}
+	if Availability(0, sim.Second) != 0 {
+		t.Error("zero MTBF should give zero availability")
+	}
+	if Availability(sim.Second, 0) != 1 {
+		t.Error("zero MTTR should give perfect availability")
+	}
+}
+
+func TestNines(t *testing.T) {
+	cases := []struct {
+		a    float64
+		want int
+	}{
+		{0.9, 1},
+		{0.99, 2},
+		{0.999, 3},
+		{0.99999, 5},
+		{1.0, 12},
+		{0.5, 0},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := Nines(c.a); got != c.want {
+			t.Errorf("Nines(%v) = %d, want %d", c.a, got, c.want)
+		}
+	}
+}
+
+func TestYearlyOutage(t *testing.T) {
+	// Five nines ≈ 5.26 minutes per year.
+	out := YearlyOutage(0.99999)
+	if out < 5*sim.Minute || out > 6*sim.Minute {
+		t.Errorf("five-nines outage = %v, want ~5.3 min", out)
+	}
+	if YearlyOutage(1) != 0 {
+		t.Error("perfect availability should have zero outage")
+	}
+}
+
+func TestClass(t *testing.T) {
+	if c := Class(0.999999); !strings.Contains(c, "6 nines") || !strings.Contains(c, "high availability") {
+		t.Errorf("Class(six nines) = %q", c)
+	}
+	if c := Class(0.99); !strings.Contains(c, "2 nines") || !strings.Contains(c, "not business-critical") {
+		t.Errorf("Class(0.99) = %q", c)
+	}
+}
+
+func TestProjectPaperScenario(t *testing.T) {
+	// The paper's takeover story: failures once a month, takeover in
+	// 400ms gives 6+ nines ("designs for achieving 6 or 7 9s are already
+	// in progress"); recovery-from-disk at ~2 minutes gives 4-5.
+	month := 30 * 24 * 3600 * sim.Second
+	a1, _ := Project(month, 400*sim.Millisecond)
+	if Nines(a1) < 6 {
+		t.Errorf("process-pair takeover: %d nines, want >= 6", Nines(a1))
+	}
+	a2, _ := Project(month, 2*sim.Minute)
+	if Nines(a2) < 4 || Nines(a2) > 5 {
+		t.Errorf("cold restart: %d nines, want 4-5", Nines(a2))
+	}
+	if a1 <= a2 {
+		t.Error("faster MTTR must mean higher availability")
+	}
+}
+
+// Property: availability is monotone — shorter MTTR never hurts, longer
+// MTBF never hurts.
+func TestMonotonicityProperty(t *testing.T) {
+	prop := func(mtbfSec, mttrMsA, mttrMsB uint32) bool {
+		mtbf := sim.Time(mtbfSec%1e6+1) * sim.Second
+		a := sim.Time(mttrMsA%1e5) * sim.Millisecond
+		b := sim.Time(mttrMsB%1e5) * sim.Millisecond
+		if a > b {
+			a, b = b, a
+		}
+		return Availability(mtbf, a) >= Availability(mtbf, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

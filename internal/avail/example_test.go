@@ -1,0 +1,22 @@
+package avail_test
+
+import (
+	"fmt"
+
+	"persistmem/internal/avail"
+	"persistmem/internal/sim"
+)
+
+// Example computes the availability class for a service that fails once a
+// month and recovers in 400 milliseconds — the paper's process-pair
+// takeover regime.
+func Example() {
+	month := 30 * 24 * 3600 * sim.Second
+	a := avail.Availability(month, 400*sim.Millisecond)
+	fmt.Println("nines:", avail.Nines(a))
+	fmt.Println("yearly outage:", avail.YearlyOutage(a))
+
+	// Output:
+	// nines: 6
+	// yearly outage: 4.87s
+}

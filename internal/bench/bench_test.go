@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1ShapeAtSmokeScale(t *testing.T) {
+	f := RunFigure1(1, Smoke)
+	for _, err := range f.CheckShape() {
+		t.Error(err)
+	}
+	tbl := f.Table()
+	if !strings.Contains(tbl, "32k") || !strings.Contains(tbl, "128k") {
+		t.Errorf("table missing size labels:\n%s", tbl)
+	}
+	t.Logf("\n%s", tbl)
+}
+
+func TestFigure2ShapeAtSmokeScale(t *testing.T) {
+	f := RunFigure2(1, Smoke)
+	for _, err := range f.CheckShape() {
+		t.Error(err)
+	}
+	t.Logf("\n%s", f.Table())
+}
+
+func TestFigure1CSV(t *testing.T) {
+	f := RunFigure1(1, Scale{Name: "tiny", RecordsPerDriver: 64})
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+3*4 {
+		t.Errorf("CSV has %d lines, want 13:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "txn_size_kb,drivers,speedup") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestFigure2CSV(t *testing.T) {
+	f := RunFigure2(1, Scale{Name: "tiny", RecordsPerDriver: 64})
+	lines := strings.Split(strings.TrimSpace(f.CSV()), "\n")
+	if len(lines) != 1+3*4 {
+		t.Errorf("CSV has %d lines, want 13", len(lines))
+	}
+}
+
+func TestClaimC1Shape(t *testing.T) {
+	c := RunClaimC1(1)
+	for _, err := range c.CheckShape() {
+		t.Error(err)
+	}
+	t.Logf("\n%s", c.Table())
+}
+
+func TestClaimC2Shape(t *testing.T) {
+	c := RunClaimC2(1, Smoke)
+	for _, err := range c.CheckShape() {
+		t.Error(err)
+	}
+	t.Logf("\n%s", c.Table())
+}
+
+func TestClaimC3Shape(t *testing.T) {
+	c := RunClaimC3(1, Smoke)
+	for _, err := range c.CheckShape() {
+		t.Error(err)
+	}
+	if c.Rows == 0 {
+		t.Fatal("no rows inserted")
+	}
+	t.Logf("\n%s", c.Table())
+}
+
+func TestAblationA1Shape(t *testing.T) {
+	a := RunAblationA1(1, Smoke)
+	for _, err := range a.CheckShape() {
+		t.Error(err)
+	}
+	t.Logf("\n%s", a.Table())
+}
+
+func TestAblationA2Shape(t *testing.T) {
+	a := RunAblationA2(1, Smoke)
+	for _, err := range a.CheckShape() {
+		t.Error(err)
+	}
+	t.Logf("\n%s", a.Table())
+}
+
+func TestAblationA4Shape(t *testing.T) {
+	a := RunAblationA4(1, Smoke)
+	for _, err := range a.CheckShape() {
+		t.Error(err)
+	}
+	t.Logf("\n%s", a.Table())
+}
+
+func TestAblationA3Shape(t *testing.T) {
+	a := RunAblationA3(1, Smoke)
+	for _, err := range a.CheckShape() {
+		t.Error(err)
+	}
+	t.Logf("\n%s", a.Table())
+}

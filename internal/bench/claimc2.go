@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"persistmem/internal/ods"
+	"persistmem/internal/recovery"
+	"persistmem/internal/sim"
+)
+
+// ClaimC2 measures §3.4's MTTR claim: restart recovery time by path.
+type ClaimC2 struct {
+	Txns int
+	// Reports per path: disk scan, PM scan without TCBs, PM with TCBs.
+	Disk, PMNoTCB, PMTCB recovery.Report
+	// RowsAgree confirms all three rebuilt the same committed image.
+	RowsAgree bool
+}
+
+// RunClaimC2 runs the crash scenario against each recovery path.
+func RunClaimC2(seed int64, scale Scale) ClaimC2 {
+	txns := scale.RecordsPerDriver / 8
+	if txns < 20 {
+		txns = 20
+	}
+	c := ClaimC2{Txns: txns}
+
+	dres := recovery.RunScenario(ods.DiskDurability, txns, seed)
+	rep, rb, err := dres.RecoverDisk(recovery.Options{})
+	if err == nil {
+		c.Disk = rep
+	}
+	diskRows := -1
+	if rb != nil {
+		diskRows = rb.Rows()
+	}
+	dres.Store.Eng.Shutdown()
+
+	p1 := recovery.RunScenario(ods.PMDurability, txns, seed)
+	rep2, rb2, err2 := p1.RecoverPM(recovery.Options{}, false)
+	if err2 == nil {
+		c.PMNoTCB = rep2
+	}
+	p1.Store.Eng.Shutdown()
+
+	p2 := recovery.RunScenario(ods.PMDurability, txns, seed)
+	rep3, rb3, err3 := p2.RecoverPM(recovery.Options{}, true)
+	if err3 == nil {
+		c.PMTCB = rep3
+	}
+	p2.Store.Eng.Shutdown()
+
+	c.RowsAgree = rb != nil && rb2 != nil && rb3 != nil &&
+		diskRows == rb2.Rows() && diskRows == rb3.Rows()
+	return c
+}
+
+// Table renders the MTTR comparison.
+func (c ClaimC2) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Claim C2: MTTR after a crash with %d committed txns + 1 in flight\n", c.Txns)
+	fmt.Fprintf(&b, "%-30s %12s %10s %10s\n", "recovery path", "MTTR", "read KB", "records")
+	row := func(name string, r recovery.Report) {
+		fmt.Fprintf(&b, "%-30s %12v %10d %10d\n", name, r.MTTR, r.BytesRead/1024, r.RecordsScanned)
+	}
+	row("disk audit, log scan", c.Disk)
+	row("PM audit, log scan (no TCB)", c.PMNoTCB)
+	row("PM audit + fine-grained TCBs", c.PMTCB)
+	fmt.Fprintf(&b, "images agree: %v\n", c.RowsAgree)
+	return b.String()
+}
+
+// CheckShape verifies the claim's direction: PM recovery beats disk, TCBs
+// cut the records examined, and all paths rebuild the same image.
+func (c ClaimC2) CheckShape() []error {
+	var errs []error
+	if !c.RowsAgree {
+		errs = append(errs, fmt.Errorf("claimC2: recovered images disagree"))
+	}
+	if c.PMTCB.MTTR >= c.Disk.MTTR {
+		errs = append(errs, fmt.Errorf("claimC2: PM+TCB MTTR (%v) not below disk (%v)", c.PMTCB.MTTR, c.Disk.MTTR))
+	}
+	if c.PMTCB.RecordsScanned >= c.PMNoTCB.RecordsScanned {
+		errs = append(errs, fmt.Errorf("claimC2: TCBs did not reduce records scanned (%d vs %d)",
+			c.PMTCB.RecordsScanned, c.PMNoTCB.RecordsScanned))
+	}
+	if !c.PMTCB.UsedTCB {
+		errs = append(errs, fmt.Errorf("claimC2: TCB path did not use the TCB region"))
+	}
+	var zero sim.Time
+	if c.Disk.MTTR == zero || c.PMNoTCB.MTTR == zero || c.PMTCB.MTTR == zero {
+		errs = append(errs, fmt.Errorf("claimC2: a recovery path failed to run"))
+	}
+	return errs
+}

@@ -1,0 +1,371 @@
+// Package btree implements a generic in-memory B-tree keyed by uint64. It is the storage structure behind the
+// simulated DP2 key-sequenced files: inserts land here (the disk process
+// cache) and are destaged to data volumes asynchronously.
+//
+// The implementation is a classic order-m B-tree with preemptive splitting
+// on the way down, supporting point lookup, insert/replace, delete and
+// in-order range scans.
+package btree
+
+// degree is the minimum child count of an internal node (order 2*degree).
+const degree = 32
+
+const (
+	maxKeys = 2*degree - 1
+	minKeys = degree - 1
+)
+
+// Item is one key/value pair.
+type Item[V any] struct {
+	Key   uint64
+	Value V
+}
+
+type node[V any] struct {
+	items    []Item[V]  // sorted by Key
+	children []*node[V] // len(children) == len(items)+1 for internal nodes
+}
+
+func (n *node[V]) leaf() bool { return len(n.children) == 0 }
+
+// Tree is a B-tree with values of type V. The zero value is an empty tree
+// ready to use.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// Len returns the number of items stored.
+func (t *Tree[V]) Len() int { return t.size }
+
+// find locates key within n.items, returning the index and whether it is
+// an exact match.
+func (n *node[V]) find(key uint64) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.items[mid].Key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.items) && n.items[lo].Key == key
+}
+
+// Get returns the value stored under key.
+func (t *Tree[V]) Get(key uint64) (V, bool) {
+	var zero V
+	n := t.root
+	for n != nil {
+		i, eq := n.find(key)
+		if eq {
+			return n.items[i].Value, true
+		}
+		if n.leaf() {
+			return zero, false
+		}
+		n = n.children[i]
+	}
+	return zero, false
+}
+
+// Has reports whether key is present.
+func (t *Tree[V]) Has(key uint64) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// splitChild splits n.children[i] (which must be full) around its median.
+func (n *node[V]) splitChild(i int) {
+	child := n.children[i]
+	mid := maxKeys / 2
+	median := child.items[mid]
+
+	right := &node[V]{}
+	right.items = append(right.items, child.items[mid+1:]...)
+	child.items = child.items[:mid]
+	if !child.leaf() {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+
+	n.items = append(n.items, Item[V]{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Set inserts or replaces the value under key, reporting whether the key
+// was newly inserted.
+func (t *Tree[V]) Set(key uint64, value V) bool {
+	if t.root == nil {
+		t.root = &node[V]{items: []Item[V]{{Key: key, Value: value}}}
+		t.size = 1
+		return true
+	}
+	if len(t.root.items) == maxKeys {
+		old := t.root
+		t.root = &node[V]{children: []*node[V]{old}}
+		t.root.splitChild(0)
+	}
+	n := t.root
+	for {
+		i, eq := n.find(key)
+		if eq {
+			n.items[i].Value = value
+			return false
+		}
+		if n.leaf() {
+			n.items = append(n.items, Item[V]{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = Item[V]{Key: key, Value: value}
+			t.size++
+			return true
+		}
+		if len(n.children[i].items) == maxKeys {
+			n.splitChild(i)
+			if key == n.items[i].Key {
+				n.items[i].Value = value
+				return false
+			}
+			if key > n.items[i].Key {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[V]) Delete(key uint64) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.root.delete(key)
+	if len(t.root.items) == 0 {
+		if t.root.leaf() {
+			t.root = nil
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (n *node[V]) delete(key uint64) bool {
+	i, eq := n.find(key)
+	if n.leaf() {
+		if !eq {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if eq {
+		// Replace with the predecessor from the left subtree, ensuring the
+		// subtree can spare an item.
+		if len(n.children[i].items) > minKeys {
+			pred := n.children[i].max()
+			n.items[i] = pred
+			return n.children[i].delete(pred.Key)
+		}
+		if len(n.children[i+1].items) > minKeys {
+			succ := n.children[i+1].min()
+			n.items[i] = succ
+			return n.children[i+1].delete(succ.Key)
+		}
+		n.merge(i)
+		return n.children[i].delete(key)
+	}
+	// Descend, topping the child up to > minKeys first.
+	if len(n.children[i].items) == minKeys {
+		n.fixChild(i)
+		// fixChild may have merged and shifted; recompute.
+		i, eq = n.find(key)
+		if eq {
+			return n.delete(key)
+		}
+	}
+	return n.children[i].delete(key)
+}
+
+func (n *node[V]) min() Item[V] {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+func (n *node[V]) max() Item[V] {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// fixChild ensures n.children[i] has more than minKeys items, borrowing
+// from a sibling or merging.
+func (n *node[V]) fixChild(i int) {
+	if i > 0 && len(n.children[i-1].items) > minKeys {
+		// Rotate right: left sibling's max moves up, separator moves down.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, Item[V]{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+		return
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) > minKeys {
+		// Rotate left.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		return
+	}
+	if i == len(n.children)-1 {
+		i--
+	}
+	n.merge(i)
+}
+
+// merge folds n.children[i+1] and the separator into n.children[i].
+func (n *node[V]) merge(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	child.items = append(child.items, right.items...)
+	child.children = append(child.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend calls fn for every item with key in [from, to] in increasing key
+// order, stopping early if fn returns false.
+func (t *Tree[V]) Ascend(from, to uint64, fn func(Item[V]) bool) {
+	if t.root != nil {
+		t.root.ascend(from, to, fn)
+	}
+}
+
+func (n *node[V]) ascend(from, to uint64, fn func(Item[V]) bool) bool {
+	i, _ := n.find(from)
+	for ; i < len(n.items); i++ {
+		if !n.leaf() && !n.children[i].ascend(from, to, fn) {
+			return false
+		}
+		if n.items[i].Key > to {
+			return true
+		}
+		if n.items[i].Key >= from && !fn(n.items[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(from, to, fn)
+	}
+	return true
+}
+
+// Min returns the smallest item, if any.
+func (t *Tree[V]) Min() (Item[V], bool) {
+	if t.root == nil || t.size == 0 {
+		return Item[V]{}, false
+	}
+	return t.root.min(), true
+}
+
+// Max returns the largest item, if any.
+func (t *Tree[V]) Max() (Item[V], bool) {
+	if t.root == nil || t.size == 0 {
+		return Item[V]{}, false
+	}
+	return t.root.max(), true
+}
+
+// depth returns the tree height (for invariant checks).
+func (t *Tree[V]) depth() int {
+	d := 0
+	for n := t.root; n != nil; {
+		d++
+		if n.leaf() {
+			break
+		}
+		n = n.children[0]
+	}
+	return d
+}
+
+// CheckInvariants panics with a description if the tree violates B-tree
+// structure rules; tests call it after mutation sequences.
+func (t *Tree[V]) CheckInvariants() {
+	if t.root == nil {
+		return
+	}
+	depth := t.depth()
+	var walk func(n *node[V], level int, min, max uint64, hasMin, hasMax bool) int
+	walk = func(n *node[V], level int, min, max uint64, hasMin, hasMax bool) int {
+		if n != t.root && len(n.items) < minKeys {
+			panic("btree: underfull node")
+		}
+		if len(n.items) > maxKeys {
+			panic("btree: overfull node")
+		}
+		count := len(n.items)
+		for i := 0; i < len(n.items); i++ {
+			k := n.items[i].Key
+			if i > 0 && n.items[i-1].Key >= k {
+				panic("btree: unsorted node")
+			}
+			if hasMin && k <= min {
+				panic("btree: key below subtree minimum")
+			}
+			if hasMax && k >= max {
+				panic("btree: key above subtree maximum")
+			}
+		}
+		if n.leaf() {
+			if level != depth {
+				panic("btree: leaves at different depths")
+			}
+			return count
+		}
+		if len(n.children) != len(n.items)+1 {
+			panic("btree: child count mismatch")
+		}
+		for i, c := range n.children {
+			cmin, chasMin := min, hasMin
+			cmax, chasMax := max, hasMax
+			if i > 0 {
+				cmin, chasMin = n.items[i-1].Key, true
+			}
+			if i < len(n.items) {
+				cmax, chasMax = n.items[i].Key, true
+			}
+			count += walk(c, level+1, cmin, cmax, chasMin, chasMax)
+		}
+		return count
+	}
+	if got := walk(t.root, 1, 0, 0, false, false); got != t.size {
+		panic("btree: size mismatch")
+	}
+}

@@ -1,0 +1,237 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[[]byte]()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get(42); ok {
+		t.Error("Get on empty tree found a value")
+	}
+	if tr.Delete(42) {
+		t.Error("Delete on empty tree reported success")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree")
+	}
+	tr.CheckInvariants()
+}
+
+func TestSetGet(t *testing.T) {
+	tr := New[[]byte]()
+	for i := uint64(0); i < 1000; i++ {
+		if !tr.Set(i*7%1000, []byte(fmt.Sprint(i*7%1000))) {
+			t.Fatalf("Set(%d) reported existing key", i*7%1000)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tr.Len())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		v, ok := tr.Get(i)
+		if !ok || string(v) != fmt.Sprint(i) {
+			t.Fatalf("Get(%d) = %q,%v", i, v, ok)
+		}
+	}
+	tr.CheckInvariants()
+}
+
+func TestSetReplace(t *testing.T) {
+	tr := New[[]byte]()
+	tr.Set(5, []byte("old"))
+	if tr.Set(5, []byte("new")) {
+		t.Error("replacement reported as new insert")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	v, _ := tr.Get(5)
+	if string(v) != "new" {
+		t.Errorf("value = %q", v)
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	tr := New[[]byte]()
+	const n = 2000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Set(uint64(k), nil)
+	}
+	tr.CheckInvariants()
+	perm2 := rand.New(rand.NewSource(2)).Perm(n)
+	for i, k := range perm2 {
+		if !tr.Delete(uint64(k)) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if i%100 == 0 {
+			tr.CheckInvariants()
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting all", tr.Len())
+	}
+	tr.CheckInvariants()
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[[]byte]()
+	for i := uint64(0); i < 100; i += 2 {
+		tr.Set(i, nil)
+	}
+	var got []uint64
+	tr.Ascend(10, 20, func(it Item[[]byte]) bool {
+		got = append(got, it.Key)
+		return true
+	})
+	want := []uint64{10, 12, 14, 16, 18, 20}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Ascend(10,20) = %v, want %v", got, want)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[[]byte]()
+	for i := uint64(0); i < 100; i++ {
+		tr.Set(i, nil)
+	}
+	count := 0
+	tr.Ascend(0, 99, func(it Item[[]byte]) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("visited %d items, want 5", count)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[[]byte]()
+	for _, k := range []uint64{50, 10, 90, 30, 70} {
+		tr.Set(k, nil)
+	}
+	if mn, _ := tr.Min(); mn.Key != 10 {
+		t.Errorf("Min = %d", mn.Key)
+	}
+	if mx, _ := tr.Max(); mx.Key != 90 {
+		t.Errorf("Max = %d", mx.Key)
+	}
+}
+
+func TestLargeSequentialInsert(t *testing.T) {
+	// Sequential keys are the hot-stock pattern (monotone record ids).
+	tr := New[[]byte]()
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		tr.Set(i, nil)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.CheckInvariants()
+	count := 0
+	prev := uint64(0)
+	tr.Ascend(0, n, func(it Item[[]byte]) bool {
+		if count > 0 && it.Key != prev+1 {
+			t.Fatalf("scan out of order at %d", it.Key)
+		}
+		prev = it.Key
+		count++
+		return true
+	})
+	if count != n {
+		t.Errorf("scan visited %d, want %d", count, n)
+	}
+}
+
+// Property: the tree behaves exactly like a map plus sortedness, under an
+// arbitrary interleaving of sets and deletes.
+func TestTreeMatchesMapProperty(t *testing.T) {
+	type op struct {
+		Key uint64
+		Del bool
+	}
+	prop := func(ops []op) bool {
+		tr := New[[]byte]()
+		ref := make(map[uint64][]byte)
+		for _, o := range ops {
+			k := o.Key % 512 // force collisions
+			if o.Del {
+				delRef := false
+				if _, ok := ref[k]; ok {
+					delete(ref, k)
+					delRef = true
+				}
+				if tr.Delete(k) != delRef {
+					return false
+				}
+			} else {
+				v := []byte(fmt.Sprint(k))
+				isNewRef := false
+				if _, ok := ref[k]; !ok {
+					isNewRef = true
+				}
+				ref[k] = v
+				if tr.Set(k, v) != isNewRef {
+					return false
+				}
+			}
+		}
+		tr.CheckInvariants()
+		if tr.Len() != len(ref) {
+			return false
+		}
+		var keys []uint64
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		var scanned []uint64
+		tr.Ascend(0, ^uint64(0), func(it Item[[]byte]) bool {
+			scanned = append(scanned, it.Key)
+			return true
+		})
+		return fmt.Sprint(keys) == fmt.Sprint(scanned)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTreeInsertSequential(b *testing.B) {
+	tr := New[[]byte]()
+	val := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(uint64(i), val)
+	}
+}
+
+func BenchmarkTreeInsertRandom(b *testing.B) {
+	tr := New[[]byte]()
+	rng := rand.New(rand.NewSource(1))
+	val := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(rng.Uint64(), val)
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := New[[]byte]()
+	for i := uint64(0); i < 1<<16; i++ {
+		tr.Set(i, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i) & (1<<16 - 1))
+	}
+}

@@ -1,0 +1,505 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"persistmem/internal/sim"
+)
+
+func newTestCluster(seed int64) (*sim.Engine, *Cluster) {
+	eng := sim.NewEngine(seed)
+	return eng, New(eng, DefaultConfig())
+}
+
+func TestIntraCPUMessaging(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	cpu := cl.CPU(0)
+	var got Envelope
+	srv := cpu.Spawn("server", func(p *Process) {
+		got = p.Recv()
+	})
+	cl.Register("server", srv)
+	cpu.Spawn("client", func(p *Process) {
+		if err := p.Send("server", 64, "hi"); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	})
+	eng.Run()
+	if got.Payload != "hi" || got.From != "client" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestCrossCPUMessaging(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	var got Envelope
+	var at sim.Time
+	srv := cl.CPU(1).Spawn("server", func(p *Process) {
+		got = p.Recv()
+		at = p.Now()
+	})
+	cl.Register("server", srv)
+	cl.CPU(0).Spawn("client", func(p *Process) {
+		if err := p.Send("server", 1024, 42); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	})
+	eng.Run()
+	if got.Payload != 42 {
+		t.Errorf("got %+v", got)
+	}
+	// Crossing the fabric costs at least the ServerNet software latency.
+	if at < 15*sim.Microsecond {
+		t.Errorf("cross-CPU delivery at %v, expected fabric latency", at)
+	}
+	eng.Shutdown()
+}
+
+func TestCallReply(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	srv := cl.CPU(1).Spawn("adder", func(p *Process) {
+		for {
+			ev := p.Recv()
+			if !ev.WantsReply() {
+				t.Error("Call envelope did not want a reply")
+			}
+			ev.Reply(ev.Payload.(int) + 1)
+		}
+	})
+	cl.Register("adder", srv)
+	var got interface{}
+	cl.CPU(0).Spawn("client", func(p *Process) {
+		var err error
+		got, err = p.Call("adder", 64, 41)
+		if err != nil {
+			t.Errorf("Call: %v", err)
+		}
+	})
+	eng.Run()
+	if got != 42 {
+		t.Errorf("Call reply = %v, want 42", got)
+	}
+	eng.Shutdown()
+}
+
+func TestSendToUnknownName(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	cl.CPU(0).Spawn("client", func(p *Process) {
+		if err := p.Send("ghost", 64, nil); !errors.Is(err, ErrNoProcess) {
+			t.Errorf("err = %v, want ErrNoProcess", err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestCallTimeoutWhenServerDead(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	srv := cl.CPU(1).Spawn("mute", func(p *Process) {
+		p.Recv() // receives but never replies, then exits
+	})
+	cl.Register("mute", srv)
+	var err error
+	cl.CPU(0).Spawn("client", func(p *Process) {
+		_, err = p.Call("mute", 64, nil)
+	})
+	eng.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+	eng.Shutdown()
+}
+
+func TestComputeContention(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	cpu := cl.CPU(0)
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		cpu.Spawn(fmt.Sprintf("worker%d", i), func(p *Process) {
+			p.Compute(10 * sim.Millisecond)
+			done = append(done, p.Now())
+		})
+	}
+	eng.Run()
+	if len(done) != 2 {
+		t.Fatalf("finished %d workers", len(done))
+	}
+	if done[1] < 20*sim.Millisecond {
+		t.Errorf("second worker done at %v; CPU should serialize compute", done[1])
+	}
+	eng.Shutdown()
+}
+
+func TestCPUFailKillsProcesses(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	cpu := cl.CPU(2)
+	reached := false
+	cpu.Spawn("victim", func(p *Process) {
+		p.Wait(sim.Second)
+		reached = true
+	})
+	eng.Spawn("failer", func(p *sim.Proc) {
+		p.Wait(100 * sim.Millisecond)
+		cpu.Fail()
+	})
+	eng.Run()
+	if reached {
+		t.Error("process survived CPU failure")
+	}
+	if cpu.Up() {
+		t.Error("CPU still up after Fail")
+	}
+	eng.Shutdown()
+}
+
+func TestRegistryDroppedOnCPUFail(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	srv := cl.CPU(1).Spawn("server", func(p *Process) { p.Recv() })
+	cl.Register("server", srv)
+	cl.CPU(1).Fail()
+	cl.CPU(0).Spawn("client", func(p *Process) {
+		if err := p.Send("server", 64, nil); !errors.Is(err, ErrNoProcess) {
+			t.Errorf("send to failed CPU's name: %v, want ErrNoProcess", err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestPairCheckpointAndTakeover(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	var served []int
+	pair := cl.StartPair("svc", 0, 1, func(ctx *PairCtx) {
+		count := 0
+		if ctx.Restored != nil {
+			count = ctx.Restored.(int)
+		}
+		for {
+			ev := ctx.Recv()
+			count++
+			if err := ctx.Checkpoint(128, count); err != nil {
+				t.Errorf("Checkpoint: %v", err)
+			}
+			served = append(served, count)
+			ev.Reply(count)
+		}
+	})
+	results := make([]interface{}, 0, 4)
+	cl.CPU(2).Spawn("client", func(p *Process) {
+		for i := 0; i < 2; i++ {
+			v, err := p.Call("svc", 64, "req")
+			if err != nil {
+				t.Errorf("Call %d: %v", i, err)
+			}
+			results = append(results, v)
+		}
+		// Kill the primary's CPU; the backup must take over with the
+		// checkpointed count.
+		cl.CPU(0).Fail()
+		p.Wait(cl.Config().TakeoverDelay + 100*sim.Millisecond)
+		for i := 0; i < 2; i++ {
+			v, err := p.Call("svc", 64, "req")
+			if err != nil {
+				t.Errorf("post-takeover Call %d: %v", i, err)
+			}
+			results = append(results, v)
+		}
+	})
+	eng.Run()
+	want := []interface{}{1, 2, 3, 4}
+	if fmt.Sprint(results) != fmt.Sprint(want) {
+		t.Errorf("results = %v, want %v (state must survive takeover)", results, want)
+	}
+	if pair.Takeovers != 1 {
+		t.Errorf("Takeovers = %d, want 1", pair.Takeovers)
+	}
+	if pair.PrimaryCPU() != 1 {
+		t.Errorf("primary now on CPU %d, want 1", pair.PrimaryCPU())
+	}
+	eng.Shutdown()
+}
+
+func TestPairTakeoverWithinASecond(t *testing.T) {
+	// The paper: "a backup process takes over from its primary in a second
+	// or less."
+	eng, cl := newTestCluster(1)
+	cl.StartPair("svc", 0, 1, func(ctx *PairCtx) {
+		for {
+			ev := ctx.Recv()
+			ev.Reply("ok")
+		}
+	})
+	var gap sim.Time
+	cl.CPU(2).Spawn("client", func(p *Process) {
+		if _, err := p.Call("svc", 64, nil); err != nil {
+			t.Fatalf("initial call: %v", err)
+		}
+		cl.CPU(0).Fail()
+		failedAt := p.Now()
+		for {
+			if _, err := p.Call("svc", 64, nil); err == nil {
+				gap = p.Now() - failedAt
+				return
+			}
+			p.Wait(50 * sim.Millisecond)
+		}
+	})
+	eng.Run()
+	if gap == 0 || gap > sim.Second {
+		t.Errorf("service unavailable for %v, want (0, 1s]", gap)
+	}
+	eng.Shutdown()
+}
+
+func TestPairDoubleFailureIsOutage(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	pair := cl.StartPair("svc", 0, 1, func(ctx *PairCtx) {
+		for {
+			ev := ctx.Recv()
+			ev.Reply(nil)
+		}
+	})
+	cl.CPU(2).Spawn("chaos", func(p *Process) {
+		p.Wait(10 * sim.Millisecond)
+		cl.CPU(0).Fail()
+		cl.CPU(1).Fail()
+		p.Wait(2 * cl.Config().TakeoverDelay)
+		if pair.Up() {
+			t.Error("pair still up after double failure")
+		}
+		if _, err := p.Call("svc", 64, nil); err == nil {
+			t.Error("call succeeded during outage")
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestPairRebackup(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	pair := cl.StartPair("svc", 0, 1, func(ctx *PairCtx) {
+		n := 0
+		if ctx.Restored != nil {
+			n = ctx.Restored.(int)
+		}
+		for {
+			ev := ctx.Recv()
+			n++
+			ctx.Checkpoint(64, n)
+			ev.Reply(n)
+		}
+	})
+	var final interface{}
+	cl.CPU(2).Spawn("client", func(p *Process) {
+		p.Call("svc", 64, nil) // n=1
+		cl.CPU(0).Fail()       // primary dies; takeover to CPU 1
+		p.Wait(cl.Config().TakeoverDelay + 50*sim.Millisecond)
+		cl.CPU(0).Restore()
+		pair.Rebackup(0)       // re-pair onto the reloaded CPU
+		p.Call("svc", 64, nil) // n=2
+		cl.CPU(1).Fail()       // new primary dies; takeover back to CPU 0
+		p.Wait(cl.Config().TakeoverDelay + 50*sim.Millisecond)
+		final, _ = p.Call("svc", 64, nil) // n=3
+	})
+	eng.Run()
+	if final != 3 {
+		t.Errorf("final count = %v, want 3 (state must survive two takeovers)", final)
+	}
+	if pair.Takeovers != 2 {
+		t.Errorf("Takeovers = %d, want 2", pair.Takeovers)
+	}
+	eng.Shutdown()
+}
+
+func TestPairStop(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	pair := cl.StartPair("svc", 0, 1, func(ctx *PairCtx) {
+		for {
+			ev := ctx.Recv()
+			ev.Reply(nil)
+		}
+	})
+	eng.Spawn("stopper", func(p *sim.Proc) {
+		p.Wait(10 * sim.Millisecond)
+		pair.Stop()
+	})
+	eng.Run()
+	if pair.Up() {
+		t.Error("pair up after Stop")
+	}
+	if pair.Takeovers != 0 {
+		t.Error("Stop triggered a takeover")
+	}
+	if cl.LookupCPU("svc") != -1 {
+		t.Error("name still registered after Stop")
+	}
+	eng.Shutdown()
+}
+
+func TestPowerFailAndRestore(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	survived := false
+	cl.CPU(0).Spawn("app", func(p *Process) {
+		p.Wait(sim.Second)
+		survived = true
+	})
+	eng.Spawn("power", func(p *sim.Proc) {
+		p.Wait(100 * sim.Millisecond)
+		cl.PowerFail()
+		p.Wait(100 * sim.Millisecond)
+		cl.RestorePower()
+	})
+	eng.Run()
+	if survived {
+		t.Error("process survived power failure")
+	}
+	for i := 0; i < cl.NumCPUs(); i++ {
+		if !cl.CPU(i).Up() {
+			t.Errorf("CPU %d not up after RestorePower", i)
+		}
+	}
+	// The node is usable again.
+	ran := false
+	cl.CPU(0).Spawn("post", func(p *Process) { ran = true })
+	eng.Run()
+	if !ran {
+		t.Error("cannot spawn after RestorePower")
+	}
+	eng.Shutdown()
+}
+
+func TestCheckpointBytesAccounting(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	pair := cl.StartPair("svc", 0, 1, func(ctx *PairCtx) {
+		for i := 0; i < 3; i++ {
+			ctx.Checkpoint(1000, i)
+		}
+	})
+	eng.Run()
+	if pair.Checkpoints != 3 || pair.CheckpointBytes != 3000 {
+		t.Errorf("Checkpoints=%d CheckpointBytes=%d, want 3/3000",
+			pair.Checkpoints, pair.CheckpointBytes)
+	}
+	eng.Shutdown()
+}
+
+func TestKillDuringComputeDoesNotWedgeCPU(t *testing.T) {
+	// A process killed mid-computation (software fault, CPU failure) must
+	// not leak the execution resource: later processes on the same CPU
+	// still get to run.
+	eng, cl := newTestCluster(1)
+	victim := cl.CPU(0).Spawn("victim", func(p *Process) {
+		p.Compute(10 * sim.Second) // killed in the middle
+	})
+	eng.Spawn("killer", func(p *sim.Proc) {
+		p.Wait(10 * sim.Millisecond)
+		victim.Kill()
+	})
+	ran := false
+	cl.CPU(0).Spawn("heir", func(p *Process) {
+		p.Wait(20 * sim.Millisecond)
+		p.Compute(sim.Millisecond) // must not block forever
+		ran = true
+	})
+	eng.RunUntil(5 * sim.Second)
+	if !ran {
+		t.Fatal("CPU wedged: heir never computed after victim's mid-compute kill")
+	}
+	eng.Shutdown()
+}
+
+func TestCPUFailDuringComputeThenRestore(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	cl.CPU(2).Spawn("busy", func(p *Process) {
+		p.Compute(10 * sim.Second)
+	})
+	eng.Spawn("chaos", func(p *sim.Proc) {
+		p.Wait(50 * sim.Millisecond)
+		cl.CPU(2).Fail()
+		p.Wait(50 * sim.Millisecond)
+		cl.CPU(2).Restore()
+	})
+	eng.Run()
+	ran := false
+	cl.CPU(2).Spawn("post", func(p *Process) {
+		p.Compute(sim.Millisecond)
+		ran = true
+	})
+	eng.RunUntil(eng.Now() + 5*sim.Second)
+	if !ran {
+		t.Fatal("CPU unusable after fail-during-compute and restore")
+	}
+	eng.Shutdown()
+}
+
+func TestMessageFIFOPerSender(t *testing.T) {
+	// The message system preserves per-sender order: a burst of one-way
+	// sends from one process arrives in send order.
+	eng, cl := newTestCluster(1)
+	var got []interface{}
+	srv := cl.CPU(1).Spawn("sink", func(p *Process) {
+		for {
+			got = append(got, p.Recv().Payload)
+		}
+	})
+	cl.Register("sink", srv)
+	cl.CPU(0).Spawn("burst", func(p *Process) {
+		for i := 0; i < 20; i++ {
+			if err := p.Send("sink", 64, i); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		}
+	})
+	eng.Run()
+	if len(got) != 20 {
+		t.Fatalf("received %d/20", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message %d arrived as %v; order broken", i, v)
+		}
+	}
+	eng.Shutdown()
+}
+
+func TestConcurrentCallsAllAnswered(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	srv := cl.CPU(1).Spawn("echo", func(p *Process) {
+		for {
+			ev := p.Recv()
+			ev.Reply(ev.Payload)
+		}
+	})
+	cl.Register("echo", srv)
+	answered := 0
+	for c := 0; c < 3; c++ {
+		c := c
+		cl.CPU(c%4).Spawn(fmt.Sprintf("caller%d", c), func(p *Process) {
+			for i := 0; i < 10; i++ {
+				v, err := p.Call("echo", 64, c*100+i)
+				if err != nil || v != c*100+i {
+					t.Errorf("caller %d call %d: %v %v", c, i, v, err)
+					return
+				}
+				answered++
+			}
+		})
+	}
+	eng.Run()
+	if answered != 30 {
+		t.Errorf("answered %d/30 calls", answered)
+	}
+	eng.Shutdown()
+}
+
+func TestDeviceEndpointSurvivesCPUFail(t *testing.T) {
+	eng, cl := newTestCluster(1)
+	dev := cl.AttachDevice("npmu0")
+	cl.CPU(0).Fail()
+	if !dev.Up() {
+		t.Error("device endpoint failed with CPU")
+	}
+	eng.Shutdown()
+}

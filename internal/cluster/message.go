@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+
+	"persistmem/internal/servernet"
+	"persistmem/internal/sim"
+)
+
+// Envelope is what a registered process receives in its Inbox for
+// messages sent through the message system.
+type Envelope struct {
+	// From is the sending process's name.
+	From string
+	// Payload is the message body. Size accounting happened on the wire;
+	// the simulation passes the value itself.
+	Payload interface{}
+	// reply, if non-nil, receives the reply for Call-style requests.
+	reply *sim.Signal
+}
+
+// Reply answers a Call with value v; for one-way sends it is a no-op.
+// Replying twice to the same envelope panics (a server bug).
+func (ev *Envelope) Reply(v interface{}) {
+	if ev.reply != nil {
+		ev.reply.Trigger(v)
+	}
+}
+
+// WantsReply reports whether the sender is blocked in Call.
+func (ev *Envelope) WantsReply() bool { return ev.reply != nil }
+
+// Send delivers a one-way message of wire size sz to the process
+// registered under name. It returns ErrNoProcess if the name is unbound
+// and propagates fabric errors.
+func (p *Process) Send(name string, sz int, payload interface{}) error {
+	return p.send(name, sz, payload, nil)
+}
+
+func (p *Process) send(name string, sz int, payload interface{}, reply *sim.Signal) error {
+	cl := p.cpu.cl
+	r, ok := cl.registry[name]
+	if !ok {
+		return ErrNoProcess
+	}
+	// Message-system software cost on the sending CPU.
+	p.Compute(cl.cfg.MsgSystemOverhead)
+	ev := Envelope{From: p.name, Payload: payload, reply: reply}
+	if r.cpu == p.cpu {
+		// Intra-CPU message: no fabric traversal.
+		r.inbox.Send(p.proc, ev)
+		return nil
+	}
+	frame := routedFrame{dst: r.inbox, ev: ev}
+	if err := cl.fab.Send(p.proc, p.cpu.ep.ID(), r.cpu.ep.ID(), sz, frame); err != nil {
+		return err
+	}
+	return nil
+}
+
+// routedFrame is the wire format of a message-system frame: the envelope
+// plus the destination inbox resolved at send time.
+type routedFrame struct {
+	dst *sim.Chan
+	ev  Envelope
+}
+
+// Call sends a request and blocks until the reply arrives or the cluster
+// call timeout expires.
+func (p *Process) Call(name string, sz int, payload interface{}) (interface{}, error) {
+	cl := p.cpu.cl
+	reply := cl.eng.NewSignal()
+	if err := p.send(name, sz, payload, reply); err != nil {
+		return nil, err
+	}
+	v, ok := reply.WaitTimeout(p.proc, cl.cfg.CallTimeout)
+	if !ok {
+		return nil, ErrTimeout
+	}
+	return v, nil
+}
+
+// CallAsync sends a request and returns a signal that fires with the
+// reply, letting a process issue several requests concurrently (the
+// paper's "asynchronous inserts") and collect completions later.
+func (p *Process) CallAsync(name string, sz int, payload interface{}) (*sim.Signal, error) {
+	reply := p.cpu.cl.eng.NewSignal()
+	if err := p.send(name, sz, payload, reply); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// AwaitReply blocks on a CallAsync signal with the cluster call timeout.
+func (p *Process) AwaitReply(reply *sim.Signal) (interface{}, error) {
+	v, ok := reply.WaitTimeout(p.proc, p.cpu.cl.cfg.CallTimeout)
+	if !ok {
+		return nil, ErrTimeout
+	}
+	return v, nil
+}
+
+// Recv blocks until the next envelope arrives in the process inbox.
+func (p *Process) Recv() Envelope {
+	return p.Inbox.Recv(p.proc).(Envelope)
+}
+
+// RecvTimeout blocks for at most d; ok is false on timeout.
+func (p *Process) RecvTimeout(d sim.Time) (Envelope, bool) {
+	v, ok := p.Inbox.RecvTimeout(p.proc, d)
+	if !ok {
+		return Envelope{}, false
+	}
+	return v.(Envelope), true
+}
+
+// startDispatcher runs the CPU's message-system delivery loop: it moves
+// fabric frames arriving at the CPU endpoint into destination process
+// inboxes. Each live CPU runs exactly one dispatcher; CPU.Restore starts
+// a fresh one.
+func (c *CPU) startDispatcher() {
+	c.Spawn(fmt.Sprintf("cpu%d-msgsys", c.index), func(p *Process) {
+		for {
+			m := c.ep.Inbox.Recv(p.proc).(servernet.Message)
+			if frame, ok := m.Payload.(routedFrame); ok {
+				frame.dst.Send(p.proc, frame.ev)
+			}
+		}
+	})
+}

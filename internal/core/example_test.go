@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"persistmem/internal/core"
+)
+
+// Example shows the smallest complete persistent-memory program: create a
+// region, write through the synchronous mirrored API, lose power, and
+// read the data back after reboot.
+func Example() {
+	sys := core.NewSystem(core.DefaultConfig())
+
+	sys.Spawn(2, "app", func(c *core.Client) {
+		c.Volume.Create(c.Process, "state", 4096)
+		r, _ := c.Volume.Open(c.Process, "state")
+		r.Write(c.Process, 0, []byte("durable"))
+	})
+	sys.Run()
+
+	sys.PowerFail()
+	sys.Reboot()
+
+	sys.Spawn(3, "reader", func(c *core.Client) {
+		r, err := c.Volume.Open(c.Process, "state")
+		if err != nil {
+			fmt.Println("open failed:", err)
+			return
+		}
+		buf := make([]byte, 7)
+		r.Read(c.Process, 0, buf)
+		fmt.Printf("recovered: %s\n", buf)
+	})
+	sys.Run()
+
+	// Output:
+	// recovered: durable
+}

@@ -1,0 +1,190 @@
+package directpm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"persistmem/internal/cluster"
+	"persistmem/internal/sim"
+)
+
+func newHarness() (*sim.Engine, *cluster.Cluster, *Device) {
+	eng := sim.NewEngine(1)
+	cl := cluster.New(eng, cluster.DefaultConfig())
+	dev := Attach(cl, 1, 1<<20, DefaultConfig())
+	return eng, cl, dev
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	eng, cl, dev := newHarness()
+	cl.CPU(1).Spawn("app", func(p *cluster.Process) {
+		if err := dev.Store(p, 100, []byte("buffered")); err != nil {
+			t.Fatalf("store: %v", err)
+		}
+		buf := make([]byte, 8)
+		if err := dev.Load(p, 100, buf); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		if string(buf) != "buffered" {
+			t.Errorf("load = %q; store-to-load forwarding broken", buf)
+		}
+		// Overlapping later store wins.
+		dev.Store(p, 102, []byte("XX"))
+		dev.Load(p, 100, buf)
+		if string(buf) != "buXXered" {
+			t.Errorf("overlapped load = %q", buf)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestUnfencedStoresLostOnPowerFail(t *testing.T) {
+	// The §5.1 hazard, demonstrated: no fence, no durability.
+	eng, cl, dev := newHarness()
+	cl.CPU(1).Spawn("app", func(p *cluster.Process) {
+		dev.Store(p, 0, []byte("gone with the power"))
+	})
+	eng.Run()
+	if dev.PendingStores() != 1 {
+		t.Fatalf("PendingStores = %d", dev.PendingStores())
+	}
+	dev.PowerFail()
+	buf := make([]byte, 19)
+	dev.NVM().ReadAt(0, buf)
+	if !bytes.Equal(buf, make([]byte, 19)) {
+		t.Errorf("unfenced store survived power loss: %q", buf)
+	}
+	if dev.LostOnPowerFail != 1 {
+		t.Errorf("LostOnPowerFail = %d", dev.LostOnPowerFail)
+	}
+	eng.Shutdown()
+}
+
+func TestFencedStoresDurable(t *testing.T) {
+	eng, cl, dev := newHarness()
+	cl.CPU(1).Spawn("app", func(p *cluster.Process) {
+		dev.Store(p, 0, []byte("fenced"))
+		if err := dev.Fence(p); err != nil {
+			t.Fatalf("fence: %v", err)
+		}
+	})
+	eng.Run()
+	dev.PowerFail()
+	buf := make([]byte, 6)
+	dev.NVM().ReadAt(0, buf)
+	if string(buf) != "fenced" {
+		t.Errorf("fenced store lost: %q", buf)
+	}
+	eng.Shutdown()
+}
+
+func TestBufferOverflowEvicts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BufferEntries = 4
+	eng := sim.NewEngine(1)
+	cl := cluster.New(eng, cluster.DefaultConfig())
+	dev := Attach(cl, 1, 1<<20, cfg)
+	cl.CPU(1).Spawn("app", func(p *cluster.Process) {
+		for i := 0; i < 10; i++ {
+			dev.Store(p, int64(i*8), []byte{byte(i + 1)})
+		}
+	})
+	eng.Run()
+	if dev.PendingStores() != 4 {
+		t.Errorf("PendingStores = %d, want 4 (capacity)", dev.PendingStores())
+	}
+	if dev.Evictions != 6 {
+		t.Errorf("Evictions = %d, want 6", dev.Evictions)
+	}
+	// Evicted (oldest) stores happen to be durable; newest are not.
+	dev.PowerFail()
+	var b [1]byte
+	dev.NVM().ReadAt(0, b[:])
+	if b[0] != 1 {
+		t.Error("evicted store not on NVM")
+	}
+	dev.NVM().ReadAt(9*8, b[:])
+	if b[0] != 0 {
+		t.Error("newest buffered store survived; should be lost")
+	}
+	eng.Shutdown()
+}
+
+func TestFaultDomainEnforced(t *testing.T) {
+	eng, cl, dev := newHarness()
+	cl.CPU(2).Spawn("foreigner", func(p *cluster.Process) {
+		if err := dev.Store(p, 0, []byte{1}); !errors.Is(err, ErrWrongCPU) {
+			t.Errorf("foreign store: %v, want ErrWrongCPU", err)
+		}
+		if err := dev.Load(p, 0, []byte{0}); !errors.Is(err, ErrWrongCPU) {
+			t.Errorf("foreign load: %v", err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestUnavailableWhileCPUDown(t *testing.T) {
+	eng, cl, dev := newHarness()
+	// The device shares its CPU's fault domain.
+	cl.CPU(1).Fail()
+	cl.CPU(1).Restore()
+	survived := false
+	cl.CPU(1).Spawn("app", func(p *cluster.Process) {
+		if err := dev.Store(p, 0, []byte("back")); err != nil {
+			t.Errorf("store after CPU restore: %v", err)
+			return
+		}
+		dev.Fence(p)
+		survived = true
+	})
+	eng.Run()
+	if !survived {
+		t.Error("device unusable after CPU restore")
+	}
+	eng.Shutdown()
+}
+
+func TestOutOfRange(t *testing.T) {
+	eng, cl, dev := newHarness()
+	cl.CPU(1).Spawn("app", func(p *cluster.Process) {
+		if err := dev.Store(p, dev.Capacity()-2, make([]byte, 8)); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("overflow store: %v", err)
+		}
+		if err := dev.Load(p, -1, make([]byte, 1)); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("negative load: %v", err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestDirectStoreMuchFasterThanFabric(t *testing.T) {
+	// §5.1's attraction: cache-speed persistence (once fences are paid
+	// only at batch boundaries).
+	eng, cl, dev := newHarness()
+	var storeTime, fencedBatch sim.Time
+	cl.CPU(1).Spawn("app", func(p *cluster.Process) {
+		start := p.Now()
+		dev.Store(p, 0, make([]byte, 64))
+		storeTime = p.Now() - start
+		start = p.Now()
+		for i := 0; i < 16; i++ {
+			dev.Store(p, int64(i*64), make([]byte, 64))
+		}
+		dev.Fence(p)
+		fencedBatch = p.Now() - start
+	})
+	eng.Run()
+	if storeTime > sim.Microsecond {
+		t.Errorf("buffered store took %v, want ~100ns", storeTime)
+	}
+	// A 16-store fenced batch should still be far below one 15µs fabric
+	// round trip.
+	if fencedBatch > 10*sim.Microsecond {
+		t.Errorf("fenced batch took %v", fencedBatch)
+	}
+	eng.Shutdown()
+}

@@ -1,0 +1,238 @@
+// Package disk models rotating magnetic storage volumes with the latency
+// structure that creates the paper's "storage gap": a storage software
+// stack costing hundreds of microseconds per I/O (SCSI command handling,
+// DMA setup, interrupts, context switches — §3.2), plus mechanical seek,
+// rotational positioning and media transfer time, behind a FIFO queue at
+// the disk arm.
+//
+// Volumes durably retain their contents (backed by a stable.Store), so
+// crash-recovery experiments can read the log back after simulated power
+// loss. Timing-only runs can use discard-backed volumes.
+package disk
+
+import (
+	"errors"
+	"fmt"
+
+	"persistmem/internal/sim"
+	"persistmem/internal/stable"
+)
+
+// ErrVolumeDown is returned while a failed volume is being accessed.
+var ErrVolumeDown = errors.New("disk: volume down")
+
+// Config sets a volume's service model. The defaults approximate a
+// 10k RPM SCSI drive of the paper's era with a storage stack in front.
+type Config struct {
+	// StackOverhead is the host-side software cost per I/O operation.
+	StackOverhead sim.Time
+	// SeekTime is the average seek for a non-sequential access.
+	SeekTime sim.Time
+	// RotationalLatency is the average rotational positioning delay. A
+	// write-through volume pays it on every synchronous write — by the
+	// time the host issues the next I/O the platter has moved on — while
+	// sequential reads stream.
+	RotationalLatency sim.Time
+	// BytesPerSecond is the media transfer rate.
+	BytesPerSecond int64
+	// WriteCache enables a battery-backed controller write cache: writes
+	// complete after the stack overhead plus CacheLatency, and the arm
+	// destages asynchronously. This is the "BBDRAM as write cache" design
+	// the paper contrasts PM against (§3.2).
+	WriteCache bool
+	// CacheLatency is the controller cache copy cost when WriteCache is on.
+	CacheLatency sim.Time
+	// SeqWindow: a new access starting within this many bytes after the
+	// previous one's end counts as sequential (no seek).
+	SeqWindow int64
+}
+
+// DefaultConfig returns the calibration used across the repository.
+func DefaultConfig() Config {
+	return Config{
+		StackOverhead:     250 * sim.Microsecond,
+		SeekTime:          5500 * sim.Microsecond,
+		RotationalLatency: 3 * sim.Millisecond,
+		BytesPerSecond:    40 << 20,
+		CacheLatency:      50 * sim.Microsecond,
+		SeqWindow:         256 << 10,
+	}
+}
+
+// Stats aggregates a volume's traffic counters.
+type Stats struct {
+	Reads, Writes   int64
+	BytesRead       int64
+	BytesWritten    int64
+	SeqWrites       int64
+	BusyTime        sim.Time // arm busy time, for utilization
+	StackTime       sim.Time // host software time spent on this volume
+	MaxQueueObserve int
+}
+
+// Volume is one disk spindle (or mirrored spindle pair presented as one —
+// mirroring inside the storage subsystem does not change host-visible
+// latency in this model).
+type Volume struct {
+	eng   *sim.Engine
+	name  string
+	cfg   Config
+	arm   *sim.Resource
+	store *stable.Store
+	up    bool
+
+	lastEnd  int64 // end offset of the previous access, for seq detection
+	accessed bool  // false until the first access (which always seeks)
+
+	Stats Stats
+}
+
+// New creates a volume with the given capacity whose contents are retained
+// durably.
+func New(eng *sim.Engine, name string, cfg Config, capacity int64) *Volume {
+	return newVolume(eng, name, cfg, stable.New(capacity))
+}
+
+// NewDiscard creates a timing-identical volume that retains no data —
+// for benchmark runs that never read back.
+func NewDiscard(eng *sim.Engine, name string, cfg Config, capacity int64) *Volume {
+	return newVolume(eng, name, cfg, stable.NewDiscard(capacity))
+}
+
+func newVolume(eng *sim.Engine, name string, cfg Config, st *stable.Store) *Volume {
+	if cfg.BytesPerSecond <= 0 {
+		cfg.BytesPerSecond = 40 << 20
+	}
+	return &Volume{
+		eng:   eng,
+		name:  name,
+		cfg:   cfg,
+		arm:   eng.NewResource(fmt.Sprintf("disk-arm-%s", name), 1),
+		store: st,
+		up:    true,
+	}
+}
+
+// Name returns the volume name.
+func (v *Volume) Name() string { return v.name }
+
+// Capacity returns the volume capacity in bytes.
+func (v *Volume) Capacity() int64 { return v.store.Len() }
+
+// Store exposes the durable backing for recovery code, which reads the
+// platter directly after a crash.
+func (v *Volume) Store() *stable.Store { return v.store }
+
+// Up reports whether the volume is serving I/O.
+func (v *Volume) Up() bool { return v.up }
+
+// Fail stops the volume; in-flight and future I/O returns ErrVolumeDown.
+// Contents are retained (media survives controller failure).
+func (v *Volume) Fail() { v.up = false }
+
+// Restore returns a failed volume to service.
+func (v *Volume) Restore() { v.up = true }
+
+// transfer returns the media transfer time for n bytes.
+func (v *Volume) transfer(n int) sim.Time {
+	return sim.Time(int64(n) * int64(sim.Second) / v.cfg.BytesPerSecond)
+}
+
+// position returns the mechanical positioning cost for an access at off,
+// updating sequential-detection state. Reads that continue a sequential
+// stream cost nothing; writes on a write-through volume always pay the
+// rotational latency (see Config.RotationalLatency).
+func (v *Volume) position(off int64, n int, write bool) sim.Time {
+	seq := v.accessed && off >= v.lastEnd && off-v.lastEnd <= v.cfg.SeqWindow
+	v.accessed = true
+	v.lastEnd = off + int64(n)
+	if seq {
+		if write {
+			v.Stats.SeqWrites++
+			return v.cfg.RotationalLatency
+		}
+		return 0
+	}
+	return v.cfg.SeekTime + v.cfg.RotationalLatency
+}
+
+// Write durably stores data at byte offset off. The call returns when the
+// write is durable: after arm service for write-through volumes, or after
+// the controller cache copy for write-cached volumes (battery-backed cache
+// counts as durable, with the complexity cost the paper notes).
+func (v *Volume) Write(p *sim.Proc, off int64, data []byte) error {
+	if !v.up {
+		return ErrVolumeDown
+	}
+	p.Wait(v.cfg.StackOverhead)
+	v.Stats.StackTime += v.cfg.StackOverhead
+	if !v.up {
+		return ErrVolumeDown
+	}
+	if err := v.store.WriteAt(off, data); err != nil {
+		return err
+	}
+	v.Stats.Writes++
+	v.Stats.BytesWritten += int64(len(data))
+
+	if v.cfg.WriteCache {
+		p.Wait(v.cfg.CacheLatency)
+		// Destage asynchronously; the arm still does the work, which keeps
+		// utilization accounting honest and lets saturation back up into
+		// cache (ignored here: cache is assumed deep enough).
+		service := v.position(off, len(data), true) + v.transfer(len(data))
+		v.eng.Spawn(fmt.Sprintf("%s-destage", v.name), func(d *sim.Proc) {
+			v.arm.Acquire(d)
+			d.Wait(service)
+			v.Stats.BusyTime += service
+			v.arm.Release()
+		})
+		return nil
+	}
+
+	if q := v.arm.QueueLen(); q > v.Stats.MaxQueueObserve {
+		v.Stats.MaxQueueObserve = q
+	}
+	v.arm.Acquire(p)
+	defer v.arm.Release() // kill-safe: never leak the arm
+	service := v.position(off, len(data), true) + v.transfer(len(data))
+	p.Wait(service)
+	v.Stats.BusyTime += service
+	if !v.up {
+		return ErrVolumeDown
+	}
+	return nil
+}
+
+// Read fills buf from byte offset off.
+func (v *Volume) Read(p *sim.Proc, off int64, buf []byte) error {
+	if !v.up {
+		return ErrVolumeDown
+	}
+	p.Wait(v.cfg.StackOverhead)
+	v.Stats.StackTime += v.cfg.StackOverhead
+	if !v.up {
+		return ErrVolumeDown
+	}
+	if q := v.arm.QueueLen(); q > v.Stats.MaxQueueObserve {
+		v.Stats.MaxQueueObserve = q
+	}
+	v.arm.Acquire(p)
+	defer v.arm.Release() // kill-safe: never leak the arm
+	service := v.position(off, len(buf), false) + v.transfer(len(buf))
+	p.Wait(service)
+	v.Stats.BusyTime += service
+	if !v.up {
+		return ErrVolumeDown
+	}
+	return v.store.ReadAt(off, buf)
+}
+
+// Utilization reports the fraction of elapsed virtual time the arm has
+// been busy.
+func (v *Volume) Utilization() float64 {
+	if v.eng.Now() == 0 {
+		return 0
+	}
+	return float64(v.Stats.BusyTime) / float64(v.eng.Now())
+}

@@ -1,0 +1,811 @@
+// Package dp2 implements the database writer — NSK's disk process (DP2).
+// Each DP2 is a process pair owning one partition of one key-sequenced
+// file on one data volume. It applies inserts to its in-memory cache
+// (a B-tree), generates audit deltas for the log writer, checkpoints every
+// externalized change to its backup, holds row locks for concurrency
+// control, and destages dirty data to its volume asynchronously so that
+// data-volume I/O stays off the commit path (§1.2, §2).
+package dp2
+
+import (
+	"errors"
+	"fmt"
+
+	"persistmem/internal/adp"
+	"persistmem/internal/audit"
+	"persistmem/internal/btree"
+	"persistmem/internal/cluster"
+	"persistmem/internal/disk"
+	"persistmem/internal/integrity"
+	"persistmem/internal/locks"
+	"persistmem/internal/pmclient"
+	"persistmem/internal/sim"
+)
+
+// DP2 errors.
+var (
+	// ErrDuplicateKey means an insert hit an existing row.
+	ErrDuplicateKey = errors.New("dp2: duplicate key")
+	// ErrNotFound means a read missed.
+	ErrNotFound = errors.New("dp2: key not found")
+	// ErrNoTxn means a data operation referenced an unknown transaction.
+	ErrNoTxn = errors.New("dp2: unknown transaction")
+)
+
+// Mode selects how a DP2 makes its changes durable.
+type Mode int
+
+// DP2 durability modes.
+const (
+	// Classic sends audit deltas to a log writer (the paper's prototype,
+	// in both its disk and PM variants — the ADP decides which).
+	Classic Mode = iota
+	// PMDirect implements §3.4's vision: "newly inserted rows ... would
+	// be made persistent once when they enter the database writer, by
+	// synchronously writing to the NPMU." Each insert's after-image is
+	// written straight to this DP2's own PM log region; no audit flows to
+	// any log writer, and the backup checkpoint carries only counters —
+	// a takeover or restart rebuilds the cache from the PM log.
+	PMDirect
+)
+
+// Config describes one DP2 instance.
+type Config struct {
+	// Name is the service name (e.g. "$DP-TRADES-2").
+	Name string
+	// File and Partition identify the key-sequenced file partition.
+	File      string
+	Partition uint16
+	// PrimaryCPU and BackupCPU place the process pair.
+	PrimaryCPU, BackupCPU int
+	// Volume is the data volume holding this partition.
+	Volume *disk.Volume
+	// Mode selects Classic (audit via ADPName) or PMDirect (audit written
+	// by this DP2 straight to persistent memory).
+	Mode Mode
+	// ADPName is the log writer receiving this DP2's audit (Classic).
+	ADPName string
+	// PMVolume names the PM volume for PMDirect mode; PMRegionSize sizes
+	// this DP2's log region within it.
+	PMVolume     string
+	PMRegionSize int64
+
+	// AuditSendBytes forwards buffered audit to the ADP when it exceeds
+	// this size (commit forces the remainder). Default 24 KB.
+	AuditSendBytes int
+	// LockTimeout bounds row-lock waits (deadlock resolution).
+	LockTimeout sim.Time
+	// InsertCPU is the processing cost per insert (marshalling, cache
+	// update, audit generation).
+	InsertCPU sim.Time
+	// ReadCPU is the processing cost per read.
+	ReadCPU sim.Time
+	// RetainData keeps row bodies in the cache; benchmark runs disable it
+	// to avoid materializing gigabytes (timing is unaffected).
+	RetainData bool
+	// WritebackInterval and WritebackMaxBytes shape the background
+	// destage of dirty data to the volume.
+	WritebackInterval sim.Time
+	WritebackMaxBytes int
+	// MaxCacheBytes bounds the resident row cache; 0 means unbounded.
+	// When the budget is exceeded, destaged rows are evicted FIFO and
+	// later reads fetch them back from the data volume.
+	MaxCacheBytes int64
+	// Checker, when set, runs §1.3's duplicate-and-compare over audit
+	// generation: each insert's after-image record is produced twice and
+	// compared, so silent data corruption in the database writer fails
+	// the insert instead of poisoning the durable trail. Costs roughly
+	// one extra InsertCPU per insert.
+	Checker *integrity.Checker
+}
+
+func (c *Config) applyDefaults() {
+	if c.AuditSendBytes == 0 {
+		c.AuditSendBytes = 24 << 10
+	}
+	if c.LockTimeout == 0 {
+		c.LockTimeout = 500 * sim.Millisecond
+	}
+	if c.InsertCPU == 0 {
+		c.InsertCPU = 25 * sim.Microsecond
+	}
+	if c.ReadCPU == 0 {
+		c.ReadCPU = 15 * sim.Microsecond
+	}
+	if c.WritebackInterval == 0 {
+		c.WritebackInterval = 100 * sim.Millisecond
+	}
+	if c.WritebackMaxBytes == 0 {
+		c.WritebackMaxBytes = 2 << 20
+	}
+}
+
+// protocol messages
+type (
+	// InsertReq inserts a row under a transaction.
+	InsertReq struct {
+		Txn  audit.TxnID
+		Key  uint64
+		Body []byte
+	}
+	// InsertResp acknowledges an insert (applied and backup-protected,
+	// not yet durable — durability happens at commit).
+	InsertResp struct {
+		Err error
+	}
+	// ReadReq reads a row; Txn 0 is a browse (lock-free) read, otherwise
+	// a Shared lock is taken and held until the transaction ends.
+	ReadReq struct {
+		Txn audit.TxnID
+		Key uint64
+	}
+	// ReadResp carries the row.
+	ReadResp struct {
+		Body []byte
+		Err  error
+	}
+	// FlushAuditReq pushes this DP2's pending audit to its ADP (commit
+	// preparation).
+	FlushAuditReq struct {
+		Txn audit.TxnID
+	}
+	// FlushAuditResp names the ADP and the LSN the trail must be durable
+	// through for the transaction to commit.
+	FlushAuditResp struct {
+		ADP string
+		LSN audit.LSN
+		Err error
+	}
+	// EndTxnReq finishes a transaction at this DP2: release its locks,
+	// and on abort undo its inserts.
+	EndTxnReq struct {
+		Txn    audit.TxnID
+		Commit bool
+	}
+	// EndTxnResp acknowledges the end.
+	EndTxnResp struct{}
+	// StateReq asks for a Stats snapshot.
+	StateReq struct{}
+)
+
+// Stats describes a DP2's activity.
+type Stats struct {
+	Inserts       int64
+	InsertBytes   int64
+	Reads         int64
+	Aborted       int64 // inserts undone by aborts
+	AuditSends    int64
+	AuditBytes    int64
+	Writebacks    int64
+	WrittenBack   int64 // bytes destaged
+	LockTimeouts  int64
+	CacheRows     int
+	DirtyBytes    int64
+	DuplicateKeys int64
+	// PMDirect-mode counters: synchronous writes into this DP2's own PM
+	// log region, and cache rebuilds performed at takeover.
+	PMLogWrites int64
+	PMLogBytes  int64
+	PMRebuilds  int64
+	// Cache-management counters.
+	CacheBytes  int64 // resident body bytes
+	Evictions   int64 // rows pushed out of the cache
+	CacheMisses int64 // reads served from the data volume
+	// IntegrityFaults counts inserts rejected by duplicate-and-compare.
+	IntegrityFaults int64
+}
+
+// insertDelta is the checkpoint unit: one externalized change.
+type insertDelta struct {
+	txn  audit.TxnID
+	key  uint64
+	body []byte
+	blen int
+}
+
+// endDelta checkpoints a transaction end.
+type endDelta struct {
+	txn    audit.TxnID
+	commit bool
+}
+
+// row is one record in the disk process cache. The cache is bounded:
+// destaged (clean) rows can be evicted, leaving only location metadata;
+// a later read brings them back from the data volume.
+type row struct {
+	body     []byte // payload when resident and retained
+	blen     int
+	dirty    bool  // not yet destaged to the volume
+	resident bool  // counted in the cache budget
+	volOff   int64 // location on the data volume once destaged
+}
+
+// queueEnt pairs a key with the row it referred to when queued, so queue
+// consumers can skip entries whose row has since been replaced (abort +
+// reinsert).
+type queueEnt struct {
+	key uint64
+	r   *row
+}
+
+// dpState is the disk process's volatile image, mirrored at the backup by
+// absorbing deltas.
+type dpState struct {
+	tree *btree.Tree[*row]
+	undo map[audit.TxnID][]uint64
+
+	dirty      int64 // bytes not yet destaged
+	cacheBytes int64 // resident body bytes (the cache budget consumer)
+	alloc      int64 // next volume offset for destage
+
+	dirtyq []queueEnt // rows awaiting destage, in insert order
+	cleanq []queueEnt // destaged rows eligible for eviction, FIFO
+
+	// lsn is the next PM log offset (PMDirect mode). It is the only state
+	// a PMDirect checkpoint needs to carry: the data itself is already
+	// persistent.
+	lsn audit.LSN
+}
+
+// lsnDelta is the PMDirect checkpoint unit.
+type lsnDelta struct{ lsn audit.LSN }
+
+func newState() *dpState {
+	return &dpState{tree: btree.New[*row](), undo: make(map[audit.TxnID][]uint64)}
+}
+
+// applyInsert folds one insert into the state image.
+func (st *dpState) applyInsert(d insertDelta, retain bool) {
+	r := &row{blen: d.blen, dirty: true, resident: true}
+	if retain {
+		r.body = d.body
+	}
+	st.tree.Set(d.key, r)
+	st.undo[d.txn] = append(st.undo[d.txn], d.key)
+	st.dirty += int64(d.blen)
+	st.cacheBytes += int64(d.blen)
+	st.dirtyq = append(st.dirtyq, queueEnt{key: d.key, r: r})
+}
+
+// applyEnd folds a transaction end into the state image.
+func (st *dpState) applyEnd(d endDelta) {
+	if !d.commit {
+		for _, k := range st.undo[d.txn] {
+			if r, ok := st.tree.Get(k); ok {
+				if r.dirty {
+					st.dirty -= int64(r.blen)
+				}
+				if r.resident {
+					st.cacheBytes -= int64(r.blen)
+				}
+			}
+			st.tree.Delete(k)
+		}
+	}
+	delete(st.undo, d.txn)
+}
+
+// DP2 is a running disk process pair.
+type DP2 struct {
+	cl   *cluster.Cluster
+	cfg  Config
+	pair *cluster.Pair
+
+	// wbKick wakes the current incarnation's destager.
+	wbKick *sim.Chan
+	// pmlog is the current incarnation's PM log region (PMDirect mode).
+	pmlog *pmclient.Region
+
+	stats Stats
+}
+
+// RegionName returns the PM log region name a PMDirect DP2 uses.
+func (c Config) RegionName() string { return c.Name + "-log" }
+
+// Start launches the DP2 process pair.
+func Start(cl *cluster.Cluster, cfg Config) *DP2 {
+	cfg.applyDefaults()
+	if cfg.Volume == nil {
+		panic("dp2: volume required")
+	}
+	switch cfg.Mode {
+	case Classic:
+		if cfg.ADPName == "" {
+			panic("dp2: ADP name required in Classic mode")
+		}
+	case PMDirect:
+		if cfg.PMVolume == "" {
+			panic("dp2: PM volume required in PMDirect mode")
+		}
+		if cfg.PMRegionSize == 0 {
+			cfg.PMRegionSize = 16 << 20
+		}
+	}
+	d := &DP2{cl: cl, cfg: cfg}
+	d.pair = cl.StartPairAbsorb(cfg.Name, cfg.PrimaryCPU, cfg.BackupCPU, d.serve, d.absorb)
+	return d
+}
+
+// Name returns the DP2 service name.
+func (d *DP2) Name() string { return d.cfg.Name }
+
+// ADPName returns the log writer this DP2 audits to.
+func (d *DP2) ADPName() string { return d.cfg.ADPName }
+
+// Pair returns the process pair, for fault injection.
+func (d *DP2) Pair() *cluster.Pair { return d.pair }
+
+// Stats returns a snapshot of activity counters.
+func (d *DP2) Stats() Stats { return d.stats }
+
+// Stop shuts the DP2 down.
+func (d *DP2) Stop() { d.pair.Stop() }
+
+// absorb folds checkpoint deltas into the backup's state image.
+func (d *DP2) absorb(cur, delta interface{}) interface{} {
+	st, _ := cur.(*dpState)
+	if st == nil {
+		st = newState()
+	}
+	switch dl := delta.(type) {
+	case insertDelta:
+		st.applyInsert(dl, d.cfg.RetainData)
+	case endDelta:
+		st.applyEnd(dl)
+	case lsnDelta:
+		st.lsn = dl.lsn
+	case *dpState:
+		st = dl // full-state resync
+	}
+	return st
+}
+
+// serve is the DP2 primary's body.
+func (d *DP2) serve(ctx *cluster.PairCtx) {
+	st := newState()
+	if ctx.Restored != nil {
+		st = ctx.Restored.(*dpState)
+	}
+	lm := locks.NewManager(ctx.Cluster().Engine(), d.cfg.Name)
+
+	if d.cfg.Mode == PMDirect {
+		d.pmlog = d.openRegion(ctx)
+		if d.pmlog == nil {
+			return // PM volume unreachable; pair retires
+		}
+		if st.tree.Len() == 0 && st.lsn > 0 {
+			// Takeover with counters-only state: rebuild the cache image
+			// from the persistent log (§3.4 — the state was written once,
+			// to PM, and any incarnation can reload it).
+			d.rebuildFromPM(ctx, st)
+		}
+	}
+
+	// auditBuf holds encoded audit not yet sent to the ADP (Classic
+	// mode). It is not checkpointed: commit reaches it via FlushAudit,
+	// and an un-committed transaction whose DP2 died is aborted by the
+	// monitor, so its audit may be lost harmlessly.
+	var auditBuf []byte
+
+	// Background destager: kicked when dirty data appears, one batched
+	// sequential write per interval while any remains, blocked when idle
+	// (so a quiescent store has no pending events).
+	kick := ctx.Cluster().Engine().NewBoundedChan(d.cfg.Name+"-wbkick", 1)
+	d.wbKick = kick
+	wb := ctx.CPU().Spawn(d.cfg.Name+"-wb", func(p *cluster.Process) {
+		d.writeback(p, st, kick)
+	})
+	ctx.Sim().OnExit(func() { wb.Kill() })
+	if st.dirty > 0 {
+		kick.TrySend(nil) // drain the backlog a takeover restored
+	}
+
+	for {
+		ev := ctx.Recv()
+		switch req := ev.Payload.(type) {
+		case InsertReq:
+			d.handleInsert(ctx, st, lm, &auditBuf, ev, req)
+		case ReadReq:
+			d.handleRead(ctx, st, lm, ev, req)
+		case FlushAuditReq:
+			if d.cfg.Mode == PMDirect {
+				// Nothing to flush: every change is already persistent.
+				ev.Reply(FlushAuditResp{})
+				continue
+			}
+			resp := FlushAuditResp{ADP: d.cfg.ADPName}
+			lsn, err := d.sendAudit(ctx, &auditBuf)
+			resp.LSN, resp.Err = lsn, err
+			ev.Reply(resp)
+		case EndTxnReq:
+			d.handleEnd(ctx, st, lm, ev, req)
+		case StateReq:
+			s := d.stats
+			s.CacheRows = st.tree.Len()
+			s.DirtyBytes = st.dirty
+			s.CacheBytes = st.cacheBytes
+			ev.Reply(s)
+		default:
+			ev.Reply(InsertResp{Err: fmt.Errorf("dp2: unknown request %T", req)})
+		}
+	}
+}
+
+// lockKey names a row for the lock manager.
+func lockKey(key uint64) string { return fmt.Sprintf("r%d", key) }
+
+func (d *DP2) handleInsert(ctx *cluster.PairCtx, st *dpState, lm *locks.Manager, auditBuf *[]byte, ev cluster.Envelope, req InsertReq) {
+	ctx.Compute(d.cfg.InsertCPU)
+	key := lockKey(req.Key)
+	if canGrantNow(lm, key, req.Key, req.Txn) {
+		// Fast path: the acquire grants without blocking.
+		lm.Acquire(ctx.Sim(), key, req.Txn, locks.Exclusive, d.cfg.LockTimeout)
+		d.completeInsert(ctx, ctx.Process, st, auditBuf, ev, req)
+		return
+	}
+	// Conflict: complete in a continuation so the serve loop keeps
+	// draining (the lock holder's EndTxn must get through).
+	ctx.CPU().Spawn(d.cfg.Name+"-waiter", func(p *cluster.Process) {
+		if err := lm.Acquire(p.Sim(), key, req.Txn, locks.Exclusive, d.cfg.LockTimeout); err != nil {
+			d.stats.LockTimeouts++
+			ev.Reply(InsertResp{Err: err})
+			return
+		}
+		d.completeInsert(ctx, p, st, auditBuf, ev, req)
+	})
+}
+
+// canGrantNow reports whether an Exclusive acquire of key would grant
+// without blocking.
+func canGrantNow(lm *locks.Manager, key string, _ uint64, txn audit.TxnID) bool {
+	if mode, held := lm.Holds(key, txn); held && mode == locks.Exclusive {
+		return true
+	}
+	return lm.QueueLen(key) == 0 && lm.HolderCount(key) == 0
+}
+
+// completeInsert runs after the row lock is held. p is the process doing
+// the waiting (the primary itself on the fast path, a continuation on the
+// conflict path); state mutations are safe because the simulation is
+// cooperatively scheduled.
+func (d *DP2) completeInsert(ctx *cluster.PairCtx, p *cluster.Process, st *dpState, auditBuf *[]byte, ev cluster.Envelope, req InsertReq) {
+	if st.tree.Has(req.Key) {
+		d.stats.DuplicateKeys++
+		ev.Reply(InsertResp{Err: fmt.Errorf("%w: %s/%d key %d", ErrDuplicateKey, d.cfg.File, d.cfg.Partition, req.Key)})
+		return
+	}
+	delta := insertDelta{txn: req.Txn, key: req.Key, body: req.Body, blen: len(req.Body)}
+	st.applyInsert(delta, d.cfg.RetainData)
+	d.stats.Inserts++
+	d.stats.InsertBytes += int64(len(req.Body))
+	if d.wbKick != nil {
+		d.wbKick.TrySend(nil) // wake the destager
+	}
+
+	// Generate the audit after-image, under duplicate-and-compare when
+	// the configuration demands data-integrity protection.
+	rec := &audit.Record{
+		Type: audit.RecInsert, Txn: req.Txn,
+		File: d.cfg.File, Partition: d.cfg.Partition,
+		Key: req.Key, Body: req.Body,
+	}
+	if d.cfg.Checker != nil {
+		encode := func([]byte) []byte { return audit.AppendRecord(nil, rec) }
+		if _, err := d.cfg.Checker.Run(p, encode, nil); err != nil {
+			// Corruption detected before anything externalized: roll just
+			// this insert out of the cache and fail it.
+			st.tree.Delete(req.Key)
+			if u := st.undo[req.Txn]; len(u) > 0 {
+				st.undo[req.Txn] = u[:len(u)-1]
+			}
+			st.dirty -= int64(len(req.Body))
+			st.cacheBytes -= int64(len(req.Body))
+			d.stats.IntegrityFaults++
+			ev.Reply(InsertResp{Err: err})
+			return
+		}
+	}
+	if d.cfg.Mode == PMDirect {
+		// §3.4: made persistent once, here, synchronously. No audit is
+		// forwarded anywhere and the backup checkpoint is counters only.
+		if err := d.logToPM(p, st, audit.AppendRecord(nil, rec)); err != nil {
+			// Roll just this insert out of the cache.
+			st.tree.Delete(req.Key)
+			if u := st.undo[req.Txn]; len(u) > 0 {
+				st.undo[req.Txn] = u[:len(u)-1]
+			}
+			st.dirty -= int64(len(req.Body))
+			st.cacheBytes -= int64(len(req.Body))
+			ev.Reply(InsertResp{Err: err})
+			return
+		}
+		d.checkpointFrom(ctx, p, 32, lsnDelta{lsn: st.lsn})
+		ev.Reply(InsertResp{})
+		return
+	}
+	*auditBuf = audit.AppendRecord(*auditBuf, rec)
+	if len(*auditBuf) >= d.cfg.AuditSendBytes {
+		d.sendAuditFrom(ctx, p, auditBuf)
+	}
+
+	// Checkpoint before externalizing (§1.3).
+	d.checkpointFrom(ctx, p, 48+len(req.Body), delta)
+	ev.Reply(InsertResp{})
+}
+
+func (d *DP2) handleRead(ctx *cluster.PairCtx, st *dpState, lm *locks.Manager, ev cluster.Envelope, req ReadReq) {
+	ctx.Compute(d.cfg.ReadCPU)
+	finish := func(p *cluster.Process) {
+		r, ok := st.tree.Get(req.Key)
+		if !ok {
+			ev.Reply(ReadResp{Err: fmt.Errorf("%w: key %d", ErrNotFound, req.Key)})
+			return
+		}
+		if r.resident {
+			d.stats.Reads++
+			ev.Reply(ReadResp{Body: r.body})
+			return
+		}
+		// Cache miss: fetch from the data volume in a continuation so the
+		// serve loop keeps draining during the (millisecond-scale) I/O.
+		d.stats.CacheMisses++
+		ctx.CPU().Spawn(d.cfg.Name+"-miss", func(mp *cluster.Process) {
+			buf := make([]byte, r.blen)
+			if err := d.cfg.Volume.Read(mp.Sim(), r.volOff, buf); err != nil {
+				ev.Reply(ReadResp{Err: err})
+				return
+			}
+			// Re-admit unless someone else already did.
+			if cur, ok := st.tree.Get(req.Key); ok && cur == r && !r.resident {
+				if d.cfg.RetainData {
+					r.body = buf
+				}
+				r.resident = true
+				st.cacheBytes += int64(r.blen)
+				st.cleanq = append(st.cleanq, queueEnt{key: req.Key, r: r})
+				d.evict(st)
+			}
+			d.stats.Reads++
+			ev.Reply(ReadResp{Body: buf})
+		})
+	}
+	if req.Txn == 0 {
+		finish(ctx.Process) // browse access: no lock
+		return
+	}
+	if lm.QueueLen(lockKey(req.Key)) == 0 && lm.HolderCount(lockKey(req.Key)) == 0 {
+		// Will grant instantly.
+		lm.Acquire(ctx.Sim(), lockKey(req.Key), req.Txn, locks.Shared, d.cfg.LockTimeout)
+		finish(ctx.Process)
+		return
+	}
+	ctx.CPU().Spawn(d.cfg.Name+"-rwaiter", func(p *cluster.Process) {
+		if err := lm.Acquire(p.Sim(), lockKey(req.Key), req.Txn, locks.Shared, d.cfg.LockTimeout); err != nil {
+			d.stats.LockTimeouts++
+			ev.Reply(ReadResp{Err: err})
+			return
+		}
+		finish(p)
+	})
+}
+
+func (d *DP2) handleEnd(ctx *cluster.PairCtx, st *dpState, lm *locks.Manager, ev cluster.Envelope, req EndTxnReq) {
+	ctx.Compute(5 * sim.Microsecond)
+	if !req.Commit {
+		d.stats.Aborted += int64(len(st.undo[req.Txn]))
+	}
+	delta := endDelta{txn: req.Txn, commit: req.Commit}
+	st.applyEnd(delta)
+	lm.ReleaseAll(req.Txn)
+	if d.cfg.Mode == PMDirect {
+		// Note the local outcome in the PM log so a takeover's cache
+		// rebuild replays aborts correctly. The byte cost is tiny.
+		typ := audit.RecCommit
+		if !req.Commit {
+			typ = audit.RecAbort
+		}
+		d.logToPM(ctx.Process, st, audit.AppendRecord(nil, &audit.Record{Type: typ, Txn: req.Txn}))
+		d.checkpointFrom(ctx, ctx.Process, 32, lsnDelta{lsn: st.lsn})
+		ev.Reply(EndTxnResp{})
+		return
+	}
+	d.checkpointFrom(ctx, ctx.Process, 24, delta)
+	ev.Reply(EndTxnResp{})
+}
+
+// sendAudit pushes the pending audit buffer to the ADP from the primary.
+func (d *DP2) sendAudit(ctx *cluster.PairCtx, auditBuf *[]byte) (audit.LSN, error) {
+	return d.sendAuditFrom(ctx, ctx.Process, auditBuf)
+}
+
+// sendAuditFrom pushes the audit buffer to the ADP using process p.
+func (d *DP2) sendAuditFrom(ctx *cluster.PairCtx, p *cluster.Process, auditBuf *[]byte) (audit.LSN, error) {
+	if len(*auditBuf) == 0 {
+		return 0, nil
+	}
+	data := *auditBuf
+	*auditBuf = nil
+	raw, err := p.Call(d.cfg.ADPName, len(data), adp.AppendReq{Data: data})
+	if err != nil {
+		// Put the audit back so commit can retry after ADP takeover.
+		*auditBuf = append(data, *auditBuf...)
+		return 0, err
+	}
+	resp := raw.(adp.AppendResp)
+	if resp.Err != nil {
+		*auditBuf = append(data, *auditBuf...)
+		return 0, resp.Err
+	}
+	d.stats.AuditSends++
+	d.stats.AuditBytes += int64(len(data))
+	return resp.End, nil
+}
+
+// checkpointFrom checkpoints a delta using process p's context.
+func (d *DP2) checkpointFrom(ctx *cluster.PairCtx, p *cluster.Process, sz int, delta interface{}) {
+	d.pair.CheckpointFrom(p, sz, delta)
+}
+
+// logToPM synchronously writes encoded audit frames into this DP2's PM
+// log region (PMDirect mode), wrapping at the ring boundary.
+func (d *DP2) logToPM(p *cluster.Process, st *dpState, data []byte) error {
+	size := d.cfg.PMRegionSize
+	off := int64(st.lsn) % size
+	rest := data
+	for len(rest) > 0 {
+		n := int64(len(rest))
+		if off+n > size {
+			n = size - off
+		}
+		if err := d.pmlog.Write(p, off, rest[:n]); err != nil {
+			return err
+		}
+		rest = rest[n:]
+		off = (off + n) % size
+	}
+	st.lsn += audit.LSN(len(data))
+	d.stats.PMLogWrites++
+	d.stats.PMLogBytes += int64(len(data))
+	return nil
+}
+
+// openRegion attaches this DP2's PM log region, creating it on first use.
+func (d *DP2) openRegion(ctx *cluster.PairCtx) *pmclient.Region {
+	vol := pmclient.Attach(d.cl, d.cfg.PMVolume)
+	name := d.cfg.RegionName()
+	for attempt := 0; attempt < 3; attempt++ {
+		r, err := vol.Open(ctx.Process, name)
+		if err == nil {
+			return r
+		}
+		if cerr := vol.Create(ctx.Process, name, d.cfg.PMRegionSize); cerr != nil {
+			ctx.Wait(10 * sim.Millisecond)
+		}
+	}
+	return nil
+}
+
+// rebuildFromPM reloads the cache image by replaying this DP2's PM log up
+// to the checkpointed LSN — the PMDirect takeover path. (If the ring has
+// wrapped, the oldest records are gone; regions must be sized so the
+// destager truncation keeps the live tail within one ring, which the
+// configured defaults guarantee for the workloads in this repository.)
+func (d *DP2) rebuildFromPM(ctx *cluster.PairCtx, st *dpState) {
+	end := int64(st.lsn)
+	if end > d.cfg.PMRegionSize {
+		end = d.cfg.PMRegionSize
+	}
+	img := make([]byte, end)
+	const chunk = 256 << 10
+	for off := int64(0); off < end; off += chunk {
+		n := int64(chunk)
+		if off+n > end {
+			n = end - off
+		}
+		if err := d.pmlog.Read(ctx.Process, off, img[off:off+n]); err != nil {
+			return
+		}
+	}
+	s := audit.NewScanner(img)
+	for s.Next() {
+		rec := s.Record()
+		switch rec.Type {
+		case audit.RecInsert:
+			st.applyInsert(insertDelta{
+				txn: rec.Txn, key: rec.Key, body: rec.Body, blen: len(rec.Body),
+			}, d.cfg.RetainData)
+		case audit.RecCommit:
+			st.applyEnd(endDelta{txn: rec.Txn, commit: true})
+		case audit.RecAbort:
+			st.applyEnd(endDelta{txn: rec.Txn, commit: false})
+		}
+	}
+	d.stats.PMRebuilds++
+}
+
+// writeback is the destager loop: blocked while there is nothing dirty,
+// then one batched sequential volume write per interval until drained.
+// Rows are destaged in insert order; each batch is one contiguous volume
+// write whose contents are the concatenated row bodies, so evicted rows
+// can be re-read later. After each batch the cache budget is enforced by
+// evicting the oldest clean rows.
+func (d *DP2) writeback(p *cluster.Process, st *dpState, kick *sim.Chan) {
+	buf := make([]byte, d.cfg.WritebackMaxBytes)
+	for {
+		kick.Recv(p.Sim())
+		for st.dirty > 0 {
+			p.Wait(d.cfg.WritebackInterval)
+
+			// Assemble one batch of queued dirty rows.
+			batchStart := st.alloc
+			if batchStart+int64(d.cfg.WritebackMaxBytes) > d.cfg.Volume.Capacity() {
+				batchStart = 0
+			}
+			var n int64
+			var batch []queueEnt
+			// A row larger than the batch budget is destaged alone with a
+			// grown buffer rather than wedging the queue.
+			if len(st.dirtyq) > 0 && st.dirtyq[0].r.blen > d.cfg.WritebackMaxBytes {
+				if need := st.dirtyq[0].r.blen; need > len(buf) {
+					buf = make([]byte, need)
+				}
+			}
+			for len(st.dirtyq) > 0 && (n == 0 || n+int64(st.dirtyq[0].r.blen) <= int64(d.cfg.WritebackMaxBytes)) &&
+				n+int64(st.dirtyq[0].r.blen) <= int64(len(buf)) {
+				ent := st.dirtyq[0]
+				st.dirtyq = st.dirtyq[1:]
+				if cur, ok := st.tree.Get(ent.key); !ok || cur != ent.r || !ent.r.dirty {
+					continue // aborted or replaced since queueing
+				}
+				if ent.r.body != nil {
+					copy(buf[n:], ent.r.body)
+				}
+				ent.r.volOff = batchStart + n
+				n += int64(ent.r.blen)
+				batch = append(batch, ent)
+			}
+			if n == 0 {
+				// Queue drained of valid entries; accounting catches up.
+				st.dirty = 0
+				break
+			}
+			if err := d.cfg.Volume.Write(p.Sim(), batchStart, buf[:n]); err != nil {
+				// Volume down: requeue and retry next interval.
+				st.dirtyq = append(batch, st.dirtyq...)
+				continue
+			}
+			for _, ent := range batch {
+				ent.r.dirty = false
+				st.cleanq = append(st.cleanq, ent)
+			}
+			st.alloc = batchStart + n
+			st.dirty -= n
+			if st.dirty < 0 {
+				st.dirty = 0
+			}
+			d.stats.Writebacks++
+			d.stats.WrittenBack += n
+			d.evict(st)
+		}
+	}
+}
+
+// evict enforces the cache budget by dropping the oldest clean rows'
+// bodies; their metadata stays so reads can fetch them from the volume.
+func (d *DP2) evict(st *dpState) {
+	if d.cfg.MaxCacheBytes <= 0 {
+		return
+	}
+	for st.cacheBytes > d.cfg.MaxCacheBytes && len(st.cleanq) > 0 {
+		ent := st.cleanq[0]
+		st.cleanq = st.cleanq[1:]
+		cur, ok := st.tree.Get(ent.key)
+		if !ok || cur != ent.r || ent.r.dirty || !ent.r.resident {
+			continue
+		}
+		ent.r.body = nil
+		ent.r.resident = false
+		st.cacheBytes -= int64(ent.r.blen)
+		d.stats.Evictions++
+	}
+}

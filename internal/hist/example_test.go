@@ -1,0 +1,25 @@
+package hist_test
+
+import (
+	"fmt"
+
+	"persistmem/internal/hist"
+	"persistmem/internal/sim"
+)
+
+// Example records a latency distribution and reads out its summary
+// statistics.
+func Example() {
+	var h hist.H
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Time(i) * sim.Microsecond)
+	}
+	fmt.Println("count:", h.Count())
+	fmt.Println("mean:", h.Mean())
+	fmt.Println("max:", h.Max())
+
+	// Output:
+	// count: 100
+	// mean: 50.5us
+	// max: 100us
+}

@@ -1,0 +1,183 @@
+// Package hist provides a log-linear latency histogram (HDR-style): fixed
+// memory, ~3% relative error, arbitrary virtual-time magnitudes. The
+// benchmark tools use it to report percentile response times without
+// retaining every sample.
+package hist
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"persistmem/internal/sim"
+)
+
+const (
+	// subBuckets linearly subdivide each power-of-two magnitude.
+	subBuckets     = 32
+	subBucketsLog2 = 5
+	// maxExponent covers values up to 2^62.
+	maxExponent = 63
+)
+
+// H is a latency histogram. The zero value is ready to use.
+type H struct {
+	counts [maxExponent * subBuckets]int64
+	count  int64
+	sum    sim.Time
+	min    sim.Time
+	max    sim.Time
+}
+
+// bucketOf maps v to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // floor(log2 v)
+	shift := exp - subBucketsLog2
+	sub := int(v>>uint(shift)) - subBuckets // 0..subBuckets-1
+	return (exp-subBucketsLog2+1)*subBuckets + sub
+}
+
+// lowOf returns the smallest value mapping to bucket i (the reported
+// representative, giving a conservative percentile).
+func lowOf(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	block := i/subBuckets - 1
+	sub := i % subBuckets
+	return (int64(subBuckets) + int64(sub)) << uint(block)
+}
+
+// Record adds one sample.
+func (h *H) Record(v sim.Time) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.counts[bucketOf(int64(v))]++
+}
+
+// Count returns the number of samples.
+func (h *H) Count() int64 { return h.count }
+
+// Mean returns the exact sample mean.
+func (h *H) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Min and Max return the exact extremes.
+func (h *H) Min() sim.Time { return h.min }
+
+// Max returns the largest recorded sample.
+func (h *H) Max() sim.Time { return h.max }
+
+// Percentile returns an approximation (within one bucket) of the p-th
+// percentile, p in [0,100].
+func (h *H) Percentile(p float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return h.max
+	}
+	target := int64(p / 100 * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > target {
+			v := lowOf(i)
+			if sim.Time(v) < h.min {
+				return h.min
+			}
+			if sim.Time(v) > h.max {
+				return h.max
+			}
+			return sim.Time(v)
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *H) Merge(other *H) {
+	if other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+}
+
+// Reset clears the histogram.
+func (h *H) Reset() { *h = H{} }
+
+// Summary renders the standard percentile line.
+func (h *H) Summary() string {
+	if h.count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.max)
+}
+
+// Bars renders a coarse text distribution across powers of two, for
+// terminal output.
+func (h *H) Bars(width int) string {
+	if h.count == 0 {
+		return "no samples\n"
+	}
+	if width <= 0 {
+		width = 40
+	}
+	// Aggregate per power-of-two block.
+	type block struct {
+		low   sim.Time
+		count int64
+	}
+	var blocks []block
+	for i := 0; i < len(h.counts); i += subBuckets {
+		var c int64
+		for j := 0; j < subBuckets; j++ {
+			c += h.counts[i+j]
+		}
+		if c > 0 {
+			blocks = append(blocks, block{low: sim.Time(lowOf(i)), count: c})
+		}
+	}
+	var peak int64
+	for _, b := range blocks {
+		if b.count > peak {
+			peak = b.count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range blocks {
+		n := int(b.count * int64(width) / peak)
+		fmt.Fprintf(&sb, "%12v  %-*s %d\n", b.low, width, strings.Repeat("#", n), b.count)
+	}
+	return sb.String()
+}

@@ -1,0 +1,146 @@
+// Package integrity implements §1.3's data-integrity machinery: the
+// duplicate-and-compare (D&C) approach, "in which the results of
+// redundant computations, with identical data and in identical state, are
+// compared. Failed comparisons indicate data corruption."
+//
+// A Checker runs a computation twice — optionally on two different CPUs,
+// so a single processor's silent data corruption cannot affect both
+// copies — and compares the results byte for byte. Fault injection flips
+// bits in one copy's output with a configurable probability, modeling
+// SDC, and the statistics report how many corruptions the comparison
+// caught.
+package integrity
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+
+	"persistmem/internal/cluster"
+	"persistmem/internal/sim"
+)
+
+// ErrMiscompare means the two redundant computations disagreed: data
+// corruption was detected (and the operation must not externalize).
+var ErrMiscompare = errors.New("integrity: duplicate-and-compare miscompare")
+
+// Computation is a deterministic function of its input bytes. D&C only
+// works for deterministic computations — exactly the constraint real
+// lock-stepped systems impose.
+type Computation func(input []byte) []byte
+
+// Config shapes a Checker.
+type Config struct {
+	// ComputeCost is the simulated CPU time of one computation run.
+	ComputeCost sim.Time
+	// CompareCostPerKB is the comparison cost per KiB of output.
+	CompareCostPerKB sim.Time
+	// SDCRate is the probability that a given run's output suffers a
+	// silent single-bit corruption (fault injection; 0 in normal use).
+	SDCRate float64
+}
+
+// DefaultConfig returns a modest-cost checker.
+func DefaultConfig() Config {
+	return Config{
+		ComputeCost:      20 * sim.Microsecond,
+		CompareCostPerKB: 2 * sim.Microsecond,
+	}
+}
+
+// Stats counts checker activity.
+type Stats struct {
+	Runs        int64 // D&C executions
+	Detected    int64 // miscompares (corruption caught)
+	InjectedSDC int64 // faults injected by the test harness
+}
+
+// Checker performs duplicate-and-compare executions.
+type Checker struct {
+	cl  *cluster.Cluster
+	cfg Config
+	rng *rand.Rand
+
+	stats Stats
+}
+
+// New creates a checker on the cluster.
+func New(cl *cluster.Cluster, cfg Config) *Checker {
+	return &Checker{cl: cl, cfg: cfg, rng: cl.Engine().DeriveRand("integrity")}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Checker) Stats() Stats { return c.stats }
+
+// corrupt maybe flips one bit of out, returning whether it did.
+func (c *Checker) corrupt(out []byte) bool {
+	if c.cfg.SDCRate <= 0 || len(out) == 0 || c.rng.Float64() >= c.cfg.SDCRate {
+		return false
+	}
+	bit := c.rng.Intn(len(out) * 8)
+	out[bit/8] ^= 1 << (bit % 8)
+	c.stats.InjectedSDC++
+	return true
+}
+
+// Run executes fn twice on the calling process's CPU and compares. On
+// agreement it returns the (verified) output; on miscompare it returns
+// ErrMiscompare and no output may be externalized.
+func (c *Checker) Run(p *cluster.Process, fn Computation, input []byte) ([]byte, error) {
+	c.stats.Runs++
+	p.Compute(c.cfg.ComputeCost)
+	a := fn(input)
+	c.corrupt(a)
+	p.Compute(c.cfg.ComputeCost)
+	b := fn(input)
+	c.corrupt(b)
+	return c.compare(p, a, b)
+}
+
+// RunDual executes fn on the calling process's CPU and, concurrently, on
+// otherCPU — the stronger form where a single faulty processor cannot
+// corrupt both copies. The calling process blocks until both finish.
+func (c *Checker) RunDual(p *cluster.Process, otherCPU int, fn Computation, input []byte) ([]byte, error) {
+	c.stats.Runs++
+	done := c.cl.Engine().NewSignal()
+	c.cl.CPU(otherCPU).Spawn("dnc-shadow", func(sp *cluster.Process) {
+		sp.Compute(c.cfg.ComputeCost)
+		out := fn(input)
+		c.corrupt(out)
+		done.Trigger(out)
+	})
+	p.Compute(c.cfg.ComputeCost)
+	a := fn(input)
+	c.corrupt(a)
+	b := done.Wait(p.Sim()).([]byte)
+	return c.compare(p, a, b)
+}
+
+// compare charges comparison time and checks the outputs.
+func (c *Checker) compare(p *cluster.Process, a, b []byte) ([]byte, error) {
+	kb := (len(a) + 1023) / 1024
+	if kb == 0 {
+		kb = 1
+	}
+	p.Compute(sim.Time(kb) * c.cfg.CompareCostPerKB)
+	if !bytes.Equal(a, b) {
+		c.stats.Detected++
+		return nil, ErrMiscompare
+	}
+	return a, nil
+}
+
+// RunWithRetry performs D&C and, on miscompare, retries up to retries
+// times — the recovery action for transient corruption. It returns the
+// first verified output.
+func (c *Checker) RunWithRetry(p *cluster.Process, fn Computation, input []byte, retries int) ([]byte, error) {
+	var err error
+	var out []byte
+	for attempt := 0; attempt <= retries; attempt++ {
+		out, err = c.Run(p, fn, input)
+		if err == nil {
+			return out, nil
+		}
+	}
+	return nil, err
+}

@@ -1,0 +1,164 @@
+// Package loadgen is a configurable workload driver for the online data
+// store — the tool a downstream user reaches for to size a configuration:
+// N concurrent clients, a read/insert mix, a value size, and a time
+// window, producing throughput and latency histograms per operation type.
+package loadgen
+
+import (
+	"fmt"
+
+	"persistmem/internal/cluster"
+	"persistmem/internal/hist"
+	"persistmem/internal/ods"
+	"persistmem/internal/sim"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// Clients is the number of concurrent sessions (spread round-robin
+	// over the CPUs).
+	Clients int
+	// Duration is the measurement window in virtual time.
+	Duration sim.Time
+	// OpsPerTxn is the number of data operations per transaction.
+	OpsPerTxn int
+	// ReadFraction in [0,1] is the probability an operation is a browse
+	// read of a previously written key rather than an insert.
+	ReadFraction float64
+	// ValueBytes sizes inserted values.
+	ValueBytes int
+}
+
+// DefaultConfig returns a small insert-heavy mix.
+func DefaultConfig() Config {
+	return Config{
+		Clients:      2,
+		Duration:     2 * sim.Second,
+		OpsPerTxn:    8,
+		ReadFraction: 0.2,
+		ValueBytes:   1024,
+	}
+}
+
+// Result aggregates a run.
+type Result struct {
+	Elapsed       sim.Time
+	Txns          int64
+	Inserts       int64
+	Reads         int64
+	Aborts        int64
+	Errors        int64
+	CommitLatency hist.H
+	ReadLatency   hist.H
+}
+
+// TxnPerSec returns committed transactions per virtual second.
+func (r Result) TxnPerSec() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.Txns) / r.Elapsed.Seconds()
+}
+
+// String renders the run summary.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"elapsed %v: %d txns (%.1f/s), %d inserts, %d reads, %d aborts, %d errors\n  commit: %s\n  read:   %s",
+		r.Elapsed, r.Txns, r.TxnPerSec(), r.Inserts, r.Reads, r.Aborts, r.Errors,
+		r.CommitLatency.Summary(), r.ReadLatency.Summary())
+}
+
+// Run drives the workload against an idle store and returns aggregated
+// results. Deterministic for a given store seed and config.
+func Run(s *ods.Store, cfg Config) Result {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.OpsPerTxn <= 0 {
+		cfg.OpsPerTxn = 1
+	}
+	files := make([]string, len(s.Opts.Files))
+	for i, f := range s.Opts.Files {
+		files[i] = f.Name
+	}
+
+	results := make([]Result, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		cpu := c % s.Opts.CPUs
+		rng := s.Eng.DeriveRand(fmt.Sprintf("loadgen-%d", c))
+		s.Cl.CPU(cpu).Spawn(fmt.Sprintf("load%d", c), func(p *cluster.Process) {
+			res := &results[c]
+			se := s.NewSession(p)
+			deadline := p.Now() + cfg.Duration
+			nextKey := uint64(c)<<40 | 1
+			var written []uint64
+			body := make([]byte, cfg.ValueBytes)
+			for p.Now() < deadline {
+				start := p.Now()
+				txn, err := se.Begin()
+				if err != nil {
+					res.Errors++
+					p.Wait(10 * sim.Millisecond)
+					continue
+				}
+				failed := false
+				txnInserts := int64(0)
+				for i := 0; i < cfg.OpsPerTxn; i++ {
+					if len(written) > 0 && rng.Float64() < cfg.ReadFraction {
+						key := written[rng.Intn(len(written))]
+						rstart := p.Now()
+						if _, err := se.ReadBrowse(files[int(key)%len(files)], key); err != nil {
+							res.Errors++
+						} else {
+							res.Reads++
+							res.ReadLatency.Record(p.Now() - rstart)
+						}
+						continue
+					}
+					file := files[int(nextKey)%len(files)]
+					if err := txn.InsertAsync(file, nextKey, body); err != nil {
+						res.Errors++
+						failed = true
+						break
+					}
+					written = append(written, nextKey)
+					nextKey++
+					txnInserts++
+				}
+				if failed {
+					txn.Abort()
+					res.Aborts++
+					continue
+				}
+				if err := txn.Commit(); err != nil {
+					res.Errors++
+					res.Aborts++
+					continue
+				}
+				res.Inserts += txnInserts
+				res.Txns++
+				res.CommitLatency.Record(p.Now() - start)
+			}
+			res.Elapsed = p.Now()
+		})
+	}
+
+	s.Eng.Run()
+
+	var out Result
+	for i := range results {
+		r := &results[i]
+		out.Txns += r.Txns
+		out.Inserts += r.Inserts
+		out.Reads += r.Reads
+		out.Aborts += r.Aborts
+		out.Errors += r.Errors
+		out.CommitLatency.Merge(&r.CommitLatency)
+		out.ReadLatency.Merge(&r.ReadLatency)
+		if r.Elapsed > out.Elapsed {
+			out.Elapsed = r.Elapsed
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"testing"
+
+	"persistmem/internal/ods"
+	"persistmem/internal/sim"
+)
+
+func smallStore(d ods.Durability, seed int64) *ods.Store {
+	opts := ods.DefaultOptions()
+	opts.Seed = seed
+	opts.Durability = d
+	opts.Files = []ods.FileSpec{{Name: "A", Partitions: 2}, {Name: "B", Partitions: 2}}
+	opts.DataVolumes = 4
+	opts.PMRegionBytes = 8 << 20
+	return ods.Build(opts)
+}
+
+func TestRunProducesWork(t *testing.T) {
+	s := smallStore(ods.PMDurability, 1)
+	cfg := DefaultConfig()
+	cfg.Duration = 500 * sim.Millisecond
+	r := Run(s, cfg)
+	if r.Txns == 0 || r.Inserts == 0 {
+		t.Fatalf("no work done: %+v", r)
+	}
+	if r.Errors != 0 {
+		t.Errorf("errors: %d", r.Errors)
+	}
+	if r.CommitLatency.Count() != r.Txns {
+		t.Errorf("latency samples %d != txns %d", r.CommitLatency.Count(), r.Txns)
+	}
+	if r.TxnPerSec() <= 0 {
+		t.Error("zero throughput")
+	}
+	s.Eng.Shutdown()
+}
+
+func TestReadMixProducesReads(t *testing.T) {
+	s := smallStore(ods.PMDurability, 1)
+	cfg := DefaultConfig()
+	cfg.Duration = 500 * sim.Millisecond
+	cfg.ReadFraction = 0.5
+	r := Run(s, cfg)
+	if r.Reads == 0 {
+		t.Error("no reads at 50% read fraction")
+	}
+	if r.ReadLatency.Count() != r.Reads {
+		t.Errorf("read samples %d != reads %d", r.ReadLatency.Count(), r.Reads)
+	}
+	// Browse reads are fast (no durability on the path).
+	if r.ReadLatency.Mean() > r.CommitLatency.Mean() {
+		t.Errorf("read mean %v above commit mean %v", r.ReadLatency.Mean(), r.CommitLatency.Mean())
+	}
+	s.Eng.Shutdown()
+}
+
+func TestDiskSlowerThanPM(t *testing.T) {
+	run := func(d ods.Durability) Result {
+		s := smallStore(d, 1)
+		cfg := DefaultConfig()
+		cfg.Clients = 1
+		cfg.Duration = 500 * sim.Millisecond
+		cfg.ReadFraction = 0
+		r := Run(s, cfg)
+		s.Eng.Shutdown()
+		return r
+	}
+	disk := run(ods.DiskDurability)
+	pm := run(ods.PMDurability)
+	if pm.TxnPerSec() <= disk.TxnPerSec() {
+		t.Errorf("PM throughput (%.1f/s) not above disk (%.1f/s)", pm.TxnPerSec(), disk.TxnPerSec())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() Result {
+		s := smallStore(ods.PMDurability, 9)
+		cfg := DefaultConfig()
+		cfg.Duration = 300 * sim.Millisecond
+		r := Run(s, cfg)
+		s.Eng.Shutdown()
+		return r
+	}
+	a, b := run(), run()
+	if a.Txns != b.Txns || a.Inserts != b.Inserts || a.Reads != b.Reads {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+	if a.CommitLatency.Mean() != b.CommitLatency.Mean() {
+		t.Errorf("latency differs: %v vs %v", a.CommitLatency.Mean(), b.CommitLatency.Mean())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := smallStore(ods.PMDurability, 1)
+	cfg := DefaultConfig()
+	cfg.Duration = 200 * sim.Millisecond
+	r := Run(s, cfg)
+	out := r.String()
+	if len(out) == 0 || r.Txns == 0 {
+		t.Errorf("String() = %q", out)
+	}
+	s.Eng.Shutdown()
+}

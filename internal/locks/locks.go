@@ -1,0 +1,238 @@
+// Package locks implements the concurrency-control substrate of §1.1: a
+// lock manager granting shared and exclusive row locks to transactions,
+// with FIFO queueing, shared-to-exclusive upgrade for sole holders, and
+// timeout-based deadlock resolution. Each DP2 (disk process) owns one
+// lock manager for the rows of its partitions, which is exactly the
+// NonStop partitioning of lock authority.
+package locks
+
+import (
+	"errors"
+	"fmt"
+
+	"persistmem/internal/audit"
+	"persistmem/internal/sim"
+)
+
+// Lock errors.
+var (
+	// ErrLockTimeout means the lock could not be granted within the
+	// timeout — the system's deadlock resolution mechanism.
+	ErrLockTimeout = errors.New("locks: lock wait timed out")
+	// ErrNotHeld is returned by Downgrade when the transaction does not
+	// hold the lock.
+	ErrNotHeld = errors.New("locks: lock not held")
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	// Shared allows concurrent readers.
+	Shared Mode = iota
+	// Exclusive allows a single writer.
+	Exclusive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// lockState tracks one lockable resource.
+type lockState struct {
+	holders map[audit.TxnID]Mode
+	queue   []*waitReq
+}
+
+type waitReq struct {
+	txn     audit.TxnID
+	mode    Mode
+	granted *sim.Signal
+}
+
+// Manager is a lock manager. It is used from simulation processes only.
+type Manager struct {
+	eng   *sim.Engine
+	name  string
+	locks map[string]*lockState
+
+	// Stats
+	Grants, Waits, Timeouts int64
+}
+
+// NewManager returns an empty lock manager.
+func NewManager(eng *sim.Engine, name string) *Manager {
+	return &Manager{eng: eng, name: name, locks: make(map[string]*lockState)}
+}
+
+// compatible reports whether a request by txn for mode can be granted
+// given current holders.
+func (ls *lockState) compatible(txn audit.TxnID, mode Mode) bool {
+	for holder, hmode := range ls.holders {
+		if holder == txn {
+			continue // self-held handled by caller
+		}
+		if mode == Exclusive || hmode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire grants txn a lock on key in the given mode, blocking p in FIFO
+// order behind incompatible requests, up to timeout (negative = forever).
+// Re-acquiring a held lock is a no-op; holding Shared and requesting
+// Exclusive upgrades when the transaction is the sole holder, and queues
+// otherwise.
+func (m *Manager) Acquire(p *sim.Proc, key string, txn audit.TxnID, mode Mode, timeout sim.Time) error {
+	ls := m.locks[key]
+	if ls == nil {
+		ls = &lockState{holders: make(map[audit.TxnID]Mode)}
+		m.locks[key] = ls
+	}
+	if held, ok := ls.holders[txn]; ok {
+		if held == Exclusive || mode == Shared {
+			return nil // already strong enough
+		}
+		// Upgrade path.
+		if len(ls.holders) == 1 && ls.compatible(txn, Exclusive) {
+			ls.holders[txn] = Exclusive
+			m.Grants++
+			return nil
+		}
+	} else if len(ls.queue) == 0 && ls.compatible(txn, mode) {
+		ls.holders[txn] = mode
+		m.Grants++
+		return nil
+	}
+
+	// Queue and wait.
+	m.Waits++
+	req := &waitReq{txn: txn, mode: mode, granted: m.eng.NewSignal()}
+	ls.queue = append(ls.queue, req)
+	_, ok := req.granted.WaitTimeout(p, timeout)
+	if !ok {
+		// Timed out: withdraw the request and wake anyone it was blocking.
+		for i, r := range ls.queue {
+			if r == req {
+				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				break
+			}
+		}
+		m.Timeouts++
+		m.admit(key, ls)
+		return fmt.Errorf("%w: txn %d on %s/%s", ErrLockTimeout, txn, m.name, key)
+	}
+	return nil
+}
+
+// admit grants queued requests in FIFO order while they are compatible.
+func (m *Manager) admit(key string, ls *lockState) {
+	for len(ls.queue) > 0 {
+		req := ls.queue[0]
+		// An upgrade request is admissible when the requester is the sole
+		// remaining holder.
+		if held, ok := ls.holders[req.txn]; ok {
+			if held == Exclusive || req.mode == Shared {
+				ls.queue = ls.queue[1:]
+				req.granted.Trigger(nil)
+				continue
+			}
+			if len(ls.holders) == 1 {
+				ls.holders[req.txn] = Exclusive
+				ls.queue = ls.queue[1:]
+				m.Grants++
+				req.granted.Trigger(nil)
+				continue
+			}
+			return
+		}
+		if !ls.compatible(req.txn, req.mode) {
+			return
+		}
+		ls.holders[req.txn] = req.mode
+		ls.queue = ls.queue[1:]
+		m.Grants++
+		req.granted.Trigger(nil)
+	}
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, key)
+	}
+}
+
+// Release drops txn's lock on key.
+func (m *Manager) Release(key string, txn audit.TxnID) {
+	ls := m.locks[key]
+	if ls == nil {
+		return
+	}
+	delete(ls.holders, txn)
+	m.admit(key, ls)
+}
+
+// ReleaseAll drops every lock held by txn — the commit/abort path.
+func (m *Manager) ReleaseAll(txn audit.TxnID) {
+	// Collect first: admit may delete map entries.
+	var keys []string
+	for key, ls := range m.locks {
+		if _, ok := ls.holders[txn]; ok {
+			keys = append(keys, key)
+		}
+	}
+	for _, key := range keys {
+		m.Release(key, txn)
+	}
+}
+
+// Holds reports the mode txn holds on key.
+func (m *Manager) Holds(key string, txn audit.TxnID) (Mode, bool) {
+	if ls := m.locks[key]; ls != nil {
+		mode, ok := ls.holders[txn]
+		return mode, ok
+	}
+	return 0, false
+}
+
+// HolderCount returns the number of transactions holding key.
+func (m *Manager) HolderCount(key string) int {
+	if ls := m.locks[key]; ls != nil {
+		return len(ls.holders)
+	}
+	return 0
+}
+
+// QueueLen returns the number of waiters on key.
+func (m *Manager) QueueLen(key string) int {
+	if ls := m.locks[key]; ls != nil {
+		return len(ls.queue)
+	}
+	return 0
+}
+
+// LockedKeys returns the number of distinct keys with lock state.
+func (m *Manager) LockedKeys() int { return len(m.locks) }
+
+// CheckInvariants panics if lock-compatibility invariants are violated:
+// at most one Exclusive holder per key, and never Exclusive alongside
+// other holders.
+func (m *Manager) CheckInvariants() {
+	for key, ls := range m.locks {
+		excl := 0
+		for _, mode := range ls.holders {
+			if mode == Exclusive {
+				excl++
+			}
+		}
+		if excl > 1 {
+			panic(fmt.Sprintf("locks: %d exclusive holders on %s", excl, key))
+		}
+		if excl == 1 && len(ls.holders) > 1 {
+			panic(fmt.Sprintf("locks: exclusive plus others on %s", key))
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package locks
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"persistmem/internal/audit"
+	"persistmem/internal/sim"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewManager(eng, "dp0")
+	eng.Spawn("a", func(p *sim.Proc) {
+		if err := m.Acquire(p, "k", 1, Shared, -1); err != nil {
+			t.Errorf("txn1: %v", err)
+		}
+	})
+	eng.Spawn("b", func(p *sim.Proc) {
+		if err := m.Acquire(p, "k", 2, Shared, -1); err != nil {
+			t.Errorf("txn2: %v", err)
+		}
+	})
+	eng.Run()
+	if m.HolderCount("k") != 2 {
+		t.Errorf("HolderCount = %d, want 2", m.HolderCount("k"))
+	}
+	m.CheckInvariants()
+}
+
+func TestExclusiveBlocksAndFIFO(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewManager(eng, "dp0")
+	var order []audit.TxnID
+	use := func(txn audit.TxnID, start sim.Time) {
+		eng.SpawnAt(start, fmt.Sprint("t", txn), func(p *sim.Proc) {
+			if err := m.Acquire(p, "k", txn, Exclusive, -1); err != nil {
+				t.Errorf("txn%d: %v", txn, err)
+				return
+			}
+			order = append(order, txn)
+			p.Wait(10 * sim.Millisecond)
+			m.Release("k", txn)
+		})
+	}
+	use(1, 0)
+	use(2, sim.Millisecond)
+	use(3, 2*sim.Millisecond)
+	eng.Run()
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Errorf("grant order = %v, want FIFO", order)
+	}
+	m.CheckInvariants()
+	if m.LockedKeys() != 0 {
+		t.Errorf("LockedKeys = %d after all released", m.LockedKeys())
+	}
+}
+
+func TestSharedThenExclusiveWaits(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewManager(eng, "dp0")
+	var writerAt sim.Time
+	eng.Spawn("reader", func(p *sim.Proc) {
+		m.Acquire(p, "k", 1, Shared, -1)
+		p.Wait(50 * sim.Millisecond)
+		m.Release("k", 1)
+	})
+	eng.SpawnAt(sim.Millisecond, "writer", func(p *sim.Proc) {
+		if err := m.Acquire(p, "k", 2, Exclusive, -1); err != nil {
+			t.Errorf("writer: %v", err)
+			return
+		}
+		writerAt = p.Now()
+		m.Release("k", 2)
+	})
+	eng.Run()
+	if writerAt != 50*sim.Millisecond {
+		t.Errorf("writer granted at %v, want 50ms (after reader released)", writerAt)
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewManager(eng, "dp0")
+	eng.Spawn("t", func(p *sim.Proc) {
+		m.Acquire(p, "k", 1, Shared, -1)
+		if err := m.Acquire(p, "k", 1, Exclusive, -1); err != nil {
+			t.Errorf("upgrade: %v", err)
+		}
+		if mode, _ := m.Holds("k", 1); mode != Exclusive {
+			t.Errorf("mode after upgrade = %v", mode)
+		}
+	})
+	eng.Run()
+	m.CheckInvariants()
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewManager(eng, "dp0")
+	var upgradedAt sim.Time
+	eng.Spawn("other-reader", func(p *sim.Proc) {
+		m.Acquire(p, "k", 2, Shared, -1)
+		p.Wait(30 * sim.Millisecond)
+		m.Release("k", 2)
+	})
+	eng.SpawnAt(sim.Millisecond, "upgrader", func(p *sim.Proc) {
+		m.Acquire(p, "k", 1, Shared, -1)
+		if err := m.Acquire(p, "k", 1, Exclusive, -1); err != nil {
+			t.Errorf("upgrade: %v", err)
+			return
+		}
+		upgradedAt = p.Now()
+	})
+	eng.Run()
+	if upgradedAt != 30*sim.Millisecond {
+		t.Errorf("upgraded at %v, want 30ms", upgradedAt)
+	}
+	m.CheckInvariants()
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewManager(eng, "dp0")
+	eng.Spawn("t", func(p *sim.Proc) {
+		m.Acquire(p, "k", 1, Exclusive, -1)
+		if err := m.Acquire(p, "k", 1, Exclusive, -1); err != nil {
+			t.Errorf("reacquire X: %v", err)
+		}
+		if err := m.Acquire(p, "k", 1, Shared, -1); err != nil {
+			t.Errorf("S under X: %v", err)
+		}
+	})
+	eng.Run()
+	if m.HolderCount("k") != 1 {
+		t.Errorf("HolderCount = %d", m.HolderCount("k"))
+	}
+}
+
+func TestTimeoutResolvesDeadlock(t *testing.T) {
+	// Classic AB-BA deadlock: both transactions time out or one proceeds
+	// after the other's timeout.
+	eng := sim.NewEngine(1)
+	m := NewManager(eng, "dp0")
+	var errs []error
+	work := func(txn audit.TxnID, first, second string) {
+		eng.Spawn(fmt.Sprint("t", txn), func(p *sim.Proc) {
+			m.Acquire(p, first, txn, Exclusive, -1)
+			p.Wait(sim.Millisecond)
+			err := m.Acquire(p, second, txn, Exclusive, 100*sim.Millisecond)
+			errs = append(errs, err)
+			m.ReleaseAll(txn)
+		})
+	}
+	work(1, "A", "B")
+	work(2, "B", "A")
+	eng.Run()
+	timeouts := 0
+	for _, err := range errs {
+		if errors.Is(err, ErrLockTimeout) {
+			timeouts++
+		}
+	}
+	if timeouts == 0 {
+		t.Error("deadlock did not resolve via timeout")
+	}
+	if m.Timeouts == 0 {
+		t.Error("Timeouts stat not incremented")
+	}
+	m.CheckInvariants()
+	if m.LockedKeys() != 0 {
+		t.Errorf("locks leaked after deadlock resolution: %d", m.LockedKeys())
+	}
+}
+
+func TestTimeoutDoesNotBlockQueueForever(t *testing.T) {
+	// A timed-out waiter at the head of the queue must not wedge those
+	// behind it.
+	eng := sim.NewEngine(1)
+	m := NewManager(eng, "dp0")
+	var granted []audit.TxnID
+	eng.Spawn("holder", func(p *sim.Proc) {
+		m.Acquire(p, "k", 1, Exclusive, -1)
+		p.Wait(200 * sim.Millisecond)
+		m.Release("k", 1)
+	})
+	eng.SpawnAt(sim.Millisecond, "impatient", func(p *sim.Proc) {
+		if err := m.Acquire(p, "k", 2, Exclusive, 20*sim.Millisecond); err == nil {
+			t.Error("impatient waiter should time out")
+			m.Release("k", 2)
+		}
+	})
+	eng.SpawnAt(2*sim.Millisecond, "patient", func(p *sim.Proc) {
+		if err := m.Acquire(p, "k", 3, Exclusive, -1); err != nil {
+			t.Errorf("patient: %v", err)
+			return
+		}
+		granted = append(granted, 3)
+		m.Release("k", 3)
+	})
+	eng.Run()
+	if fmt.Sprint(granted) != "[3]" {
+		t.Errorf("granted = %v, want [3]", granted)
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewManager(eng, "dp0")
+	eng.Spawn("t", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			m.Acquire(p, fmt.Sprint("k", i), 1, Exclusive, -1)
+		}
+	})
+	eng.Run()
+	if m.LockedKeys() != 10 {
+		t.Fatalf("LockedKeys = %d", m.LockedKeys())
+	}
+	m.ReleaseAll(1)
+	if m.LockedKeys() != 0 {
+		t.Errorf("LockedKeys = %d after ReleaseAll", m.LockedKeys())
+	}
+}
+
+// Property: under random workloads of acquire/release with timeouts, the
+// compatibility invariants always hold and no lock state leaks once all
+// transactions release.
+func TestLockInvariantProperty(t *testing.T) {
+	type op struct {
+		Txn  uint8
+		Key  uint8
+		Excl bool
+	}
+	prop := func(ops []op) bool {
+		if len(ops) > 60 {
+			ops = ops[:60]
+		}
+		eng := sim.NewEngine(7)
+		m := NewManager(eng, "prop")
+		violated := false
+		for i, o := range ops {
+			o := o
+			txn := audit.TxnID(o.Txn%8 + 1)
+			key := fmt.Sprint("k", o.Key%4)
+			eng.SpawnAt(sim.Time(i)*sim.Microsecond, fmt.Sprint("p", i), func(p *sim.Proc) {
+				mode := Shared
+				if o.Excl {
+					mode = Exclusive
+				}
+				if err := m.Acquire(p, key, txn, mode, 5*sim.Millisecond); err == nil {
+					func() {
+						defer func() {
+							if recover() != nil {
+								violated = true
+							}
+						}()
+						m.CheckInvariants()
+					}()
+					p.Wait(sim.Time(o.Key%3) * sim.Millisecond)
+					m.Release(key, txn)
+				}
+			})
+		}
+		eng.Run()
+		for txn := audit.TxnID(1); txn <= 8; txn++ {
+			m.ReleaseAll(txn)
+		}
+		return !violated && m.LockedKeys() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package npmu models Network Persistent Memory Units (§3.3, §4.1): byte-
+// addressable memory devices attached directly to the ServerNet fabric and
+// accessed by host-initiated RDMA with no device-CPU involvement.
+//
+// Two device variants are provided, matching the paper's §4.2:
+//
+//   - New builds a true hardware NPMU: contents survive power loss (they
+//     live in non-volatile RAM), and RDMA operations execute with zero
+//     device-side software latency.
+//   - NewPMP builds the paper's prototype, a Persistent Memory Process
+//     mimicking the device from ordinary processor memory. It has the
+//     same fabric behavior but volatile contents and a small extra
+//     per-operation latency (the paper verified that real hardware is
+//     "actually slightly faster than the PMPs").
+//
+// Either way the device's NIC translation state is volatile: after a power
+// cycle the ATT is empty and the PM Manager must reprogram it from durable
+// metadata before clients can access regions again.
+package npmu
+
+import (
+	"persistmem/internal/cluster"
+	"persistmem/internal/servernet"
+	"persistmem/internal/sim"
+	"persistmem/internal/stable"
+)
+
+// PMPServiceLatency is the extra per-operation cost of the process-based
+// prototype device.
+const PMPServiceLatency = 5 * sim.Microsecond
+
+// Device is one persistent-memory unit on the fabric.
+type Device struct {
+	name     string
+	ep       *servernet.Endpoint
+	store    *stable.Store
+	volatile bool
+	powered  bool
+
+	// PowerCycles counts simulated power losses, for tests.
+	PowerCycles int
+}
+
+// New attaches a hardware NPMU of the given capacity to the cluster's
+// fabric.
+func New(cl *cluster.Cluster, name string, capacity int64) *Device {
+	return newDevice(cl, name, capacity, false, stable.New(capacity))
+}
+
+// NewDiscard attaches a hardware NPMU whose contents are not retained —
+// for timing-only benchmark runs.
+func NewDiscard(cl *cluster.Cluster, name string, capacity int64) *Device {
+	return newDevice(cl, name, capacity, false, stable.NewDiscard(capacity))
+}
+
+// NewPMP attaches a prototype Persistent Memory Process device: same
+// access architecture, volatile contents, slightly slower.
+func NewPMP(cl *cluster.Cluster, name string, capacity int64) *Device {
+	d := newDevice(cl, name, capacity, true, stable.New(capacity))
+	d.ep.SetServiceLatency(PMPServiceLatency)
+	return d
+}
+
+func newDevice(cl *cluster.Cluster, name string, capacity int64, volatile bool, st *stable.Store) *Device {
+	if capacity <= 0 {
+		panic("npmu: capacity must be positive")
+	}
+	return &Device{
+		name:     name,
+		ep:       cl.AttachDevice(name),
+		store:    st,
+		volatile: volatile,
+		powered:  true,
+	}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Endpoint returns the device's fabric endpoint.
+func (d *Device) Endpoint() *servernet.Endpoint { return d.ep }
+
+// EndpointID returns the device's fabric address.
+func (d *Device) EndpointID() servernet.EndpointID { return d.ep.ID() }
+
+// Capacity returns the device capacity in bytes.
+func (d *Device) Capacity() int64 { return d.store.Len() }
+
+// Store exposes the device memory. The PM Manager maps windows of it into
+// the NIC ATT; recovery code reads durable metadata from it directly.
+func (d *Device) Store() *stable.Store { return d.store }
+
+// Volatile reports whether this is a PMP-style volatile prototype.
+func (d *Device) Volatile() bool { return d.volatile }
+
+// Powered reports whether the device is online.
+func (d *Device) Powered() bool { return d.powered }
+
+// PowerFail cuts power: the device stops responding and its NIC loses all
+// translations. A hardware NPMU keeps its memory contents; a PMP loses
+// them — exactly the gap the paper's prototype had.
+func (d *Device) PowerFail() {
+	if !d.powered {
+		return
+	}
+	d.powered = false
+	d.PowerCycles++
+	d.ep.Fail()
+	d.ep.ClearATT()
+	if d.volatile {
+		d.store.Zero()
+	}
+}
+
+// Restore powers the device back on with an empty ATT.
+func (d *Device) Restore() {
+	if d.powered {
+		return
+	}
+	d.powered = true
+	d.ep.Restore()
+}
+
+// Fail takes the device off the fabric without a power cycle (e.g. a
+// fabric link fault): translations and contents both survive.
+func (d *Device) Fail() { d.ep.Fail() }
+
+// Recover brings the device back after Fail.
+func (d *Device) Recover() { d.ep.Restore() }

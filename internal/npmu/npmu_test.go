@@ -1,0 +1,173 @@
+package npmu
+
+import (
+	"bytes"
+	"testing"
+
+	"persistmem/internal/cluster"
+	"persistmem/internal/servernet"
+	"persistmem/internal/sim"
+)
+
+func newTestSetup(seed int64) (*sim.Engine, *cluster.Cluster) {
+	eng := sim.NewEngine(seed)
+	return eng, cluster.New(eng, cluster.DefaultConfig())
+}
+
+// mapAll exposes the whole device RW to everyone at NVA 0, as the PMM
+// would for an open region.
+func mapAll(d *Device) {
+	d.Endpoint().MapWindow(0, uint32(d.Capacity()), d.Store(), 0,
+		servernet.Perm{Read: true, Write: true})
+}
+
+func TestRDMAWriteToDevice(t *testing.T) {
+	eng, cl := newTestSetup(1)
+	dev := New(cl, "npmu0", 1<<20)
+	mapAll(dev)
+	data := []byte("committed log bytes")
+	eng.Spawn("client", func(p *sim.Proc) {
+		err := cl.Fabric().RDMAWrite(p, cl.CPU(0).Endpoint().ID(), dev.EndpointID(), 4096, data)
+		if err != nil {
+			t.Errorf("RDMAWrite: %v", err)
+		}
+	})
+	eng.Run()
+	buf := make([]byte, len(data))
+	dev.Store().ReadAt(4096, buf)
+	if !bytes.Equal(buf, data) {
+		t.Errorf("device memory = %q, want %q", buf, data)
+	}
+	eng.Shutdown()
+}
+
+func TestHardwareNPMUSurvivesPowerLoss(t *testing.T) {
+	eng, cl := newTestSetup(1)
+	dev := New(cl, "npmu0", 1<<20)
+	mapAll(dev)
+	eng.Spawn("client", func(p *sim.Proc) {
+		cl.Fabric().RDMAWrite(p, cl.CPU(0).Endpoint().ID(), dev.EndpointID(), 0, []byte("durable"))
+	})
+	eng.Run()
+	dev.PowerFail()
+	dev.Restore()
+	buf := make([]byte, 7)
+	dev.Store().ReadAt(0, buf)
+	if string(buf) != "durable" {
+		t.Errorf("hardware NPMU lost contents: %q", buf)
+	}
+	if dev.PowerCycles != 1 {
+		t.Errorf("PowerCycles = %d", dev.PowerCycles)
+	}
+	eng.Shutdown()
+}
+
+func TestPMPLosesContentsOnPowerLoss(t *testing.T) {
+	eng, cl := newTestSetup(1)
+	dev := NewPMP(cl, "pmp0", 1<<20)
+	mapAll(dev)
+	eng.Spawn("client", func(p *sim.Proc) {
+		cl.Fabric().RDMAWrite(p, cl.CPU(0).Endpoint().ID(), dev.EndpointID(), 0, []byte("volatile"))
+	})
+	eng.Run()
+	dev.PowerFail()
+	dev.Restore()
+	buf := make([]byte, 8)
+	dev.Store().ReadAt(0, buf)
+	if !bytes.Equal(buf, make([]byte, 8)) {
+		t.Errorf("PMP retained contents across power loss: %q", buf)
+	}
+	if !dev.Volatile() {
+		t.Error("PMP not marked volatile")
+	}
+	eng.Shutdown()
+}
+
+func TestATTClearedByPowerLoss(t *testing.T) {
+	eng, cl := newTestSetup(1)
+	dev := New(cl, "npmu0", 1<<20)
+	mapAll(dev)
+	if dev.Endpoint().Translations() != 1 {
+		t.Fatalf("Translations = %d, want 1", dev.Endpoint().Translations())
+	}
+	dev.PowerFail()
+	dev.Restore()
+	if dev.Endpoint().Translations() != 0 {
+		t.Error("ATT survived power loss; NIC state is volatile")
+	}
+	// Access before the PMM reprograms the ATT must fault.
+	eng.Spawn("client", func(p *sim.Proc) {
+		err := cl.Fabric().RDMAWrite(p, cl.CPU(0).Endpoint().ID(), dev.EndpointID(), 0, []byte{1})
+		if err != servernet.ErrNoTranslation {
+			t.Errorf("pre-reprogram access: %v, want ErrNoTranslation", err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestFabricFaultKeepsATT(t *testing.T) {
+	eng, cl := newTestSetup(1)
+	dev := New(cl, "npmu0", 1<<20)
+	mapAll(dev)
+	dev.Fail()
+	dev.Recover()
+	if dev.Endpoint().Translations() != 1 {
+		t.Error("ATT lost across a non-power fabric fault")
+	}
+	eng.Shutdown()
+}
+
+func TestPMPSlowerThanHardware(t *testing.T) {
+	// §4.2: "a true hardware PMU is actually slightly faster than the
+	// PMPs used in the experiments."
+	measure := func(mk func(cl *cluster.Cluster) *Device) sim.Time {
+		eng, cl := newTestSetup(1)
+		dev := mk(cl)
+		mapAll(dev)
+		var took sim.Time
+		eng.Spawn("client", func(p *sim.Proc) {
+			start := p.Now()
+			cl.Fabric().RDMAWrite(p, cl.CPU(0).Endpoint().ID(), dev.EndpointID(), 0, make([]byte, 4096))
+			took = p.Now() - start
+		})
+		eng.Run()
+		eng.Shutdown()
+		return took
+	}
+	hw := measure(func(cl *cluster.Cluster) *Device { return New(cl, "d", 1<<20) })
+	pmp := measure(func(cl *cluster.Cluster) *Device { return NewPMP(cl, "d", 1<<20) })
+	if pmp <= hw {
+		t.Errorf("PMP (%v) should be slower than hardware NPMU (%v)", pmp, hw)
+	}
+	if pmp-hw != PMPServiceLatency {
+		t.Errorf("PMP overhead = %v, want %v", pmp-hw, PMPServiceLatency)
+	}
+}
+
+func TestDeviceSurvivesControllingCPUFailure(t *testing.T) {
+	// §4: "devices can continue to function even if the controlling
+	// processor fails."
+	eng, cl := newTestSetup(1)
+	dev := New(cl, "npmu0", 1<<20)
+	mapAll(dev)
+	cl.CPU(0).Fail() // suppose CPU 0 ran the PMM
+	eng.Spawn("client-on-cpu1", func(p *sim.Proc) {
+		err := cl.Fabric().RDMAWrite(p, cl.CPU(1).Endpoint().ID(), dev.EndpointID(), 0, []byte{1})
+		if err != nil {
+			t.Errorf("device access after CPU failure: %v", err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	_, cl := newTestSetup(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	New(cl, "bad", 0)
+}

@@ -1,0 +1,228 @@
+package ods
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"persistmem/internal/audit"
+	"persistmem/internal/cluster"
+	"persistmem/internal/dp2"
+	"persistmem/internal/sim"
+	"persistmem/internal/tmf"
+	"persistmem/internal/trace"
+)
+
+// Session errors.
+var (
+	// ErrTxnDone means the transaction handle was already ended.
+	ErrTxnDone = errors.New("ods: transaction already ended")
+	// ErrInsertFailed wraps insert completion failures discovered at
+	// WaitPending/Commit time.
+	ErrInsertFailed = errors.New("ods: insert failed")
+	// ErrUnknownFile means the file is not configured in the store.
+	ErrUnknownFile = errors.New("ods: unknown file")
+)
+
+// Session is a client binding between one process and the store. A
+// session runs one transaction at a time (the RTC pattern of §2).
+type Session struct {
+	s *Store
+	p *cluster.Process
+
+	// tracer, when set, records the session's transaction timelines.
+	tracer *trace.Recorder
+}
+
+// SetTracer attaches a timeline recorder to the session (nil detaches).
+func (se *Session) SetTracer(r *trace.Recorder) { se.tracer = r }
+
+// emit records a trace event if a tracer is attached.
+func (se *Session) emit(txn audit.TxnID, kind trace.Kind, detail string) {
+	if se.tracer != nil {
+		se.tracer.Emit(txn, kind, se.p.Now(), detail)
+	}
+}
+
+// NewSession binds a client process to the store.
+func (s *Store) NewSession(p *cluster.Process) *Session {
+	return &Session{s: s, p: p}
+}
+
+// Txn is an open transaction.
+type Txn struct {
+	sess *Session
+	id   audit.TxnID
+	done bool
+
+	// involved tracks the DP2s this transaction touched.
+	involved map[string]bool
+	// pending holds in-flight asynchronous insert completions.
+	pending []*sim.Signal
+
+	// BeginAt is the virtual time the transaction started (for response-
+	// time measurement).
+	BeginAt sim.Time
+}
+
+// Begin starts a transaction.
+func (se *Session) Begin() (*Txn, error) {
+	raw, err := se.p.Call(se.s.TMF.Name(), 48, tmf.BeginReq{})
+	if err != nil {
+		return nil, err
+	}
+	resp := raw.(tmf.BeginResp)
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	se.emit(resp.Txn, trace.Begin, "")
+	return &Txn{
+		sess:     se,
+		id:       resp.Txn,
+		involved: make(map[string]bool),
+		BeginAt:  se.p.Now(),
+	}, nil
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() audit.TxnID { return t.id }
+
+// InsertAsync issues an insert without waiting for its completion — the
+// benchmark's "asynchronous inserts" (§4.3). Completions are collected by
+// WaitPending or Commit.
+func (t *Txn) InsertAsync(file string, key uint64, body []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	se := t.sess
+	names, ok := se.s.dpNames[file]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownFile, file)
+	}
+	name := names[se.s.PartitionOf(file, key)]
+	sig, err := se.p.CallAsync(name, 64+len(body), dp2.InsertReq{Txn: t.id, Key: key, Body: body})
+	if err != nil {
+		return err
+	}
+	t.involved[name] = true
+	t.pending = append(t.pending, sig)
+	se.emit(t.id, trace.InsertIssue, fmt.Sprintf("%s key=%d %dB", name, key, len(body)))
+	return nil
+}
+
+// Insert issues an insert and waits for its completion.
+func (t *Txn) Insert(file string, key uint64, body []byte) error {
+	if err := t.InsertAsync(file, key, body); err != nil {
+		return err
+	}
+	return t.WaitPending()
+}
+
+// WaitPending collects all outstanding insert completions, returning the
+// first failure (the transaction should then be aborted).
+func (t *Txn) WaitPending() error {
+	var firstErr error
+	for _, sig := range t.pending {
+		raw, err := t.sess.p.AwaitReply(sig)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: %v", ErrInsertFailed, err)
+			}
+			continue
+		}
+		if resp := raw.(dp2.InsertResp); resp.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%w: %v", ErrInsertFailed, resp.Err)
+		}
+		t.sess.emit(t.id, trace.InsertDone, "")
+	}
+	t.pending = nil
+	return firstErr
+}
+
+// Read reads a row under this transaction (Shared lock, repeatable read).
+func (t *Txn) Read(file string, key uint64) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	return t.sess.read(t.id, file, key, t)
+}
+
+// Commit waits for pending inserts, then drives the commit protocol. On
+// any failure the transaction is aborted and an error returned.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if err := t.WaitPending(); err != nil {
+		t.Abort()
+		return err
+	}
+	t.done = true
+	t.sess.emit(t.id, trace.CommitStart, fmt.Sprintf("%d DP2s", len(t.involved)))
+	raw, err := t.sess.p.Call(t.sess.s.TMF.Name(), 64+16*len(t.involved),
+		tmf.CommitReq{Txn: t.id, DP2s: setToList(t.involved)})
+	if err != nil {
+		return err
+	}
+	if resp := raw.(tmf.CommitResp); resp.Err != nil {
+		return resp.Err
+	}
+	t.sess.emit(t.id, trace.CommitDone, "")
+	return nil
+}
+
+// Abort rolls the transaction back.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.WaitPending() // drain; outcomes no longer matter
+	t.done = true
+	raw, err := t.sess.p.Call(t.sess.s.TMF.Name(), 64+16*len(t.involved),
+		tmf.AbortReq{Txn: t.id, DP2s: setToList(t.involved)})
+	if err != nil {
+		return err
+	}
+	if resp := raw.(tmf.AbortResp); resp.Err != nil {
+		return resp.Err
+	}
+	t.sess.emit(t.id, trace.AbortDone, "")
+	return nil
+}
+
+// ReadBrowse performs a lock-free (browse access, §1.1) read outside any
+// transaction.
+func (se *Session) ReadBrowse(file string, key uint64) ([]byte, error) {
+	return se.read(0, file, key, nil)
+}
+
+func (se *Session) read(txn audit.TxnID, file string, key uint64, t *Txn) ([]byte, error) {
+	names, ok := se.s.dpNames[file]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFile, file)
+	}
+	name := names[se.s.PartitionOf(file, key)]
+	raw, err := se.p.Call(name, 64, dp2.ReadReq{Txn: txn, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	resp := raw.(dp2.ReadResp)
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	if t != nil {
+		t.involved[name] = true
+	}
+	return resp.Body, nil
+}
+
+// setToList returns the set's members sorted, keeping the commit
+// protocol's message order deterministic across runs.
+func setToList(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

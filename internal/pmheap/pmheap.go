@@ -1,0 +1,291 @@
+// Package pmheap implements a durable heap allocator inside a persistent
+// memory region — the substrate for §3.4's "richly-connected data
+// structures" in PM. Pointers are region offsets, which is the pointer-
+// fixing scheme the paper's metadata machinery enables: a structure
+// stored from one address space can be retrieved byte-for-byte into any
+// other (another process, another CPU, after a reboot) with no
+// marshalling or unmarshalling.
+//
+// The allocator keeps its own metadata (bump pointer, free list, user
+// root pointer) in a CRC-protected header at the start of the region, and
+// every metadata update is written through synchronously, so the heap is
+// structurally consistent after any crash that happens between
+// operations. (Multi-word application updates still need the usual
+// copy-then-publish discipline; see pmstruct for structures built that
+// way.)
+package pmheap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"persistmem/internal/cluster"
+	"persistmem/internal/pmclient"
+)
+
+// Ptr is a durable pointer: the region offset of an allocation's payload.
+// The zero Ptr is the nil pointer.
+type Ptr uint64
+
+// Nil is the null durable pointer.
+const Nil Ptr = 0
+
+// Heap errors.
+var (
+	// ErrNotFormatted means the region holds no valid heap header.
+	ErrNotFormatted = errors.New("pmheap: region not formatted")
+	// ErrCorrupt means the header failed its CRC check.
+	ErrCorrupt = errors.New("pmheap: corrupt heap header")
+	// ErrOutOfMemory means no free block or tail space can satisfy an
+	// allocation.
+	ErrOutOfMemory = errors.New("pmheap: out of memory")
+	// ErrBadPointer means a pointer does not reference a live allocation
+	// payload.
+	ErrBadPointer = errors.New("pmheap: bad pointer")
+)
+
+const (
+	magic      = "PMHEAP01"
+	headerSize = 64
+	// blockHeaderSize precedes every block: u64 payload size. Free blocks
+	// reuse the first 8 payload bytes as the next-free pointer.
+	blockHeaderSize = 8
+	minPayload      = 8
+)
+
+// Heap is a handle to a formatted heap in an open region. It caches the
+// header in memory; all mutations write through to PM before returning.
+type Heap struct {
+	region *pmclient.Region
+
+	bump     uint64 // offset of the first never-allocated byte
+	freeHead Ptr    // head of the free list (payload pointer)
+	root     Ptr    // user root pointer
+}
+
+// header serialization: magic(8) bump(8) freeHead(8) root(8) crc(4).
+func (h *Heap) encodeHeader() []byte {
+	buf := make([]byte, headerSize)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint64(buf[8:], h.bump)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(h.freeHead))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(h.root))
+	binary.LittleEndian.PutUint32(buf[32:], crc32.ChecksumIEEE(buf[:32]))
+	return buf
+}
+
+func decodeHeader(buf []byte) (bump uint64, freeHead, root Ptr, err error) {
+	if string(buf[:8]) != magic {
+		return 0, 0, 0, ErrNotFormatted
+	}
+	if crc32.ChecksumIEEE(buf[:32]) != binary.LittleEndian.Uint32(buf[32:]) {
+		return 0, 0, 0, ErrCorrupt
+	}
+	return binary.LittleEndian.Uint64(buf[8:]),
+		Ptr(binary.LittleEndian.Uint64(buf[16:])),
+		Ptr(binary.LittleEndian.Uint64(buf[24:])), nil
+}
+
+// Format initializes an empty heap in the region, destroying previous
+// contents' reachability (bytes are not wiped; metadata is reset).
+func Format(p *cluster.Process, region *pmclient.Region) (*Heap, error) {
+	h := &Heap{region: region, bump: headerSize}
+	if err := h.flushHeader(p); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Open attaches to an existing heap in the region, validating its header.
+func Open(p *cluster.Process, region *pmclient.Region) (*Heap, error) {
+	buf := make([]byte, headerSize)
+	if err := region.Read(p, 0, buf); err != nil {
+		return nil, err
+	}
+	bump, freeHead, root, err := decodeHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if bump < headerSize || bump > uint64(region.Size()) {
+		return nil, fmt.Errorf("%w: bump %d outside region", ErrCorrupt, bump)
+	}
+	return &Heap{region: region, bump: bump, freeHead: freeHead, root: root}, nil
+}
+
+// OpenOrFormat opens the heap, formatting the region on first use.
+func OpenOrFormat(p *cluster.Process, region *pmclient.Region) (*Heap, error) {
+	h, err := Open(p, region)
+	if errors.Is(err, ErrNotFormatted) {
+		return Format(p, region)
+	}
+	return h, err
+}
+
+func (h *Heap) flushHeader(p *cluster.Process) error {
+	return h.region.Write(p, 0, h.encodeHeader())
+}
+
+// Root returns the durable root pointer (Nil on a fresh heap).
+func (h *Heap) Root() Ptr { return h.root }
+
+// SetRoot durably publishes ptr as the root — the "commit" of a
+// copy-then-publish structure update.
+func (h *Heap) SetRoot(p *cluster.Process, ptr Ptr) error {
+	old := h.root
+	h.root = ptr
+	if err := h.flushHeader(p); err != nil {
+		h.root = old
+		return err
+	}
+	return nil
+}
+
+// readU64 reads one durable word.
+func (h *Heap) readU64(p *cluster.Process, off int64) (uint64, error) {
+	var b [8]byte
+	if err := h.region.Read(p, off, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// writeU64 writes one durable word.
+func (h *Heap) writeU64(p *cluster.Process, off int64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return h.region.Write(p, off, b[:])
+}
+
+// blockSize reads the payload size of the block whose payload is at ptr.
+func (h *Heap) blockSize(p *cluster.Process, ptr Ptr) (uint64, error) {
+	if ptr < headerSize+blockHeaderSize || uint64(ptr) >= h.bump {
+		return 0, fmt.Errorf("%w: %#x", ErrBadPointer, uint64(ptr))
+	}
+	return h.readU64(p, int64(ptr)-blockHeaderSize)
+}
+
+// Alloc reserves size payload bytes and returns their durable pointer.
+// Free-list blocks are reused first-fit; otherwise the tail is extended.
+func (h *Heap) Alloc(p *cluster.Process, size int) (Ptr, error) {
+	if size < minPayload {
+		size = minPayload
+	}
+	need := uint64(size)
+
+	// First-fit over the free list (selective reads: one word per
+	// candidate block).
+	var prev Ptr = Nil
+	cur := h.freeHead
+	for cur != Nil {
+		bsize, err := h.blockSize(p, cur)
+		if err != nil {
+			return Nil, err
+		}
+		next, err := h.readU64(p, int64(cur))
+		if err != nil {
+			return Nil, err
+		}
+		if bsize >= need {
+			// Unlink and reuse (no splitting: blocks keep their size, a
+			// deliberate simplicity/fragmentation trade-off).
+			if prev == Nil {
+				h.freeHead = Ptr(next)
+				if err := h.flushHeader(p); err != nil {
+					return Nil, err
+				}
+			} else if err := h.writeU64(p, int64(prev), next); err != nil {
+				return Nil, err
+			}
+			return cur, nil
+		}
+		prev, cur = cur, Ptr(next)
+	}
+
+	// Extend the tail.
+	newBump := h.bump + blockHeaderSize + need
+	if newBump > uint64(h.region.Size()) {
+		return Nil, fmt.Errorf("%w: need %d, %d left", ErrOutOfMemory,
+			need, uint64(h.region.Size())-h.bump)
+	}
+	ptr := Ptr(h.bump + blockHeaderSize)
+	if err := h.writeU64(p, int64(h.bump), need); err != nil {
+		return Nil, err
+	}
+	oldBump := h.bump
+	h.bump = newBump
+	if err := h.flushHeader(p); err != nil {
+		h.bump = oldBump
+		return Nil, err
+	}
+	return ptr, nil
+}
+
+// Free returns ptr's block to the free list.
+func (h *Heap) Free(p *cluster.Process, ptr Ptr) error {
+	if _, err := h.blockSize(p, ptr); err != nil {
+		return err
+	}
+	if err := h.writeU64(p, int64(ptr), uint64(h.freeHead)); err != nil {
+		return err
+	}
+	old := h.freeHead
+	h.freeHead = ptr
+	if err := h.flushHeader(p); err != nil {
+		h.freeHead = old
+		return err
+	}
+	return nil
+}
+
+// Write stores data into ptr's payload at byte offset off.
+func (h *Heap) Write(p *cluster.Process, ptr Ptr, off int, data []byte) error {
+	bsize, err := h.blockSize(p, ptr)
+	if err != nil {
+		return err
+	}
+	if off < 0 || uint64(off+len(data)) > bsize {
+		return fmt.Errorf("%w: write [%d,%d) exceeds block size %d", ErrBadPointer, off, off+len(data), bsize)
+	}
+	return h.region.Write(p, int64(ptr)+int64(off), data)
+}
+
+// Read fills buf from ptr's payload at byte offset off.
+func (h *Heap) Read(p *cluster.Process, ptr Ptr, off int, buf []byte) error {
+	bsize, err := h.blockSize(p, ptr)
+	if err != nil {
+		return err
+	}
+	if off < 0 || uint64(off+len(buf)) > bsize {
+		return fmt.Errorf("%w: read [%d,%d) exceeds block size %d", ErrBadPointer, off, off+len(buf), bsize)
+	}
+	return h.region.Read(p, int64(ptr)+int64(off), buf)
+}
+
+// Size returns the payload size of ptr's block.
+func (h *Heap) Size(p *cluster.Process, ptr Ptr) (int, error) {
+	n, err := h.blockSize(p, ptr)
+	return int(n), err
+}
+
+// Used reports bytes consumed from the region (metadata plus all blocks,
+// live and free).
+func (h *Heap) Used() int64 { return int64(h.bump) }
+
+// FreeBlocks walks the free list and returns its length (diagnostics).
+func (h *Heap) FreeBlocks(p *cluster.Process) (int, error) {
+	n := 0
+	for cur := h.freeHead; cur != Nil; {
+		next, err := h.readU64(p, int64(cur))
+		if err != nil {
+			return n, err
+		}
+		cur = Ptr(next)
+		n++
+		if n > 1<<20 {
+			return n, fmt.Errorf("%w: free list cycle", ErrCorrupt)
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,285 @@
+package pmheap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"persistmem/internal/cluster"
+	"persistmem/internal/npmu"
+	"persistmem/internal/ods"
+	"persistmem/internal/pmclient"
+	"persistmem/internal/pmm"
+	"persistmem/internal/sim"
+)
+
+// harness builds a PM volume with one region and runs body with an open
+// region handle.
+type harness struct {
+	eng  *sim.Engine
+	cl   *cluster.Cluster
+	prim *npmu.Device
+	mirr *npmu.Device
+}
+
+func newHarness() *harness {
+	eng := sim.NewEngine(1)
+	cl := cluster.New(eng, cluster.DefaultConfig())
+	prim := npmu.New(cl, "a", 16<<20)
+	mirr := npmu.New(cl, "b", 16<<20)
+	pmm.Start(cl, ods.PMVolumeName, 0, 1, prim, mirr)
+	return &harness{eng: eng, cl: cl, prim: prim, mirr: mirr}
+}
+
+func (h *harness) run(t *testing.T, cpu int, body func(p *cluster.Process, r *pmclient.Region)) {
+	t.Helper()
+	h.cl.CPU(cpu).Spawn("heapuser", func(p *cluster.Process) {
+		vol := pmclient.Attach(h.cl, ods.PMVolumeName)
+		r, err := vol.Open(p, "heap")
+		if err != nil {
+			if cerr := vol.Create(p, "heap", 1<<20); cerr != nil {
+				t.Errorf("create: %v", cerr)
+				return
+			}
+			if r, err = vol.Open(p, "heap"); err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+		}
+		body(p, r)
+	})
+	h.eng.Run()
+}
+
+func TestFormatAllocReadWrite(t *testing.T) {
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, r *pmclient.Region) {
+		heap, err := Format(p, r)
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		ptr, err := heap.Alloc(p, 100)
+		if err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		if ptr == Nil {
+			t.Fatal("nil pointer from Alloc")
+		}
+		if err := heap.Write(p, ptr, 0, []byte("payload")); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		buf := make([]byte, 7)
+		if err := heap.Read(p, ptr, 0, buf); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if string(buf) != "payload" {
+			t.Errorf("read %q", buf)
+		}
+		if sz, _ := heap.Size(p, ptr); sz != 100 {
+			t.Errorf("Size = %d", sz)
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestOpenFromDifferentCPU(t *testing.T) {
+	// The pointer-fixing property: offsets written by CPU 2 resolve
+	// identically from CPU 3.
+	h := newHarness()
+	var ptr Ptr
+	h.run(t, 2, func(p *cluster.Process, r *pmclient.Region) {
+		heap, _ := Format(p, r)
+		ptr, _ = heap.Alloc(p, 64)
+		heap.Write(p, ptr, 0, []byte("cross-space"))
+		heap.SetRoot(p, ptr)
+	})
+	h.run(t, 3, func(p *cluster.Process, r *pmclient.Region) {
+		heap, err := Open(p, r)
+		if err != nil {
+			t.Fatalf("open from other CPU: %v", err)
+		}
+		if heap.Root() != ptr {
+			t.Fatalf("root = %#x, want %#x", heap.Root(), ptr)
+		}
+		buf := make([]byte, 11)
+		if err := heap.Read(p, heap.Root(), 0, buf); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if string(buf) != "cross-space" {
+			t.Errorf("read %q", buf)
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestSurvivesPowerCycle(t *testing.T) {
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, r *pmclient.Region) {
+		heap, _ := Format(p, r)
+		ptr, _ := heap.Alloc(p, 32)
+		heap.Write(p, ptr, 0, []byte("still here"))
+		heap.SetRoot(p, ptr)
+	})
+	h.cl.PowerFail()
+	h.prim.PowerFail()
+	h.mirr.PowerFail()
+	h.eng.Run()
+	h.prim.Restore()
+	h.mirr.Restore()
+	h.cl.RestorePower()
+	pmm.Start(h.cl, ods.PMVolumeName, 0, 1, h.prim, h.mirr)
+	h.run(t, 2, func(p *cluster.Process, r *pmclient.Region) {
+		heap, err := Open(p, r)
+		if err != nil {
+			t.Fatalf("open after power cycle: %v", err)
+		}
+		buf := make([]byte, 10)
+		if err := heap.Read(p, heap.Root(), 0, buf); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if string(buf) != "still here" {
+			t.Errorf("read %q", buf)
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, r *pmclient.Region) {
+		heap, _ := Format(p, r)
+		a, _ := heap.Alloc(p, 100)
+		used := heap.Used()
+		if err := heap.Free(p, a); err != nil {
+			t.Fatalf("free: %v", err)
+		}
+		if n, _ := heap.FreeBlocks(p); n != 1 {
+			t.Errorf("FreeBlocks = %d", n)
+		}
+		// Same-size allocation reuses the freed block: no growth.
+		b, err := heap.Alloc(p, 100)
+		if err != nil {
+			t.Fatalf("re-alloc: %v", err)
+		}
+		if b != a {
+			t.Errorf("re-alloc at %#x, want reuse of %#x", b, a)
+		}
+		if heap.Used() != used {
+			t.Errorf("heap grew on reuse: %d -> %d", used, heap.Used())
+		}
+		// Too-big request skips the free list.
+		c, err := heap.Alloc(p, 200)
+		if err != nil {
+			t.Fatalf("bigger alloc: %v", err)
+		}
+		if c == a {
+			t.Error("reused a too-small block")
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestOutOfMemory(t *testing.T) {
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, r *pmclient.Region) {
+		heap, _ := Format(p, r)
+		if _, err := heap.Alloc(p, 2<<20); !errors.Is(err, ErrOutOfMemory) {
+			t.Errorf("oversized alloc: %v", err)
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestBadPointerChecks(t *testing.T) {
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, r *pmclient.Region) {
+		heap, _ := Format(p, r)
+		ptr, _ := heap.Alloc(p, 16)
+		if err := heap.Write(p, ptr, 10, make([]byte, 10)); !errors.Is(err, ErrBadPointer) {
+			t.Errorf("overflow write: %v", err)
+		}
+		if err := heap.Read(p, Ptr(5), 0, make([]byte, 1)); !errors.Is(err, ErrBadPointer) {
+			t.Errorf("bogus pointer read: %v", err)
+		}
+		if _, err := heap.Alloc(p, 16); err != nil {
+			t.Errorf("alloc after errors: %v", err)
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestOpenUnformatted(t *testing.T) {
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, r *pmclient.Region) {
+		if _, err := Open(p, r); !errors.Is(err, ErrNotFormatted) {
+			t.Errorf("open unformatted: %v", err)
+		}
+		if _, err := OpenOrFormat(p, r); err != nil {
+			t.Errorf("OpenOrFormat: %v", err)
+		}
+		// Now a plain Open works.
+		if _, err := Open(p, r); err != nil {
+			t.Errorf("open after format: %v", err)
+		}
+	})
+	h.eng.Shutdown()
+}
+
+// Property: arbitrary alloc/free/write sequences never hand out
+// overlapping live blocks, and every live block's content is intact.
+func TestNoOverlapProperty(t *testing.T) {
+	type op struct {
+		Size    uint16
+		FreeIdx uint8
+		DoFree  bool
+	}
+	prop := func(ops []op) bool {
+		if len(ops) > 40 {
+			ops = ops[:40]
+		}
+		h := newHarness()
+		ok := true
+		h.run(t, 2, func(p *cluster.Process, r *pmclient.Region) {
+			heap, _ := Format(p, r)
+			type live struct {
+				ptr  Ptr
+				data []byte
+			}
+			var lives []live
+			seq := byte(0)
+			for _, o := range ops {
+				if o.DoFree && len(lives) > 0 {
+					i := int(o.FreeIdx) % len(lives)
+					heap.Free(p, lives[i].ptr)
+					lives = append(lives[:i], lives[i+1:]...)
+					continue
+				}
+				size := int(o.Size)%512 + 8
+				ptr, err := heap.Alloc(p, size)
+				if err != nil {
+					continue
+				}
+				seq++
+				data := bytes.Repeat([]byte{seq}, size)
+				if err := heap.Write(p, ptr, 0, data); err != nil {
+					ok = false
+					return
+				}
+				lives = append(lives, live{ptr, data})
+			}
+			for _, l := range lives {
+				buf := make([]byte, len(l.data))
+				if err := heap.Read(p, l.ptr, 0, buf); err != nil || !bytes.Equal(buf, l.data) {
+					ok = false
+					return
+				}
+			}
+		})
+		h.eng.Shutdown()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

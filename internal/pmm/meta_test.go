@@ -1,0 +1,164 @@
+package pmm
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleState() *VolumeState {
+	st := NewVolumeState("$PM1")
+	st.Gen = 7
+	st.Regions["adp-log-0"] = &RegionMeta{Name: "adp-log-0", Owner: "$ADP0", Offset: MetaBytes, Size: 1 << 20}
+	st.Regions["tcb"] = &RegionMeta{Name: "tcb", Owner: "$TMF", Offset: MetaBytes + 1<<20, Size: 4096}
+	return st
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := sampleState()
+	img, err := EncodeMeta(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMeta(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Volume != st.Volume || got.Gen != st.Gen {
+		t.Errorf("volume/gen = %q/%d, want %q/%d", got.Volume, got.Gen, st.Volume, st.Gen)
+	}
+	if !reflect.DeepEqual(got.Regions, st.Regions) {
+		t.Errorf("regions = %+v, want %+v", got.Regions, st.Regions)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	img := make([]byte, 100)
+	if _, err := DecodeMeta(img); !errors.Is(err, ErrNoMetadata) {
+		t.Errorf("err = %v, want ErrNoMetadata", err)
+	}
+}
+
+func TestDecodeRejectsCorruptPayload(t *testing.T) {
+	img, _ := EncodeMeta(sampleState())
+	img[30] ^= 0xFF // flip a payload bit; CRC must catch it
+	if _, err := DecodeMeta(img); !errors.Is(err, ErrCorruptMetadata) {
+		t.Errorf("err = %v, want ErrCorruptMetadata", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	img, _ := EncodeMeta(sampleState())
+	// Claim a payload longer than the slot.
+	img[16] = 0xFF
+	img[17] = 0xFF
+	if _, err := DecodeMeta(img); !errors.Is(err, ErrCorruptMetadata) {
+		t.Errorf("err = %v, want ErrCorruptMetadata", err)
+	}
+}
+
+func TestAllocateFirstFit(t *testing.T) {
+	const total = MetaBytes + 10<<20
+	st := NewVolumeState("v")
+	off1, err := st.Allocate(1<<20, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 != MetaBytes {
+		t.Errorf("first allocation at %d, want %d (after metadata)", off1, MetaBytes)
+	}
+	st.Regions["a"] = &RegionMeta{Name: "a", Offset: off1, Size: 1 << 20}
+	off2, _ := st.Allocate(1<<20, total)
+	if off2 != off1+1<<20 {
+		t.Errorf("second allocation at %d, want %d", off2, off1+1<<20)
+	}
+	st.Regions["b"] = &RegionMeta{Name: "b", Offset: off2, Size: 1 << 20}
+
+	// Delete the first region: its gap is reused first-fit.
+	delete(st.Regions, "a")
+	off3, _ := st.Allocate(512<<10, total)
+	if off3 != off1 {
+		t.Errorf("gap reuse at %d, want %d", off3, off1)
+	}
+}
+
+func TestAllocateFull(t *testing.T) {
+	const total = MetaBytes + 1<<20
+	st := NewVolumeState("v")
+	if _, err := st.Allocate(2<<20, total); err == nil {
+		t.Error("oversized allocation succeeded")
+	}
+	if _, err := st.Allocate(0, total); err == nil {
+		t.Error("zero-size allocation succeeded")
+	}
+}
+
+func TestSlotAlternation(t *testing.T) {
+	if slotOffset(1) == slotOffset(2) {
+		t.Error("consecutive generations use the same slot")
+	}
+	if slotOffset(1) != slotOffset(3) {
+		t.Error("slot assignment not alternating")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	st := sampleState()
+	st.OpenBy["tcb"] = map[int]bool{2: true}
+	c := st.Clone()
+	c.Regions["tcb"].Size = 1
+	c.OpenBy["tcb"][3] = true
+	if st.Regions["tcb"].Size == 1 {
+		t.Error("Clone aliases region metadata")
+	}
+	if st.OpenBy["tcb"][3] {
+		t.Error("Clone aliases open sets")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary region tables.
+func TestMetaRoundTripProperty(t *testing.T) {
+	type spec struct {
+		Name  string
+		Owner string
+		Off   uint32
+		Size  uint32
+	}
+	prop := func(vol string, specs []spec, gen uint64) bool {
+		if len(vol) > 200 {
+			vol = vol[:200]
+		}
+		st := NewVolumeState(vol)
+		st.Gen = gen
+		for i, sp := range specs {
+			if len(specs) > 64 && i >= 64 {
+				break
+			}
+			name := sp.Name
+			if len(name) > 100 {
+				name = name[:100]
+			}
+			if name == "" || st.Regions[name] != nil {
+				continue
+			}
+			st.Regions[name] = &RegionMeta{
+				Name: name, Owner: sp.Owner,
+				Offset: int64(sp.Off), Size: int64(sp.Size),
+			}
+		}
+		img, err := EncodeMeta(st)
+		if err != nil {
+			return true // oversized tables are allowed to fail encode
+		}
+		got, err := DecodeMeta(img)
+		if err != nil {
+			return false
+		}
+		return got.Volume == st.Volume && got.Gen == st.Gen &&
+			reflect.DeepEqual(got.Regions, st.Regions)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package pmstruct builds §3.4's pointer-rich persistent data structures
+// on the pmheap allocator: a durable hash map whose nodes reference each
+// other by region offsets. It demonstrates the two access patterns the
+// paper names:
+//
+//   - bulk write – selective read: BulkLoad writes a whole table with
+//     sequential PM writes; Get then reads only the bucket word and the
+//     few chain nodes on the lookup path, never unmarshalling the rest.
+//   - incremental update – bulk read: Put patches single nodes and
+//     pointers in place; Snapshot streams the entire structure out in one
+//     pass.
+//
+// Because every link is an offset, a map written by one process is
+// readable by any other process, on any CPU, before or after a power
+// cycle — no marshalling, no pointer swizzling (§3.4's "efficient data
+// movement between address spaces").
+package pmstruct
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"persistmem/internal/cluster"
+	"persistmem/internal/pmheap"
+)
+
+// Map errors.
+var (
+	// ErrNotFound means the key is absent.
+	ErrNotFound = errors.New("pmstruct: key not found")
+	// ErrBadShape means the durable structure is malformed.
+	ErrBadShape = errors.New("pmstruct: malformed structure")
+)
+
+// node layout: key(8) next(8) valueLen(4) value(...)
+const nodeHeader = 20
+
+// table layout: bucketCount(8) then bucketCount pointers (8 each).
+
+// Map is a durable hash map with uint64 keys and byte-slice values.
+type Map struct {
+	heap    *pmheap.Heap
+	table   pmheap.Ptr // the bucket array block
+	buckets uint64
+}
+
+// CreateMap formats a new map with the given bucket count and publishes
+// it as the heap's root.
+func CreateMap(p *cluster.Process, heap *pmheap.Heap, buckets int) (*Map, error) {
+	if buckets <= 0 {
+		buckets = 64
+	}
+	tbl, err := heap.Alloc(p, 8+8*buckets)
+	if err != nil {
+		return nil, err
+	}
+	img := make([]byte, 8+8*buckets)
+	binary.LittleEndian.PutUint64(img, uint64(buckets))
+	// Bulk write: the whole (empty) table in one sequential PM write.
+	if err := heap.Write(p, tbl, 0, img); err != nil {
+		return nil, err
+	}
+	if err := heap.SetRoot(p, tbl); err != nil {
+		return nil, err
+	}
+	return &Map{heap: heap, table: tbl, buckets: uint64(buckets)}, nil
+}
+
+// OpenMap attaches to the map previously published at the heap root —
+// from any process or address space.
+func OpenMap(p *cluster.Process, heap *pmheap.Heap) (*Map, error) {
+	tbl := heap.Root()
+	if tbl == pmheap.Nil {
+		return nil, fmt.Errorf("%w: no root", ErrBadShape)
+	}
+	var b [8]byte
+	if err := heap.Read(p, tbl, 0, b[:]); err != nil {
+		return nil, err
+	}
+	buckets := binary.LittleEndian.Uint64(b[:])
+	if buckets == 0 || buckets > 1<<24 {
+		return nil, fmt.Errorf("%w: bucket count %d", ErrBadShape, buckets)
+	}
+	return &Map{heap: heap, table: tbl, buckets: buckets}, nil
+}
+
+// bucketOff returns the byte offset of key's bucket slot within the table
+// block.
+func (m *Map) bucketOff(key uint64) int {
+	// Fibonacci hashing spreads sequential keys.
+	h := key * 0x9E3779B97F4A7C15
+	return 8 + int(h%m.buckets)*8
+}
+
+func (m *Map) readBucket(p *cluster.Process, key uint64) (pmheap.Ptr, error) {
+	var b [8]byte
+	if err := m.heap.Read(p, m.table, m.bucketOff(key), b[:]); err != nil {
+		return pmheap.Nil, err
+	}
+	return pmheap.Ptr(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func (m *Map) writeBucket(p *cluster.Process, key uint64, ptr pmheap.Ptr) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(ptr))
+	return m.heap.Write(p, m.table, m.bucketOff(key), b[:])
+}
+
+// nodeMeta reads a node's key, next pointer and value length — one small
+// selective read.
+func (m *Map) nodeMeta(p *cluster.Process, n pmheap.Ptr) (key uint64, next pmheap.Ptr, vlen int, err error) {
+	var b [nodeHeader]byte
+	if err := m.heap.Read(p, n, 0, b[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	return binary.LittleEndian.Uint64(b[0:]),
+		pmheap.Ptr(binary.LittleEndian.Uint64(b[8:])),
+		int(binary.LittleEndian.Uint32(b[16:])), nil
+}
+
+// Get returns the value stored under key, reading only the nodes on the
+// bucket chain ("selective read").
+func (m *Map) Get(p *cluster.Process, key uint64) ([]byte, error) {
+	n, err := m.readBucket(p, key)
+	if err != nil {
+		return nil, err
+	}
+	for n != pmheap.Nil {
+		k, next, vlen, err := m.nodeMeta(p, n)
+		if err != nil {
+			return nil, err
+		}
+		if k == key {
+			val := make([]byte, vlen)
+			if err := m.heap.Read(p, n, nodeHeader, val); err != nil {
+				return nil, err
+			}
+			return val, nil
+		}
+		n = next
+	}
+	return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
+}
+
+// Has reports whether key is present.
+func (m *Map) Has(p *cluster.Process, key uint64) bool {
+	_, err := m.Get(p, key)
+	return err == nil
+}
+
+// Put inserts or replaces key's value ("incremental update": one node
+// write plus one pointer patch; replacement allocates a new node and
+// publishes it by swinging a single durable pointer, so readers see
+// either the old or the new value, never a torn one).
+func (m *Map) Put(p *cluster.Process, key uint64, value []byte) error {
+	head, err := m.readBucket(p, key)
+	if err != nil {
+		return err
+	}
+	// Find an existing node and its predecessor.
+	var prev pmheap.Ptr = pmheap.Nil
+	n := head
+	var oldNext pmheap.Ptr
+	found := pmheap.Nil
+	for n != pmheap.Nil {
+		k, next, _, err := m.nodeMeta(p, n)
+		if err != nil {
+			return err
+		}
+		if k == key {
+			found, oldNext = n, next
+			break
+		}
+		prev, n = n, next
+	}
+
+	// Write the new node fully before publishing it.
+	nn, err := m.heap.Alloc(p, nodeHeader+len(value))
+	if err != nil {
+		return err
+	}
+	img := make([]byte, nodeHeader+len(value))
+	binary.LittleEndian.PutUint64(img[0:], key)
+	succ := head
+	if found != pmheap.Nil {
+		succ = oldNext
+	}
+	binary.LittleEndian.PutUint64(img[8:], uint64(succ))
+	binary.LittleEndian.PutUint32(img[16:], uint32(len(value)))
+	copy(img[nodeHeader:], value)
+	if err := m.heap.Write(p, nn, 0, img); err != nil {
+		return err
+	}
+
+	// Publish with a single durable pointer update.
+	if found != pmheap.Nil && prev != pmheap.Nil {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(nn))
+		if err := m.heap.Write(p, prev, 8, b[:]); err != nil {
+			return err
+		}
+	} else if err := m.writeBucket(p, key, nn); err != nil {
+		return err
+	}
+	if found != pmheap.Nil {
+		return m.heap.Free(p, found)
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map) Delete(p *cluster.Process, key uint64) (bool, error) {
+	var prev pmheap.Ptr = pmheap.Nil
+	n, err := m.readBucket(p, key)
+	if err != nil {
+		return false, err
+	}
+	for n != pmheap.Nil {
+		k, next, _, err := m.nodeMeta(p, n)
+		if err != nil {
+			return false, err
+		}
+		if k == key {
+			if prev == pmheap.Nil {
+				if err := m.writeBucket(p, key, next); err != nil {
+					return false, err
+				}
+			} else {
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], uint64(next))
+				if err := m.heap.Write(p, prev, 8, b[:]); err != nil {
+					return false, err
+				}
+			}
+			return true, m.heap.Free(p, n)
+		}
+		prev, n = n, next
+	}
+	return false, nil
+}
+
+// BulkLoad inserts many pairs with sequentially allocated nodes — the
+// "bulk write" pattern. Keys must not already exist.
+func (m *Map) BulkLoad(p *cluster.Process, keys []uint64, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("%w: %d keys, %d values", ErrBadShape, len(keys), len(values))
+	}
+	for i, k := range keys {
+		if err := m.Put(p, k, values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot streams every (key, value) pair — the "bulk read" pattern.
+// Iteration order is unspecified.
+func (m *Map) Snapshot(p *cluster.Process, fn func(key uint64, value []byte) bool) error {
+	for b := uint64(0); b < m.buckets; b++ {
+		var pb [8]byte
+		if err := m.heap.Read(p, m.table, 8+int(b)*8, pb[:]); err != nil {
+			return err
+		}
+		n := pmheap.Ptr(binary.LittleEndian.Uint64(pb[:]))
+		for n != pmheap.Nil {
+			k, next, vlen, err := m.nodeMeta(p, n)
+			if err != nil {
+				return err
+			}
+			val := make([]byte, vlen)
+			if err := m.heap.Read(p, n, nodeHeader, val); err != nil {
+				return err
+			}
+			if !fn(k, val) {
+				return nil
+			}
+			n = next
+		}
+	}
+	return nil
+}
+
+// Len counts entries (a full walk; diagnostics and tests).
+func (m *Map) Len(p *cluster.Process) (int, error) {
+	n := 0
+	err := m.Snapshot(p, func(uint64, []byte) bool { n++; return true })
+	return n, err
+}

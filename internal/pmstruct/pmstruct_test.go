@@ -1,0 +1,301 @@
+package pmstruct
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"persistmem/internal/cluster"
+	"persistmem/internal/npmu"
+	"persistmem/internal/ods"
+	"persistmem/internal/pmclient"
+	"persistmem/internal/pmheap"
+	"persistmem/internal/pmm"
+	"persistmem/internal/sim"
+)
+
+type harness struct {
+	eng  *sim.Engine
+	cl   *cluster.Cluster
+	prim *npmu.Device
+	mirr *npmu.Device
+}
+
+func newHarness() *harness {
+	eng := sim.NewEngine(1)
+	cl := cluster.New(eng, cluster.DefaultConfig())
+	prim := npmu.New(cl, "a", 16<<20)
+	mirr := npmu.New(cl, "b", 16<<20)
+	pmm.Start(cl, ods.PMVolumeName, 0, 1, prim, mirr)
+	return &harness{eng: eng, cl: cl, prim: prim, mirr: mirr}
+}
+
+func (h *harness) run(t *testing.T, cpu int, body func(p *cluster.Process, heap *pmheap.Heap)) {
+	t.Helper()
+	h.cl.CPU(cpu).Spawn("mapuser", func(p *cluster.Process) {
+		vol := pmclient.Attach(h.cl, ods.PMVolumeName)
+		r, err := vol.Open(p, "structs")
+		if err != nil {
+			if cerr := vol.Create(p, "structs", 4<<20); cerr != nil {
+				t.Errorf("create: %v", cerr)
+				return
+			}
+			if r, err = vol.Open(p, "structs"); err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+		}
+		heap, err := pmheap.OpenOrFormat(p, r)
+		if err != nil {
+			t.Errorf("heap: %v", err)
+			return
+		}
+		body(p, heap)
+	})
+	h.eng.Run()
+}
+
+func TestPutGetDelete(t *testing.T) {
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, heap *pmheap.Heap) {
+		m, err := CreateMap(p, heap, 16)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		for k := uint64(1); k <= 50; k++ {
+			if err := m.Put(p, k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+				t.Fatalf("put %d: %v", k, err)
+			}
+		}
+		for k := uint64(1); k <= 50; k++ {
+			v, err := m.Get(p, k)
+			if err != nil || string(v) != fmt.Sprintf("v%d", k) {
+				t.Fatalf("get %d = %q, %v", k, v, err)
+			}
+		}
+		if _, err := m.Get(p, 999); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing key: %v", err)
+		}
+		if n, _ := m.Len(p); n != 50 {
+			t.Errorf("Len = %d", n)
+		}
+		ok, err := m.Delete(p, 25)
+		if err != nil || !ok {
+			t.Fatalf("delete: %v %v", ok, err)
+		}
+		if m.Has(p, 25) {
+			t.Error("deleted key still present")
+		}
+		if ok, _ := m.Delete(p, 25); ok {
+			t.Error("double delete reported success")
+		}
+		if n, _ := m.Len(p); n != 49 {
+			t.Errorf("Len after delete = %d", n)
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestReplaceValue(t *testing.T) {
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, heap *pmheap.Heap) {
+		m, _ := CreateMap(p, heap, 8)
+		m.Put(p, 7, []byte("old"))
+		if err := m.Put(p, 7, []byte("new-and-longer")); err != nil {
+			t.Fatalf("replace: %v", err)
+		}
+		v, _ := m.Get(p, 7)
+		if string(v) != "new-and-longer" {
+			t.Errorf("value = %q", v)
+		}
+		if n, _ := m.Len(p); n != 1 {
+			t.Errorf("Len = %d after replace", n)
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestCrossAddressSpaceAndPowerCycle(t *testing.T) {
+	// Build on CPU 2, power-cycle everything, read on CPU 3: the §3.4
+	// no-marshalling claim end to end.
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, heap *pmheap.Heap) {
+		m, _ := CreateMap(p, heap, 32)
+		for k := uint64(0); k < 20; k++ {
+			m.Put(p, k, []byte(fmt.Sprintf("row-%d", k)))
+		}
+	})
+	h.cl.PowerFail()
+	h.prim.PowerFail()
+	h.mirr.PowerFail()
+	h.eng.Run()
+	h.prim.Restore()
+	h.mirr.Restore()
+	h.cl.RestorePower()
+	pmm.Start(h.cl, ods.PMVolumeName, 0, 1, h.prim, h.mirr)
+	h.run(t, 3, func(p *cluster.Process, heap *pmheap.Heap) {
+		m, err := OpenMap(p, heap)
+		if err != nil {
+			t.Fatalf("open after reboot: %v", err)
+		}
+		for k := uint64(0); k < 20; k++ {
+			v, err := m.Get(p, k)
+			if err != nil || string(v) != fmt.Sprintf("row-%d", k) {
+				t.Fatalf("get %d after reboot = %q, %v", k, v, err)
+			}
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestSnapshotBulkRead(t *testing.T) {
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, heap *pmheap.Heap) {
+		m, _ := CreateMap(p, heap, 8)
+		want := map[uint64]string{}
+		for k := uint64(100); k < 130; k++ {
+			val := fmt.Sprintf("s%d", k)
+			m.Put(p, k, []byte(val))
+			want[k] = val
+		}
+		got := map[uint64]string{}
+		if err := m.Snapshot(p, func(k uint64, v []byte) bool {
+			got[k] = string(v)
+			return true
+		}); err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("snapshot saw %d entries, want %d", len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("key %d = %q, want %q", k, got[k], v)
+			}
+		}
+		// Early stop.
+		n := 0
+		m.Snapshot(p, func(uint64, []byte) bool { n++; return n < 5 })
+		if n != 5 {
+			t.Errorf("early stop visited %d", n)
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestSelectiveReadCheaperThanSnapshot(t *testing.T) {
+	// The "selective read" claim, measured: one Get must cost far less
+	// virtual time than walking the whole structure.
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, heap *pmheap.Heap) {
+		m, _ := CreateMap(p, heap, 64)
+		for k := uint64(0); k < 200; k++ {
+			m.Put(p, k, make([]byte, 256))
+		}
+		start := p.Now()
+		if _, err := m.Get(p, 123); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		getTime := p.Now() - start
+		start = p.Now()
+		m.Snapshot(p, func(uint64, []byte) bool { return true })
+		snapTime := p.Now() - start
+		if getTime*10 > snapTime {
+			t.Errorf("selective read (%v) not ≫ cheaper than bulk read (%v)", getTime, snapTime)
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestOpenMapWithoutRoot(t *testing.T) {
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, heap *pmheap.Heap) {
+		if _, err := OpenMap(p, heap); !errors.Is(err, ErrBadShape) {
+			t.Errorf("open without root: %v", err)
+		}
+	})
+	h.eng.Shutdown()
+}
+
+func TestBulkLoad(t *testing.T) {
+	h := newHarness()
+	h.run(t, 2, func(p *cluster.Process, heap *pmheap.Heap) {
+		m, _ := CreateMap(p, heap, 16)
+		keys := []uint64{1, 2, 3}
+		vals := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+		if err := m.BulkLoad(p, keys, vals); err != nil {
+			t.Fatalf("bulk load: %v", err)
+		}
+		if err := m.BulkLoad(p, keys, vals[:2]); err == nil {
+			t.Error("mismatched bulk load accepted")
+		}
+		for i, k := range keys {
+			v, _ := m.Get(p, k)
+			if !bytes.Equal(v, vals[i]) {
+				t.Errorf("key %d = %q", k, v)
+			}
+		}
+	})
+	h.eng.Shutdown()
+}
+
+// Property: the persistent map behaves exactly like a Go map under random
+// put/get/delete interleavings, including hash collisions.
+func TestMapMatchesReferenceProperty(t *testing.T) {
+	type op struct {
+		Key uint64
+		Val byte
+		Del bool
+	}
+	prop := func(ops []op) bool {
+		if len(ops) > 60 {
+			ops = ops[:60]
+		}
+		h := newHarness()
+		ok := true
+		h.run(t, 2, func(p *cluster.Process, heap *pmheap.Heap) {
+			m, err := CreateMap(p, heap, 4) // tiny: force chains
+			if err != nil {
+				ok = false
+				return
+			}
+			ref := map[uint64][]byte{}
+			for _, o := range ops {
+				k := o.Key % 32
+				if o.Del {
+					wantPresent := ref[k] != nil
+					delete(ref, k)
+					got, err := m.Delete(p, k)
+					if err != nil || got != wantPresent {
+						ok = false
+						return
+					}
+				} else {
+					v := bytes.Repeat([]byte{o.Val}, int(o.Val%16)+1)
+					ref[k] = v
+					if err := m.Put(p, k, v); err != nil {
+						ok = false
+						return
+					}
+				}
+			}
+			for k, v := range ref {
+				got, err := m.Get(p, k)
+				if err != nil || !bytes.Equal(got, v) {
+					ok = false
+					return
+				}
+			}
+			if n, _ := m.Len(p); n != len(ref) {
+				ok = false
+			}
+		})
+		h.eng.Shutdown()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"persistmem/internal/cluster"
+	"persistmem/internal/ods"
+	"persistmem/internal/pmclient"
+	"persistmem/internal/pmm"
+	"persistmem/internal/sim"
+	"persistmem/internal/tmf"
+)
+
+// ScenarioResult is a crashed store plus the ground truth recovery must
+// reproduce.
+type ScenarioResult struct {
+	Store *ods.Store
+	// Committed keys must be present after recovery; InFlight must not.
+	Committed, InFlight []uint64
+	// Errs records workload failures before the crash (should be empty).
+	Errs []error
+}
+
+// RunScenario builds a data-retaining store with the given durability,
+// commits txns transactions of 4 inserts each into a single 4-partition
+// file, leaves a fifth-plus-one transaction in flight, and power-fails
+// the whole node (CPUs and PM devices). The returned store is powered off
+// and ready for FromDisk/FromPM measurement.
+func RunScenario(d ods.Durability, txns int, seed int64) ScenarioResult {
+	opts := ods.DefaultOptions()
+	opts.Seed = seed
+	opts.Durability = d
+	opts.RetainData = true
+	opts.Files = []ods.FileSpec{{Name: "TRADES", Partitions: 4}}
+	opts.DataVolumes = 4
+	opts.DataVolumeBytes = 256 << 20
+	opts.AuditVolumeBytes = 256 << 20
+	opts.NPMUBytes = 256 << 20
+	opts.PMRegionBytes = 32 << 20
+	s := ods.Build(opts)
+
+	res := ScenarioResult{Store: s}
+	crashNow := s.Eng.NewChan("crash")
+	s.Cl.CPU(3).Spawn("workload", func(p *cluster.Process) {
+		se := s.NewSession(p)
+		for i := 0; i < txns; i++ {
+			txn, err := se.Begin()
+			if err != nil {
+				res.Errs = append(res.Errs, fmt.Errorf("begin %d: %w", i, err))
+				return
+			}
+			for j := 0; j < 4; j++ {
+				key := uint64(i*10 + j + 1)
+				txn.InsertAsync("TRADES", key, []byte(fmt.Sprintf("row-%d", key)))
+				res.Committed = append(res.Committed, key)
+			}
+			if err := txn.Commit(); err != nil {
+				res.Errs = append(res.Errs, fmt.Errorf("commit %d: %w", i, err))
+				return
+			}
+		}
+		// One more transaction, inserted but never committed.
+		txn, _ := se.Begin()
+		for j := 0; j < 4; j++ {
+			key := uint64(1000000 + j)
+			txn.InsertAsync("TRADES", key, []byte("uncommitted"))
+			res.InFlight = append(res.InFlight, key)
+		}
+		txn.WaitPending()
+		crashNow.TrySend(nil)
+		p.Wait(sim.Minute) // the crash kills us first
+	})
+	s.Eng.Spawn("crasher", func(p *sim.Proc) {
+		crashNow.Recv(p)
+		s.Cl.PowerFail()
+		if s.NPMUPrimary != nil {
+			s.NPMUPrimary.PowerFail()
+			if s.NPMUMirror != s.NPMUPrimary {
+				s.NPMUMirror.PowerFail()
+			}
+		}
+	})
+	s.Eng.Run()
+	return res
+}
+
+// Reboot powers the crashed store's node and PM devices back on and
+// restarts the PM manager (recovering the volume's region table), so
+// FromPM can reach the log regions.
+func (r ScenarioResult) Reboot() {
+	s := r.Store
+	if s.NPMUPrimary != nil {
+		s.NPMUPrimary.Restore()
+		if s.NPMUMirror != s.NPMUPrimary {
+			s.NPMUMirror.Restore()
+		}
+	}
+	s.Cl.RestorePower()
+	if s.NPMUPrimary != nil {
+		pmm.Start(s.Cl, ods.PMVolumeName, 0, 1, s.NPMUPrimary, s.NPMUMirror)
+	}
+}
+
+// logRegions returns the store's PM log region names (ADP logs in PM
+// mode, per-DP2 logs in PMDirect mode), sorted for determinism.
+func (r ScenarioResult) logRegions() []string {
+	s := r.Store
+	var regions []string
+	if s.Opts.Durability == ods.PMDirectDurability {
+		for name := range s.DP2s {
+			regions = append(regions, name+"-log")
+		}
+		sort.Strings(regions)
+		return regions
+	}
+	for _, a := range s.ADPs {
+		regions = append(regions, a.RegionName())
+	}
+	sort.Strings(regions)
+	return regions
+}
+
+// RecoverDisk runs FromDisk against the scenario's audit volumes.
+func (r ScenarioResult) RecoverDisk(opts Options) (Report, *Rebuilt, error) {
+	var rep Report
+	var rb *Rebuilt
+	var err error
+	r.Store.Eng.Spawn("recover-disk", func(p *sim.Proc) {
+		rep, rb, err = FromDisk(p, r.Store.AuditVolumes, opts)
+	})
+	r.Store.Eng.Run()
+	return rep, rb, err
+}
+
+// RecoverPM reboots and runs FromPM against the scenario's log regions,
+// with (useTCB) or without fine-grained control blocks.
+func (r ScenarioResult) RecoverPM(opts Options, useTCB bool) (Report, *Rebuilt, error) {
+	r.Reboot()
+	var rep Report
+	var rb *Rebuilt
+	var err error
+	r.Store.Cl.CPU(2).Spawn("recover-pm", func(p *cluster.Process) {
+		vol := pmclient.Attach(r.Store.Cl, ods.PMVolumeName)
+		regions := r.logRegions()
+		tcb := ""
+		if useTCB {
+			tcb = tmf.TCBRegionName
+		}
+		rep, rb, err = FromPM(p, vol, regions, tcb, opts)
+	})
+	r.Store.Eng.Run()
+	return rep, rb, err
+}

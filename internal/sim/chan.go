@@ -1,0 +1,154 @@
+package sim
+
+// waiter records a parked process waiting on a synchronization object.
+// The blockID stamp lets queues lazily discard entries whose process has
+// since been woken by something else (timeout, kill).
+type waiter struct {
+	p   *Proc
+	id  uint64
+	val interface{} // for blocked senders: the value being sent
+}
+
+func (w waiter) stale() bool {
+	return w.p.blockID != w.id || w.p.state != procBlocked
+}
+
+// Chan is a simulated FIFO channel. With capacity 0 the channel is
+// unbounded (sends never block); with capacity > 0 sends block when the
+// buffer is full, providing backpressure. Receives always block until a
+// value is available.
+//
+// Channel operations take zero virtual time; latency is modeled explicitly
+// by the layers that use them (e.g. the network fabric).
+type Chan struct {
+	eng  *Engine
+	name string
+	cap  int // 0 = unbounded
+	buf  []interface{}
+	rxq  []waiter // blocked receivers
+	txq  []waiter // blocked senders (cap > 0 only)
+	dead bool     // closed for simulation teardown
+}
+
+// NewChan returns an unbounded channel.
+func (e *Engine) NewChan(name string) *Chan { return &Chan{eng: e, name: name} }
+
+// NewBoundedChan returns a channel whose buffer holds at most capacity
+// values; senders block when it is full. capacity must be > 0.
+func (e *Engine) NewBoundedChan(name string, capacity int) *Chan {
+	if capacity <= 0 {
+		panic("sim: NewBoundedChan requires capacity > 0")
+	}
+	return &Chan{eng: e, name: name, cap: capacity}
+}
+
+// Len reports the number of buffered values.
+func (c *Chan) Len() int { return len(c.buf) }
+
+// popRx removes and returns the first non-stale blocked receiver.
+func (c *Chan) popRx() (waiter, bool) {
+	for len(c.rxq) > 0 {
+		w := c.rxq[0]
+		c.rxq = c.rxq[1:]
+		if !w.stale() {
+			return w, true
+		}
+	}
+	return waiter{}, false
+}
+
+// popTx removes and returns the first non-stale blocked sender.
+func (c *Chan) popTx() (waiter, bool) {
+	for len(c.txq) > 0 {
+		w := c.txq[0]
+		c.txq = c.txq[1:]
+		if !w.stale() {
+			return w, true
+		}
+	}
+	return waiter{}, false
+}
+
+// Send delivers v into the channel, blocking p while a bounded buffer is
+// full. Values are received in FIFO order.
+func (c *Chan) Send(p *Proc, v interface{}) {
+	p.assertRunning("Chan.Send")
+	if w, ok := c.popRx(); ok {
+		// Hand directly to a waiting receiver.
+		w.p.wake(w.id, v, true)
+		return
+	}
+	if c.cap == 0 || len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	// Buffer full: block until a receiver makes room.
+	id := p.newBlockID()
+	c.txq = append(c.txq, waiter{p: p, id: id, val: v})
+	p.park()
+}
+
+// TrySend is like Send but never blocks; it reports whether the value was
+// accepted.
+func (c *Chan) TrySend(v interface{}) bool {
+	if w, ok := c.popRx(); ok {
+		w.p.wake(w.id, v, true)
+		return true
+	}
+	if c.cap == 0 || len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv blocks p until a value is available and returns it.
+func (c *Chan) Recv(p *Proc) interface{} {
+	v, _ := c.RecvTimeout(p, -1)
+	return v
+}
+
+// RecvTimeout blocks p until a value arrives or timeout elapses. A negative
+// timeout means wait forever. ok is false on timeout.
+func (c *Chan) RecvTimeout(p *Proc, timeout Time) (v interface{}, ok bool) {
+	p.assertRunning("Chan.Recv")
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf[0] = nil
+		c.buf = c.buf[1:]
+		// Room freed: admit one blocked sender.
+		if w, wok := c.popTx(); wok {
+			c.buf = append(c.buf, w.val)
+			w.p.wake(w.id, nil, true)
+		}
+		return v, true
+	}
+	id := p.newBlockID()
+	c.rxq = append(c.rxq, waiter{p: p, id: id})
+	if timeout >= 0 {
+		p.eng.Schedule(p.eng.now+timeout, func() {
+			if p.blockID != id || p.state != procBlocked {
+				return
+			}
+			p.wake(id, nil, false)
+		})
+	}
+	p.park()
+	return p.rxVal, p.rxOK
+}
+
+// TryRecv returns a buffered value without blocking; ok is false if the
+// channel is empty.
+func (c *Chan) TryRecv() (v interface{}, ok bool) {
+	if len(c.buf) == 0 {
+		return nil, false
+	}
+	v = c.buf[0]
+	c.buf[0] = nil
+	c.buf = c.buf[1:]
+	if w, wok := c.popTx(); wok {
+		c.buf = append(c.buf, w.val)
+		w.p.wake(w.id, nil, true)
+	}
+	return v, true
+}

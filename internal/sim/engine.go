@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// event is a scheduled callback in the simulation.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// TraceFunc receives one line per traced kernel action.
+type TraceFunc func(at Time, format string, args ...interface{})
+
+// Engine is the discrete-event simulation kernel. Create one with NewEngine,
+// spawn processes with Spawn, and advance virtual time with Run or RunUntil.
+//
+// Engine is not safe for concurrent use from multiple OS threads; the whole
+// point is that simulated concurrency is scheduled deterministically on a
+// single thread of control.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	procs  map[*Proc]struct{}
+	nprocs uint64
+	seed   int64
+	trace  TraceFunc
+
+	// cur is the process currently being stepped, if any.
+	cur *Proc
+	// stopped is set by Stop; Run returns at the next event boundary.
+	stopped bool
+}
+
+// NewEngine returns a fresh engine whose derived random sources are seeded
+// from seed. Two engines built with the same seed and the same program
+// produce identical schedules.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		procs: make(map[*Proc]struct{}),
+		seed:  seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the engine's root seed.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// SetTrace installs fn as the kernel trace sink; nil disables tracing.
+func (e *Engine) SetTrace(fn TraceFunc) { e.trace = fn }
+
+func (e *Engine) tracef(format string, args ...interface{}) {
+	if e.trace != nil {
+		e.trace(e.now, format, args...)
+	}
+}
+
+// DeriveRand returns a deterministic random source unique to name.
+// Components should each derive their own source so that adding a new
+// consumer of randomness does not perturb the schedules of others.
+func (e *Engine) DeriveRand(name string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", e.seed, name)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past is
+// an error in the caller; the kernel clamps it to now to keep time monotone.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn after duration d of virtual time.
+func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Stop makes the current Run call return at the next event boundary.
+// Pending events remain queued and a subsequent Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the event queue is empty or Stop is called.
+// It returns the final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil processes events with timestamps <= deadline, then returns.
+// The clock is left at min(deadline, time of last event) — it never runs
+// ahead to the deadline when the queue drains early.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one pending event, if any, and reports whether one
+// was executed. Mostly useful in kernel tests.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	ev.fn()
+	return true
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// LiveProcs returns the number of processes that have been spawned and have
+// not yet finished (they may be runnable or blocked).
+func (e *Engine) LiveProcs() int { return len(e.procs) }
+
+// BlockedProcs returns the names of live processes that are currently
+// parked, for post-mortem debugging of stuck simulations.
+func (e *Engine) BlockedProcs() []string {
+	var names []string
+	for p := range e.procs {
+		if p.state == procBlocked {
+			names = append(names, p.name)
+		}
+	}
+	return names
+}
+
+// Shutdown kills every live process and drains their unwinding. The engine
+// can still be inspected afterwards but should not be reused for new work.
+func (e *Engine) Shutdown() {
+	for p := range e.procs {
+		p.Kill()
+	}
+	// Run only the kill wake-ups; they were scheduled "now".
+	e.RunUntil(e.now)
+}

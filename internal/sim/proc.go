@@ -1,0 +1,247 @@
+package sim
+
+import "fmt"
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procNew procState = iota
+	procRunnable
+	procRunning
+	procBlocked
+	procDone
+)
+
+// killSentinel is the panic value used to unwind a killed process. It is
+// recovered at the top of the process goroutine and never escapes.
+type killSentinel struct{ name string }
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// deterministically by the Engine. All blocking methods (Wait, channel and
+// resource operations) must be called only from within the process's own
+// body function.
+type Proc struct {
+	eng  *Engine
+	name string
+	id   uint64
+
+	resume chan struct{} // engine -> proc: run until you park
+	yield  chan struct{} // proc -> engine: parked or finished
+
+	state   procState
+	killed  bool
+	started bool
+	body    func(p *Proc)
+
+	// blockID stamps each park; wake-up events capture the stamp so that
+	// stale wake-ups (after a kill or a racing waker) are ignored.
+	blockID uint64
+
+	// rxVal carries a value handed to the proc while it was blocked
+	// (channel receive, resource grant); rxOK distinguishes wake reasons.
+	rxVal interface{}
+	rxOK  bool
+
+	// onExit callbacks run (in engine context) when the process finishes
+	// or is killed.
+	onExit []func()
+}
+
+// Spawn creates a process named name executing body and schedules it to
+// start at the current virtual time.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, body)
+}
+
+// SpawnAt creates a process that starts at absolute time at.
+func (e *Engine) SpawnAt(at Time, name string, body func(p *Proc)) *Proc {
+	e.nprocs++
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		id:     e.nprocs,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		body:   body,
+	}
+	e.procs[p] = struct{}{}
+	e.Schedule(at, func() { e.startProc(p) })
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Done reports whether the process has finished (normally or by kill).
+func (p *Proc) Done() bool { return p.state == procDone }
+
+// OnExit registers fn to run when the process finishes or is killed.
+func (p *Proc) OnExit(fn func()) { p.onExit = append(p.onExit, fn) }
+
+// startProc launches the goroutine for p and performs its first step.
+func (e *Engine) startProc(p *Proc) {
+	if p.killed || p.started {
+		// Killed before it ever ran: just retire it.
+		if !p.started {
+			p.state = procDone
+			e.retire(p)
+		}
+		return
+	}
+	p.started = true
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSentinel); !ok {
+					// Real panic from simulation code: surface it with
+					// process identity, then crash the test/program.
+					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+				}
+			}
+			p.state = procDone
+			p.yield <- struct{}{}
+		}()
+		p.body(p)
+	}()
+	e.step(p)
+	if p.state == procDone {
+		e.retire(p)
+	}
+}
+
+// step hands control to p's goroutine and waits until it parks or finishes.
+func (e *Engine) step(p *Proc) {
+	prev := e.cur
+	e.cur = p
+	if p.state != procDone {
+		p.state = procRunning
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+	e.cur = prev
+}
+
+// retire removes a finished process from the live set and fires exit hooks.
+func (e *Engine) retire(p *Proc) {
+	delete(e.procs, p)
+	for _, fn := range p.onExit {
+		fn()
+	}
+	p.onExit = nil
+}
+
+// park blocks the calling process until a wake-up with the current blockID
+// arrives. It must be called from within the process goroutine.
+func (p *Proc) park() {
+	p.state = procBlocked
+	p.yield <- struct{}{}
+	<-p.resume
+	p.state = procRunning
+	if p.killed {
+		panic(killSentinel{p.name})
+	}
+}
+
+// wake schedules process p to resume at the current virtual time if its
+// park stamp still matches id. The value v (with ok) is delivered to the
+// parked operation.
+func (p *Proc) wake(id uint64, v interface{}, ok bool) {
+	e := p.eng
+	e.Schedule(e.now, func() {
+		if p.blockID != id || p.state != procBlocked {
+			return // stale wake-up
+		}
+		p.rxVal, p.rxOK = v, ok
+		e.step(p)
+		if p.state == procDone {
+			e.retire(p)
+		}
+	})
+}
+
+// newBlockID stamps a fresh park and returns the stamp.
+func (p *Proc) newBlockID() uint64 {
+	p.blockID++
+	return p.blockID
+}
+
+// assertRunning panics if a blocking primitive is used from outside the
+// process's own execution context — a programming error that would
+// otherwise corrupt the deterministic schedule.
+func (p *Proc) assertRunning(op string) {
+	if p.eng.cur != p {
+		panic(fmt.Sprintf("sim: %s called on process %q from outside its context", op, p.name))
+	}
+}
+
+// Wait suspends the process for duration d of virtual time.
+func (p *Proc) Wait(d Time) {
+	p.assertRunning("Wait")
+	if d <= 0 {
+		// Even a zero wait yields: it reschedules the process behind
+		// already-queued same-time events, which is the natural semantics
+		// for "let others run".
+		d = 0
+	}
+	id := p.newBlockID()
+	p.eng.Schedule(p.eng.now+d, func() {
+		if p.blockID != id || p.state != procBlocked {
+			return
+		}
+		p.eng.step(p)
+		if p.state == procDone {
+			p.eng.retire(p)
+		}
+	})
+	p.park()
+}
+
+// WaitUntil suspends the process until absolute virtual time t (no-op if t
+// is in the past).
+func (p *Proc) WaitUntil(t Time) {
+	d := t - p.eng.now
+	if d < 0 {
+		d = 0
+	}
+	p.Wait(d)
+}
+
+// Kill marks the process for termination. If it is blocked it is woken
+// immediately and unwinds; if it is currently running it unwinds at its
+// next blocking point; if it never started it is retired without running.
+// Killing a finished process is a no-op.
+func (p *Proc) Kill() {
+	if p.state == procDone || p.killed {
+		return
+	}
+	p.killed = true
+	e := p.eng
+	if !p.started {
+		// Cancel before first run; the start event will retire it.
+		return
+	}
+	if p.state == procBlocked {
+		id := p.blockID
+		e.Schedule(e.now, func() {
+			if p.state != procBlocked || p.blockID != id {
+				return
+			}
+			e.step(p) // park() sees killed and unwinds
+			if p.state == procDone {
+				e.retire(p)
+			}
+		})
+	}
+	// If running, the next park/resume observes killed.
+}
+
+// Killed reports whether Kill has been called on the process.
+func (p *Proc) Killed() bool { return p.killed }

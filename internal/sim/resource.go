@@ -1,0 +1,139 @@
+package sim
+
+// Resource is a counted resource with a FIFO wait queue — the standard
+// building block for service stations such as disk arms, CPUs and NIC DMA
+// engines. Acquire takes one unit, blocking while none are free; Release
+// returns one unit and admits the longest-waiting process.
+type Resource struct {
+	eng   *Engine
+	name  string
+	total int
+	inUse int
+	queue []waiter
+}
+
+// NewResource returns a resource with the given number of units.
+func (e *Engine) NewResource(name string, units int) *Resource {
+	if units <= 0 {
+		panic("sim: NewResource requires units > 0")
+	}
+	return &Resource{eng: e, name: name, total: units}
+}
+
+// Acquire takes one unit, blocking p in FIFO order while none are free.
+func (r *Resource) Acquire(p *Proc) {
+	p.assertRunning("Resource.Acquire")
+	if r.inUse < r.total {
+		r.inUse++
+		return
+	}
+	id := p.newBlockID()
+	r.queue = append(r.queue, waiter{p: p, id: id})
+	p.park()
+	// The releaser transferred its unit to us; inUse is already counted.
+}
+
+// TryAcquire takes a unit without blocking, reporting success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.total {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit. If a process is waiting, the unit passes
+// directly to it (inUse stays constant); otherwise the unit becomes free.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	for len(r.queue) > 0 {
+		w := r.queue[0]
+		r.queue = r.queue[1:]
+		if w.stale() {
+			continue
+		}
+		w.p.wake(w.id, nil, true)
+		return // unit handed over
+	}
+	r.inUse--
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of processes waiting (possibly including
+// stale entries about to be discarded).
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Use acquires the resource, holds it for duration d of virtual time, and
+// releases it — the common "serve one request" pattern. The release is
+// deferred so a kill during the hold does not leak the unit.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	defer r.Release()
+	p.Wait(d)
+}
+
+// Signal is a one-shot event with an attached value. Waiters block until
+// Trigger fires; waits after the trigger return immediately. A Signal is
+// the simulation analogue of a completion notification.
+type Signal struct {
+	eng     *Engine
+	fired   bool
+	val     interface{}
+	waiters []waiter
+}
+
+// NewSignal returns an untriggered signal.
+func (e *Engine) NewSignal() *Signal { return &Signal{eng: e} }
+
+// Trigger fires the signal with value v, waking all waiters. Triggering
+// twice panics: completions in this codebase are strictly one-shot.
+func (s *Signal) Trigger(v interface{}) {
+	if s.fired {
+		panic("sim: Signal triggered twice")
+	}
+	s.fired = true
+	s.val = v
+	for _, w := range s.waiters {
+		if !w.stale() {
+			w.p.wake(w.id, v, true)
+		}
+	}
+	s.waiters = nil
+}
+
+// Fired reports whether the signal has been triggered.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Value returns the trigger value (nil before the trigger).
+func (s *Signal) Value() interface{} { return s.val }
+
+// Wait blocks p until the signal fires and returns the trigger value.
+func (s *Signal) Wait(p *Proc) interface{} {
+	v, _ := s.WaitTimeout(p, -1)
+	return v
+}
+
+// WaitTimeout blocks p until the signal fires or timeout elapses; a
+// negative timeout waits forever. ok is false on timeout.
+func (s *Signal) WaitTimeout(p *Proc, timeout Time) (v interface{}, ok bool) {
+	p.assertRunning("Signal.Wait")
+	if s.fired {
+		return s.val, true
+	}
+	id := p.newBlockID()
+	s.waiters = append(s.waiters, waiter{p: p, id: id})
+	if timeout >= 0 {
+		p.eng.Schedule(p.eng.now+timeout, func() {
+			if p.blockID != id || p.state != procBlocked {
+				return
+			}
+			p.wake(id, nil, false)
+		})
+	}
+	p.park()
+	return p.rxVal, p.rxOK
+}

@@ -1,0 +1,180 @@
+// Package stable provides a sparse byte store used as the durable backing
+// for simulated devices: disk platters and NPMU non-volatile memory.
+//
+// A Store survives simulated power loss by construction — the simulation
+// models power failure by destroying processes and volatile state while
+// keeping Store contents; Zero exists for explicitly-volatile devices.
+// Pages are allocated lazily so multi-hundred-megabyte device capacities
+// cost only what is actually written.
+package stable
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfRange is returned when an access falls outside the store's
+// configured capacity.
+var ErrOutOfRange = errors.New("stable: access out of range")
+
+const defaultPageSize = 64 << 10
+
+// Store is a sparse, fixed-capacity byte store. The zero value is not
+// usable; create one with New.
+type Store struct {
+	capacity int64
+	pageSize int
+	pages    map[int64][]byte // page index -> page contents
+
+	// discard, when set, makes writes update only size accounting — used
+	// by timing-only benchmark runs that never read data back.
+	discard bool
+
+	// BytesWritten counts all bytes ever written (including discarded).
+	BytesWritten int64
+}
+
+// New returns a store with the given capacity in bytes.
+func New(capacity int64) *Store {
+	if capacity <= 0 {
+		panic("stable: capacity must be positive")
+	}
+	return &Store{
+		capacity: capacity,
+		pageSize: defaultPageSize,
+		pages:    make(map[int64][]byte),
+	}
+}
+
+// NewDiscard returns a store that accepts writes of any content but
+// retains none of it; reads return zeros. Timing-only simulations use it
+// to avoid materializing gigabytes of log data.
+func NewDiscard(capacity int64) *Store {
+	s := New(capacity)
+	s.discard = true
+	return s
+}
+
+// Len returns the store capacity in bytes (it implements the Window
+// contract of the servernet package).
+func (s *Store) Len() int64 { return s.capacity }
+
+// Discarding reports whether the store retains data.
+func (s *Store) Discarding() bool { return s.discard }
+
+func (s *Store) check(off int64, n int) error {
+	if off < 0 || n < 0 || off+int64(n) > s.capacity {
+		return fmt.Errorf("%w: off=%d len=%d cap=%d", ErrOutOfRange, off, n, s.capacity)
+	}
+	return nil
+}
+
+// WriteAt stores data at byte offset off.
+func (s *Store) WriteAt(off int64, data []byte) error {
+	if err := s.check(off, len(data)); err != nil {
+		return err
+	}
+	s.BytesWritten += int64(len(data))
+	if s.discard {
+		return nil
+	}
+	for len(data) > 0 {
+		pi := off / int64(s.pageSize)
+		po := int(off % int64(s.pageSize))
+		n := s.pageSize - po
+		if n > len(data) {
+			n = len(data)
+		}
+		page, ok := s.pages[pi]
+		if !ok {
+			page = make([]byte, s.pageSize)
+			s.pages[pi] = page
+		}
+		copy(page[po:po+n], data[:n])
+		data = data[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// ReadAt fills buf from byte offset off; unwritten ranges read as zeros.
+func (s *Store) ReadAt(off int64, buf []byte) error {
+	if err := s.check(off, len(buf)); err != nil {
+		return err
+	}
+	for len(buf) > 0 {
+		pi := off / int64(s.pageSize)
+		po := int(off % int64(s.pageSize))
+		n := s.pageSize - po
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if page, ok := s.pages[pi]; ok {
+			copy(buf[:n], page[po:po+n])
+		} else {
+			for i := 0; i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// Zero erases all contents, as when a volatile device loses power.
+func (s *Store) Zero() {
+	s.pages = make(map[int64][]byte)
+}
+
+// Clone returns a deep copy — useful for mirror-divergence checks in tests.
+func (s *Store) Clone() *Store {
+	c := New(s.capacity)
+	c.discard = s.discard
+	c.BytesWritten = s.BytesWritten
+	for pi, page := range s.pages {
+		cp := make([]byte, len(page))
+		copy(cp, page)
+		c.pages[pi] = cp
+	}
+	return c
+}
+
+// Equal reports whether two stores have identical logical contents.
+func (s *Store) Equal(o *Store) bool {
+	if s.capacity != o.capacity {
+		return false
+	}
+	seen := make(map[int64]bool)
+	for pi := range s.pages {
+		seen[pi] = true
+	}
+	for pi := range o.pages {
+		seen[pi] = true
+	}
+	a := make([]byte, s.pageSize)
+	b := make([]byte, s.pageSize)
+	for pi := range seen {
+		s.pageAt(pi, a)
+		o.pageAt(pi, b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *Store) pageAt(pi int64, buf []byte) {
+	if page, ok := s.pages[pi]; ok {
+		copy(buf, page)
+		return
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+}
+
+// PagesAllocated reports how many pages the store has materialized.
+func (s *Store) PagesAllocated() int { return len(s.pages) }

@@ -1,0 +1,169 @@
+package stable
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := New(1 << 20)
+	data := []byte("hello persistent world")
+	if err := s.WriteAt(100, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if err := s.ReadAt(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Errorf("got %q", buf)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	s := New(1 << 20)
+	buf := []byte{1, 2, 3, 4}
+	if err := s.ReadAt(5000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{0, 0, 0, 0}) {
+		t.Errorf("unwritten read = %v, want zeros", buf)
+	}
+}
+
+func TestCrossPageBoundary(t *testing.T) {
+	s := New(1 << 20)
+	// Straddle the 64K page boundary.
+	off := int64(defaultPageSize - 10)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	if err := s.WriteAt(off, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	if err := s.ReadAt(off, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Error("cross-page round trip corrupted data")
+	}
+	if s.PagesAllocated() != 2 {
+		t.Errorf("PagesAllocated = %d, want 2", s.PagesAllocated())
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := New(1000)
+	if err := s.WriteAt(990, make([]byte, 20)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("write past end: %v", err)
+	}
+	if err := s.ReadAt(-1, make([]byte, 1)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative read: %v", err)
+	}
+	if err := s.WriteAt(0, make([]byte, 1000)); err != nil {
+		t.Errorf("full-capacity write: %v", err)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	s := NewDiscard(1 << 20)
+	if err := s.WriteAt(0, []byte("vanishes")); err != nil {
+		t.Fatal(err)
+	}
+	if s.BytesWritten != 8 {
+		t.Errorf("BytesWritten = %d, want 8", s.BytesWritten)
+	}
+	buf := make([]byte, 8)
+	s.ReadAt(0, buf)
+	if !bytes.Equal(buf, make([]byte, 8)) {
+		t.Error("discard store retained data")
+	}
+	if s.PagesAllocated() != 0 {
+		t.Error("discard store allocated pages")
+	}
+}
+
+func TestZero(t *testing.T) {
+	s := New(1 << 20)
+	s.WriteAt(0, []byte{1, 2, 3})
+	s.Zero()
+	buf := make([]byte, 3)
+	s.ReadAt(0, buf)
+	if !bytes.Equal(buf, []byte{0, 0, 0}) {
+		t.Error("Zero did not erase contents")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	s := New(1 << 20)
+	s.WriteAt(12345, []byte("mirror me"))
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not Equal to original")
+	}
+	c.WriteAt(12345, []byte("diverged!"))
+	if s.Equal(c) {
+		t.Fatal("diverged clone still Equal")
+	}
+	// Divergence by extra page.
+	d := s.Clone()
+	d.WriteAt(900000, []byte{1})
+	if s.Equal(d) {
+		t.Fatal("store with extra page still Equal")
+	}
+}
+
+func TestEqualDifferentCapacity(t *testing.T) {
+	if New(100).Equal(New(200)) {
+		t.Error("stores of different capacity compared Equal")
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: arbitrary sequences of writes read back the same as a flat
+// reference buffer.
+func TestStoreMatchesFlatBufferProperty(t *testing.T) {
+	const capacity = 1 << 18
+	type op struct {
+		Off  uint32
+		Data []byte
+	}
+	prop := func(ops []op) bool {
+		s := New(capacity)
+		ref := make([]byte, capacity)
+		for _, o := range ops {
+			if len(o.Data) == 0 {
+				continue
+			}
+			data := o.Data
+			if len(data) > 8192 {
+				data = data[:8192]
+			}
+			off := int64(o.Off) % (capacity - int64(len(data)))
+			if err := s.WriteAt(off, data); err != nil {
+				return false
+			}
+			copy(ref[off:], data)
+		}
+		got := make([]byte, capacity)
+		if err := s.ReadAt(0, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package tmf
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"persistmem/internal/audit"
+)
+
+// tcbMagic marks a live control-block entry.
+const tcbMagic = 0x54434231 // "TCB1"
+
+// EncodeTCB builds one fine-grained transaction control block entry:
+// magic (4) | txn (8) | state (1) | pad (7) | crc (4) = 24 bytes.
+func EncodeTCB(txn audit.TxnID, state uint8) []byte {
+	e := make([]byte, TCBEntrySize)
+	binary.LittleEndian.PutUint32(e[0:], tcbMagic)
+	binary.LittleEndian.PutUint64(e[4:], uint64(txn))
+	e[12] = state
+	binary.LittleEndian.PutUint32(e[20:], crc32.ChecksumIEEE(e[:20]))
+	return e
+}
+
+// DecodeTCB parses one entry; ok is false for empty or corrupt slots.
+func DecodeTCB(e []byte) (txn audit.TxnID, state uint8, ok bool) {
+	if len(e) < TCBEntrySize {
+		return 0, 0, false
+	}
+	if binary.LittleEndian.Uint32(e[0:]) != tcbMagic {
+		return 0, 0, false
+	}
+	if binary.LittleEndian.Uint32(e[20:]) != crc32.ChecksumIEEE(e[:20]) {
+		return 0, 0, false
+	}
+	return audit.TxnID(binary.LittleEndian.Uint64(e[4:])), e[12], true
+}
+
+// ScanTCBs decodes every live entry in a control-block region image,
+// returning the outcome map recovery uses in place of a log scan.
+func ScanTCBs(img []byte) map[audit.TxnID]uint8 {
+	out := make(map[audit.TxnID]uint8)
+	for off := 0; off+TCBEntrySize <= len(img); off += TCBEntrySize {
+		if txn, state, ok := DecodeTCB(img[off : off+TCBEntrySize]); ok {
+			out[txn] = state
+		}
+	}
+	return out
+}

@@ -1,0 +1,434 @@
+// Package tmf implements the Transaction Monitor Facility: the component
+// that "keeps track of transactions as they enter and leave the system"
+// (§1.2), drives the commit protocol across the database writers and log
+// writers, and notates transaction outcomes in the audit trail.
+//
+// Commit protocol (two phases across audit streams, one when a single
+// stream is involved):
+//
+//  1. Every involved DP2 forwards its pending audit to its log writer and
+//     reports the LSN its stream must be durable through; the TMF then
+//     flushes every involved stream to that LSN. After this phase all of
+//     the transaction's data records are durable.
+//  2. The TMF writes the commit record to the transaction's master log
+//     (the lowest-numbered involved stream) and waits for it to be
+//     durable. That record is the commit point: recovery treats the
+//     transaction as committed iff it is present.
+//
+// With disk-backed log writers each phase costs a synchronous disk flush
+// — the paper's "completion time of at least one – and typically more
+// than one – disk I/O ... included in the response time of every
+// transaction" (§2). With PM-backed log writers both phases degenerate to
+// fabric round trips.
+//
+// When a PM volume is configured for transaction control blocks, the TMF
+// also records each outcome in persistent memory at a fine grain (§3.4),
+// which lets restart recovery learn transaction outcomes without
+// heuristically scanning audit trails — the short-MTTR claim.
+package tmf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"persistmem/internal/adp"
+	"persistmem/internal/audit"
+	"persistmem/internal/cluster"
+	"persistmem/internal/dp2"
+	"persistmem/internal/pmclient"
+	"persistmem/internal/sim"
+)
+
+// TMF errors.
+var (
+	// ErrUnknownTxn means the transaction is not active.
+	ErrUnknownTxn = errors.New("tmf: unknown transaction")
+	// ErrCommitFailed means durability could not be achieved; the
+	// transaction was aborted instead.
+	ErrCommitFailed = errors.New("tmf: commit failed")
+)
+
+// Config describes the transaction monitor.
+type Config struct {
+	// Name is the service name (default "$TMF").
+	Name string
+	// PrimaryCPU and BackupCPU place the process pair.
+	PrimaryCPU, BackupCPU int
+
+	// TCBVolume optionally names a PM volume for fine-grained transaction
+	// control blocks; empty disables them (disk-era behavior).
+	TCBVolume string
+	// TCBRegionSize sizes the control-block region.
+	TCBRegionSize int64
+
+	// RequestCPU is the monitor's CPU cost per request.
+	RequestCPU sim.Time
+}
+
+// TCB entry layout: see EncodeTCB.
+const TCBEntrySize = 24
+
+// Transaction outcomes recorded in control blocks.
+const (
+	TCBActive    uint8 = 1
+	TCBCommitted uint8 = 2
+	TCBAborted   uint8 = 3
+)
+
+// TCBRegionName is the region the TMF uses within its PM volume.
+const TCBRegionName = "tmf-tcb"
+
+// protocol messages
+type (
+	// BeginReq starts a transaction.
+	BeginReq struct{}
+	// BeginResp returns the new transaction id.
+	BeginResp struct {
+		Txn audit.TxnID
+		Err error
+	}
+	// CommitReq commits a transaction that touched the named DP2s.
+	CommitReq struct {
+		Txn  audit.TxnID
+		DP2s []string
+	}
+	// CommitResp reports the outcome; on error the transaction aborted.
+	CommitResp struct {
+		Err error
+	}
+	// AbortReq rolls back a transaction at the named DP2s.
+	AbortReq struct {
+		Txn  audit.TxnID
+		DP2s []string
+	}
+	// AbortResp acknowledges the rollback.
+	AbortResp struct {
+		Err error
+	}
+	// StateReq asks for a Stats snapshot.
+	StateReq struct{}
+)
+
+// Stats describes monitor activity.
+type Stats struct {
+	Begins, Commits, Aborts int64
+	ActiveTxns              int
+	TCBWrites               int64
+}
+
+// checkpoint deltas
+type beginDelta struct{ txn audit.TxnID }
+type outcomeDelta struct {
+	txn    audit.TxnID
+	commit bool
+}
+
+// tmfState is the monitor's image, mirrored at the backup.
+type tmfState struct {
+	nextTxn audit.TxnID
+	active  map[audit.TxnID]bool
+}
+
+func newState() *tmfState {
+	return &tmfState{nextTxn: 1, active: make(map[audit.TxnID]bool)}
+}
+
+// TMF is a running transaction monitor pair.
+type TMF struct {
+	cl   *cluster.Cluster
+	cfg  Config
+	pair *cluster.Pair
+
+	stats Stats
+}
+
+// Start launches the transaction monitor process pair.
+func Start(cl *cluster.Cluster, cfg Config) *TMF {
+	if cfg.Name == "" {
+		cfg.Name = "$TMF"
+	}
+	if cfg.RequestCPU == 0 {
+		cfg.RequestCPU = 15 * sim.Microsecond
+	}
+	if cfg.TCBRegionSize == 0 {
+		// Sized for ~2700 concurrent transactions; the table is read in
+		// full at recovery, so it stays small by design.
+		cfg.TCBRegionSize = 64 << 10
+	}
+	t := &TMF{cl: cl, cfg: cfg}
+	t.pair = cl.StartPairAbsorb(cfg.Name, cfg.PrimaryCPU, cfg.BackupCPU, t.serve, t.absorb)
+	return t
+}
+
+// Name returns the monitor's service name.
+func (t *TMF) Name() string { return t.cfg.Name }
+
+// Pair returns the process pair, for fault injection.
+func (t *TMF) Pair() *cluster.Pair { return t.pair }
+
+// Stats returns a snapshot of activity counters.
+func (t *TMF) Stats() Stats { return t.stats }
+
+// Stop shuts the monitor down.
+func (t *TMF) Stop() { t.pair.Stop() }
+
+func (t *TMF) absorb(cur, delta interface{}) interface{} {
+	st, _ := cur.(*tmfState)
+	if st == nil {
+		st = newState()
+	}
+	switch d := delta.(type) {
+	case beginDelta:
+		st.active[d.txn] = true
+		if d.txn >= st.nextTxn {
+			st.nextTxn = d.txn + 1
+		}
+	case outcomeDelta:
+		delete(st.active, d.txn)
+	case *tmfState:
+		st = d
+	}
+	return st
+}
+
+func (t *TMF) serve(ctx *cluster.PairCtx) {
+	st := newState()
+	if ctx.Restored != nil {
+		st = ctx.Restored.(*tmfState)
+	}
+
+	var tcb *pmclient.Region
+	if t.cfg.TCBVolume != "" {
+		tcb = t.openTCB(ctx)
+	}
+
+	for {
+		ev := ctx.Recv()
+		ctx.Compute(t.cfg.RequestCPU)
+		switch req := ev.Payload.(type) {
+		case BeginReq:
+			txn := st.nextTxn
+			st.nextTxn++
+			st.active[txn] = true
+			t.stats.Begins++
+			t.pair.CheckpointFrom(ctx.Process, 16, beginDelta{txn: txn})
+			if tcb != nil {
+				t.writeTCB(ctx.Process, tcb, txn, TCBActive)
+			}
+			ev.Reply(BeginResp{Txn: txn})
+		case CommitReq:
+			if !st.active[req.Txn] {
+				ev.Reply(CommitResp{Err: fmt.Errorf("%w: %d", ErrUnknownTxn, req.Txn)})
+				continue
+			}
+			delete(st.active, req.Txn)
+			// Coordinate in a continuation so concurrent transactions
+			// pipeline through the monitor (and group-commit at the ADPs).
+			ctx.CPU().Spawn(fmt.Sprintf("%s-commit-%d", t.cfg.Name, req.Txn), func(p *cluster.Process) {
+				err := t.coordinateCommit(p, tcb, req)
+				if err == nil {
+					t.stats.Commits++
+				} else {
+					t.stats.Aborts++
+				}
+				t.pair.CheckpointFrom(p, 24, outcomeDelta{txn: req.Txn, commit: err == nil})
+				ev.Reply(CommitResp{Err: err})
+			})
+		case AbortReq:
+			if !st.active[req.Txn] {
+				ev.Reply(AbortResp{Err: fmt.Errorf("%w: %d", ErrUnknownTxn, req.Txn)})
+				continue
+			}
+			delete(st.active, req.Txn)
+			ctx.CPU().Spawn(fmt.Sprintf("%s-abort-%d", t.cfg.Name, req.Txn), func(p *cluster.Process) {
+				t.coordinateAbort(p, tcb, req)
+				t.stats.Aborts++
+				t.pair.CheckpointFrom(p, 24, outcomeDelta{txn: req.Txn, commit: false})
+				ev.Reply(AbortResp{})
+			})
+		case StateReq:
+			s := t.stats
+			s.ActiveTxns = len(st.active)
+			ev.Reply(s)
+		default:
+			ev.Reply(CommitResp{Err: fmt.Errorf("tmf: unknown request %T", req)})
+		}
+	}
+}
+
+// coordinateCommit runs the two-phase commit for one transaction. On any
+// error it rolls the transaction back and reports failure.
+func (t *TMF) coordinateCommit(p *cluster.Process, tcb *pmclient.Region, req CommitReq) error {
+	// Phase 1: gather and flush every involved audit stream.
+	adpLSNs, err := t.flushDataAudit(p, req.Txn, req.DP2s)
+	if err != nil {
+		t.rollback(p, req.Txn, req.DP2s)
+		return fmt.Errorf("%w: %v", ErrCommitFailed, err)
+	}
+
+	// Phase 2: commit record in the master log.
+	adps := sortedKeys(adpLSNs)
+	if len(adps) > 0 {
+		master := adps[0]
+		raw, cerr := p.Call(master, 64, adp.CommitReq{Txn: req.Txn})
+		if cerr != nil {
+			t.rollback(p, req.Txn, req.DP2s)
+			return fmt.Errorf("%w: master log: %v", ErrCommitFailed, cerr)
+		}
+		if resp := raw.(adp.CommitResp); resp.Err != nil {
+			t.rollback(p, req.Txn, req.DP2s)
+			return fmt.Errorf("%w: master log: %v", ErrCommitFailed, resp.Err)
+		}
+	}
+
+	// Fine-grained outcome in PM, before externalizing the commit.
+	if tcb != nil {
+		t.writeTCB(p, tcb, req.Txn, TCBCommitted)
+	}
+
+	// Release locks and retire the transaction at the DP2s.
+	t.endAll(p, req.Txn, req.DP2s, true)
+	return nil
+}
+
+// flushDataAudit implements phase 1: each DP2 pushes pending audit and
+// reports (ADP, LSN); then each distinct non-master stream is flushed.
+// The master stream's flush rides on the phase-2 commit record.
+func (t *TMF) flushDataAudit(p *cluster.Process, txn audit.TxnID, dp2s []string) (map[string]audit.LSN, error) {
+	type flushResult struct {
+		resp dp2.FlushAuditResp
+		err  error
+	}
+	sigs := make([]*sim.Signal, 0, len(dp2s))
+	for _, name := range dp2s {
+		sig, err := p.CallAsync(name, 48, dp2.FlushAuditReq{Txn: txn})
+		if err != nil {
+			return nil, err
+		}
+		sigs = append(sigs, sig)
+	}
+	adpLSNs := make(map[string]audit.LSN)
+	for _, sig := range sigs {
+		raw, err := p.AwaitReply(sig)
+		if err != nil {
+			return nil, err
+		}
+		resp := raw.(dp2.FlushAuditResp)
+		if resp.Err != nil {
+			return nil, resp.Err
+		}
+		if resp.ADP == "" {
+			continue // PMDirect DP2: its changes are already persistent
+		}
+		if resp.LSN > adpLSNs[resp.ADP] {
+			adpLSNs[resp.ADP] = resp.LSN
+		} else if _, seen := adpLSNs[resp.ADP]; !seen {
+			adpLSNs[resp.ADP] = resp.LSN
+		}
+	}
+
+	adps := sortedKeys(adpLSNs)
+	if len(adps) <= 1 {
+		return adpLSNs, nil // single stream: phase 2 flush covers it
+	}
+	var flushSigs []*sim.Signal
+	for _, name := range adps[1:] {
+		sig, err := p.CallAsync(name, 48, adp.FlushReq{UpTo: adpLSNs[name]})
+		if err != nil {
+			return nil, err
+		}
+		flushSigs = append(flushSigs, sig)
+	}
+	for _, sig := range flushSigs {
+		raw, err := p.AwaitReply(sig)
+		if err != nil {
+			return nil, err
+		}
+		if resp := raw.(adp.FlushResp); resp.Err != nil {
+			return nil, resp.Err
+		}
+	}
+	return adpLSNs, nil
+}
+
+// coordinateAbort rolls back at the DP2s and lazily notes the abort in
+// each involved audit stream.
+func (t *TMF) coordinateAbort(p *cluster.Process, tcb *pmclient.Region, req AbortReq) {
+	t.rollback(p, req.Txn, req.DP2s)
+	if tcb != nil {
+		t.writeTCB(p, tcb, req.Txn, TCBAborted)
+	}
+}
+
+// rollback undoes the transaction at every DP2 and writes abort records.
+func (t *TMF) rollback(p *cluster.Process, txn audit.TxnID, dp2s []string) {
+	t.endAll(p, txn, dp2s, false)
+	seen := map[string]bool{}
+	for _, name := range dp2s {
+		adpName := adpOf(p, name)
+		if adpName == "" || seen[adpName] {
+			continue
+		}
+		seen[adpName] = true
+		p.Send(adpName, 48, adp.AbortReq{Txn: txn})
+	}
+}
+
+// endAll tells every DP2 the outcome and waits for lock release.
+func (t *TMF) endAll(p *cluster.Process, txn audit.TxnID, dp2s []string, commit bool) {
+	var sigs []*sim.Signal
+	for _, name := range dp2s {
+		if sig, err := p.CallAsync(name, 48, dp2.EndTxnReq{Txn: txn, Commit: commit}); err == nil {
+			sigs = append(sigs, sig)
+		}
+	}
+	for _, sig := range sigs {
+		p.AwaitReply(sig)
+	}
+}
+
+// adpOf asks a DP2 which ADP it audits to (via a zero-flush), used only
+// on the rollback path. Failures are ignored — the DP2 may be mid-
+// takeover, and abort records are advisory.
+func adpOf(p *cluster.Process, dp2Name string) string {
+	raw, err := p.Call(dp2Name, 32, dp2.FlushAuditReq{})
+	if err != nil {
+		return ""
+	}
+	return raw.(dp2.FlushAuditResp).ADP
+}
+
+// writeTCB records a transaction outcome in the PM control-block region.
+func (t *TMF) writeTCB(p *cluster.Process, tcb *pmclient.Region, txn audit.TxnID, state uint8) {
+	entry := EncodeTCB(txn, state)
+	slots := tcb.Size() / TCBEntrySize
+	off := int64(uint64(txn)%uint64(slots)) * TCBEntrySize
+	if err := tcb.Write(p, off, entry); err == nil {
+		t.stats.TCBWrites++
+	}
+}
+
+// openTCB attaches the control-block region (creating it on first boot).
+func (t *TMF) openTCB(ctx *cluster.PairCtx) *pmclient.Region {
+	vol := pmclient.Attach(t.cl, t.cfg.TCBVolume)
+	for attempt := 0; attempt < 3; attempt++ {
+		r, err := vol.Open(ctx.Process, TCBRegionName)
+		if err == nil {
+			return r
+		}
+		if cerr := vol.Create(ctx.Process, TCBRegionName, t.cfg.TCBRegionSize); cerr != nil {
+			ctx.Wait(10 * sim.Millisecond)
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]audit.LSN) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

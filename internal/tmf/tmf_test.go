@@ -1,0 +1,272 @@
+package tmf
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"persistmem/internal/adp"
+	"persistmem/internal/audit"
+	"persistmem/internal/cluster"
+	"persistmem/internal/disk"
+	"persistmem/internal/dp2"
+	"persistmem/internal/npmu"
+	"persistmem/internal/pmm"
+	"persistmem/internal/sim"
+)
+
+// harness builds a minimal transactional stack: one disk ADP, one DP2,
+// and the TMF, optionally with a PM volume for control blocks.
+func harness(t *testing.T, withTCB bool) (*sim.Engine, *cluster.Cluster, *TMF) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cl := cluster.New(eng, cluster.DefaultConfig())
+	auditVol := disk.New(eng, "$AUDIT", disk.DefaultConfig(), 64<<20)
+	adp.Start(cl, adp.Config{Name: "$ADP0", PrimaryCPU: 0, BackupCPU: 1, Mode: adp.Disk, Volume: auditVol})
+	dataVol := disk.New(eng, "$DATA", disk.DefaultConfig(), 64<<20)
+	dp2.Start(cl, dp2.Config{
+		Name: "$DP-F-0", File: "F", Partition: 0,
+		PrimaryCPU: 1, BackupCPU: 2, Volume: dataVol, ADPName: "$ADP0",
+		RetainData: true,
+	})
+	cfg := Config{PrimaryCPU: 0, BackupCPU: 1}
+	if withTCB {
+		a := npmu.New(cl, "npmu-a", 16<<20)
+		b := npmu.New(cl, "npmu-b", 16<<20)
+		pmm.Start(cl, "$PM1", 2, 3, a, b)
+		cfg.TCBVolume = "$PM1"
+	}
+	return eng, cl, Start(cl, cfg)
+}
+
+func begin(t *testing.T, p *cluster.Process) audit.TxnID {
+	t.Helper()
+	raw, err := p.Call("$TMF", 48, BeginReq{})
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	resp := raw.(BeginResp)
+	if resp.Err != nil {
+		t.Fatalf("begin resp: %v", resp.Err)
+	}
+	return resp.Txn
+}
+
+func TestBeginCommitCycle(t *testing.T) {
+	eng, cl, tm := harness(t, false)
+	cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+		txn := begin(t, p)
+		if txn == 0 {
+			t.Fatal("zero txn id")
+		}
+		raw, _ := p.Call("$DP-F-0", 128, dp2.InsertReq{Txn: txn, Key: 1, Body: []byte("v")})
+		if raw.(dp2.InsertResp).Err != nil {
+			t.Fatalf("insert: %v", raw)
+		}
+		craw, err := p.Call("$TMF", 64, CommitReq{Txn: txn, DP2s: []string{"$DP-F-0"}})
+		if err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		if resp := craw.(CommitResp); resp.Err != nil {
+			t.Fatalf("commit resp: %v", resp.Err)
+		}
+	})
+	eng.Run()
+	st := tm.Stats()
+	if st.Begins != 1 || st.Commits != 1 || st.Aborts != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	eng.Shutdown()
+}
+
+func TestMonotonicTxnIDs(t *testing.T) {
+	eng, cl, _ := harness(t, false)
+	cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+		prev := audit.TxnID(0)
+		for i := 0; i < 5; i++ {
+			txn := begin(t, p)
+			if txn <= prev {
+				t.Errorf("txn ids not increasing: %d after %d", txn, prev)
+			}
+			prev = txn
+			p.Call("$TMF", 64, AbortReq{Txn: txn, DP2s: nil})
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestCommitUnknownTxn(t *testing.T) {
+	eng, cl, _ := harness(t, false)
+	cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+		raw, _ := p.Call("$TMF", 64, CommitReq{Txn: 999})
+		if !errors.Is(raw.(CommitResp).Err, ErrUnknownTxn) {
+			t.Errorf("err = %v, want ErrUnknownTxn", raw.(CommitResp).Err)
+		}
+		raw2, _ := p.Call("$TMF", 64, AbortReq{Txn: 999})
+		if !errors.Is(raw2.(AbortResp).Err, ErrUnknownTxn) {
+			t.Errorf("abort err = %v", raw2.(AbortResp).Err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestDoubleCommitRejected(t *testing.T) {
+	eng, cl, _ := harness(t, false)
+	cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+		txn := begin(t, p)
+		p.Call("$TMF", 64, CommitReq{Txn: txn})
+		raw, _ := p.Call("$TMF", 64, CommitReq{Txn: txn})
+		if !errors.Is(raw.(CommitResp).Err, ErrUnknownTxn) {
+			t.Errorf("second commit: %v, want ErrUnknownTxn", raw.(CommitResp).Err)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestEmptyTxnCommits(t *testing.T) {
+	eng, cl, _ := harness(t, false)
+	cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+		txn := begin(t, p)
+		raw, err := p.Call("$TMF", 64, CommitReq{Txn: txn, DP2s: nil})
+		if err != nil || raw.(CommitResp).Err != nil {
+			t.Errorf("empty commit failed: %v %v", err, raw)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestAbortReleasesLocksAtDP2(t *testing.T) {
+	eng, cl, _ := harness(t, false)
+	cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+		txn := begin(t, p)
+		p.Call("$DP-F-0", 128, dp2.InsertReq{Txn: txn, Key: 7, Body: []byte("a")})
+		raw, err := p.Call("$TMF", 64, AbortReq{Txn: txn, DP2s: []string{"$DP-F-0"}})
+		if err != nil || raw.(AbortResp).Err != nil {
+			t.Fatalf("abort: %v %v", err, raw)
+		}
+		// The key is free again.
+		txn2 := begin(t, p)
+		raw2, _ := p.Call("$DP-F-0", 128, dp2.InsertReq{Txn: txn2, Key: 7, Body: []byte("b")})
+		if raw2.(dp2.InsertResp).Err != nil {
+			t.Errorf("insert after abort: %v", raw2.(dp2.InsertResp).Err)
+		}
+		p.Call("$TMF", 64, CommitReq{Txn: txn2, DP2s: []string{"$DP-F-0"}})
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestConcurrentCommitsPipeline(t *testing.T) {
+	// Two clients commit at once; the coordinator continuations must let
+	// both proceed (no serialization through the monitor's serve loop).
+	eng, cl, tm := harness(t, false)
+	done := 0
+	for i := 0; i < 2; i++ {
+		key := uint64(100 + i)
+		cl.CPU(2+i).Spawn("client", func(p *cluster.Process) {
+			txn := begin(t, p)
+			p.Call("$DP-F-0", 128, dp2.InsertReq{Txn: txn, Key: key, Body: []byte("v")})
+			raw, err := p.Call("$TMF", 64, CommitReq{Txn: txn, DP2s: []string{"$DP-F-0"}})
+			if err == nil && raw.(CommitResp).Err == nil {
+				done++
+			}
+		})
+	}
+	eng.Run()
+	if done != 2 {
+		t.Fatalf("%d/2 concurrent commits", done)
+	}
+	if tm.Stats().Commits != 2 {
+		t.Errorf("Commits = %d", tm.Stats().Commits)
+	}
+	eng.Shutdown()
+}
+
+func TestTCBWritesOnOutcomes(t *testing.T) {
+	eng, cl, tm := harness(t, true)
+	cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+		txn := begin(t, p)
+		p.Call("$DP-F-0", 128, dp2.InsertReq{Txn: txn, Key: 1, Body: []byte("v")})
+		p.Call("$TMF", 64, CommitReq{Txn: txn, DP2s: []string{"$DP-F-0"}})
+		txn2 := begin(t, p)
+		p.Call("$TMF", 64, AbortReq{Txn: txn2})
+	})
+	eng.Run()
+	// begin(2) + commit(1) + abort(1) = 4 TCB writes.
+	if tm.Stats().TCBWrites != 4 {
+		t.Errorf("TCBWrites = %d, want 4", tm.Stats().TCBWrites)
+	}
+	eng.Shutdown()
+}
+
+func TestStateReport(t *testing.T) {
+	eng, cl, _ := harness(t, false)
+	var st Stats
+	cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+		begin(t, p) // left active
+		raw, err := p.Call("$TMF", 32, StateReq{})
+		if err != nil {
+			t.Fatalf("state: %v", err)
+		}
+		st = raw.(Stats)
+	})
+	eng.Run()
+	if st.Begins != 1 || st.ActiveTxns != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	eng.Shutdown()
+}
+
+func TestTCBEncodeDecode(t *testing.T) {
+	e := EncodeTCB(42, TCBCommitted)
+	if len(e) != TCBEntrySize {
+		t.Fatalf("entry size %d", len(e))
+	}
+	txn, state, ok := DecodeTCB(e)
+	if !ok || txn != 42 || state != TCBCommitted {
+		t.Errorf("decode = %d,%d,%v", txn, state, ok)
+	}
+	// Corruption is detected.
+	e[5] ^= 0xFF
+	if _, _, ok := DecodeTCB(e); ok {
+		t.Error("corrupt entry decoded")
+	}
+	// Empty slots are not entries.
+	if _, _, ok := DecodeTCB(make([]byte, TCBEntrySize)); ok {
+		t.Error("zero slot decoded")
+	}
+	if _, _, ok := DecodeTCB(nil); ok {
+		t.Error("nil decoded")
+	}
+}
+
+func TestScanTCBs(t *testing.T) {
+	img := make([]byte, 10*TCBEntrySize)
+	copy(img[0:], EncodeTCB(1, TCBCommitted))
+	copy(img[3*TCBEntrySize:], EncodeTCB(2, TCBAborted))
+	copy(img[7*TCBEntrySize:], EncodeTCB(3, TCBActive))
+	out := ScanTCBs(img)
+	if len(out) != 3 || out[1] != TCBCommitted || out[2] != TCBAborted || out[3] != TCBActive {
+		t.Errorf("ScanTCBs = %v", out)
+	}
+}
+
+// Property: every (txn, state) round-trips through a TCB entry and
+// survives embedding at any slot of a region image.
+func TestTCBRoundTripProperty(t *testing.T) {
+	prop := func(txn uint64, state uint8, slot uint8) bool {
+		st := state%3 + 1
+		img := make([]byte, 32*TCBEntrySize)
+		off := int(slot%32) * TCBEntrySize
+		copy(img[off:], EncodeTCB(audit.TxnID(txn), st))
+		out := ScanTCBs(img)
+		return len(out) == 1 && out[audit.TxnID(txn)] == st
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

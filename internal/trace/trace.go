@@ -1,0 +1,151 @@
+// Package trace records client-visible transaction timelines: when a
+// transaction began, when each insert was issued and completed, and how
+// long the commit protocol took. The recorder is deliberately simple —
+// an append-only event list in virtual time — and the renderer produces
+// per-transaction waterfalls, which is how the response-time breakdowns
+// in this repository's documentation were produced.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"persistmem/internal/audit"
+	"persistmem/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the session layer.
+const (
+	Begin       Kind = "begin"
+	InsertIssue Kind = "insert-issue"
+	InsertDone  Kind = "insert-done"
+	ReadDone    Kind = "read"
+	CommitStart Kind = "commit-start"
+	CommitDone  Kind = "commit-done"
+	AbortDone   Kind = "abort"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	Txn    audit.TxnID
+	Kind   Kind
+	At     sim.Time
+	Detail string
+}
+
+// Recorder accumulates events. The zero value records nothing; create one
+// with New. Recording is bounded: after Max events the recorder drops new
+// entries (and says so in the rendering) rather than growing without
+// limit.
+type Recorder struct {
+	Max     int
+	events  []Event
+	dropped int64
+}
+
+// New returns a recorder bounded to max events (0 means 64k).
+func New(max int) *Recorder {
+	if max <= 0 {
+		max = 64 << 10
+	}
+	return &Recorder{Max: max}
+}
+
+// Emit appends one event.
+func (r *Recorder) Emit(txn audit.TxnID, kind Kind, at sim.Time, detail string) {
+	if r == nil {
+		return
+	}
+	if len(r.events) >= r.Max {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{Txn: txn, Kind: kind, At: at, Detail: detail})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Dropped returns how many events exceeded the bound.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Events returns all events for a transaction, in time order.
+func (r *Recorder) Events(txn audit.TxnID) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Txn == txn {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Txns returns the distinct transaction ids seen, ascending.
+func (r *Recorder) Txns() []audit.TxnID {
+	seen := map[audit.TxnID]bool{}
+	var out []audit.TxnID
+	for _, e := range r.events {
+		if !seen[e.Txn] {
+			seen[e.Txn] = true
+			out = append(out, e.Txn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Timeline renders one transaction's waterfall with offsets from its
+// begin event.
+func (r *Recorder) Timeline(txn audit.TxnID) string {
+	evs := r.Events(txn)
+	if len(evs) == 0 {
+		return fmt.Sprintf("txn %d: no events\n", txn)
+	}
+	base := evs[0].At
+	var b strings.Builder
+	fmt.Fprintf(&b, "txn %d (begin at %v):\n", txn, base)
+	for _, e := range evs {
+		fmt.Fprintf(&b, "  +%-10v %-13s %s\n", e.At-base, e.Kind, e.Detail)
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "  (%d events dropped at recorder bound)\n", r.dropped)
+	}
+	return b.String()
+}
+
+// Breakdown computes, per transaction, the time spent before commit
+// (issue phase) and inside commit, returning averages — the decomposition
+// behind the paper's "the long pole ... is the action of making the
+// effects durable".
+func (r *Recorder) Breakdown() (issue, commit sim.Time, txns int) {
+	var sumIssue, sumCommit sim.Time
+	for _, txn := range r.Txns() {
+		evs := r.Events(txn)
+		var begin, cStart, cDone sim.Time = -1, -1, -1
+		for _, e := range evs {
+			switch e.Kind {
+			case Begin:
+				begin = e.At
+			case CommitStart:
+				cStart = e.At
+			case CommitDone:
+				cDone = e.At
+			}
+		}
+		if begin < 0 || cStart < 0 || cDone < 0 {
+			continue
+		}
+		sumIssue += cStart - begin
+		sumCommit += cDone - cStart
+		txns++
+	}
+	if txns == 0 {
+		return 0, 0, 0
+	}
+	return sumIssue / sim.Time(txns), sumCommit / sim.Time(txns), txns
+}

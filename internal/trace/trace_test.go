@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"persistmem/internal/sim"
+)
+
+func TestEmitAndEvents(t *testing.T) {
+	r := New(0)
+	r.Emit(1, Begin, 100, "")
+	r.Emit(2, Begin, 150, "")
+	r.Emit(1, CommitStart, 300, "2 DP2s")
+	r.Emit(1, CommitDone, 900, "")
+	evs := r.Events(1)
+	if len(evs) != 3 {
+		t.Fatalf("Events(1) = %d", len(evs))
+	}
+	if evs[0].Kind != Begin || evs[2].Kind != CommitDone {
+		t.Errorf("order wrong: %+v", evs)
+	}
+	if len(r.Events(99)) != 0 {
+		t.Error("events for unseen txn")
+	}
+	txns := r.Txns()
+	if len(txns) != 2 || txns[0] != 1 || txns[1] != 2 {
+		t.Errorf("Txns = %v", txns)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := New(0)
+	r.Emit(7, Begin, sim.Millisecond, "")
+	r.Emit(7, InsertIssue, sim.Millisecond+50*sim.Microsecond, "$DP-A-0 key=1 64B")
+	r.Emit(7, CommitDone, 2*sim.Millisecond, "")
+	out := r.Timeline(7)
+	for _, want := range []string{"txn 7", "+0", "insert-issue", "$DP-A-0", "commit-done"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Timeline missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(r.Timeline(99), "no events") {
+		t.Error("empty timeline not reported")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	r := New(0)
+	// Txn 1: 1ms issue, 3ms commit. Txn 2: 2ms issue, 5ms commit.
+	r.Emit(1, Begin, 0, "")
+	r.Emit(1, CommitStart, sim.Millisecond, "")
+	r.Emit(1, CommitDone, 4*sim.Millisecond, "")
+	r.Emit(2, Begin, 10*sim.Millisecond, "")
+	r.Emit(2, CommitStart, 12*sim.Millisecond, "")
+	r.Emit(2, CommitDone, 17*sim.Millisecond, "")
+	// Incomplete txn ignored.
+	r.Emit(3, Begin, 20*sim.Millisecond, "")
+	issue, commit, txns := r.Breakdown()
+	if txns != 2 {
+		t.Fatalf("txns = %d", txns)
+	}
+	if issue != 1500*sim.Microsecond {
+		t.Errorf("issue = %v, want 1.5ms", issue)
+	}
+	if commit != 4*sim.Millisecond {
+		t.Errorf("commit = %v, want 4ms", commit)
+	}
+}
+
+func TestBound(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		r.Emit(1, Begin, sim.Time(i), "")
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 7 {
+		t.Errorf("Dropped = %d", r.Dropped())
+	}
+	if !strings.Contains(r.Timeline(1), "dropped") {
+		t.Error("drop notice missing from timeline")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(1, Begin, 0, "") // must not panic
+}
