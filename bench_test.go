@@ -24,6 +24,7 @@ import (
 // paper's headline point (32k, 1 driver) and the minimum speedup across
 // the whole figure.
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f := bench.RunFigure1(1, bench.Smoke)
 		if errs := f.CheckShape(); len(errs) > 0 {
@@ -46,6 +47,7 @@ func BenchmarkFigure1(b *testing.B) {
 // size, 1–2 drivers, PM vs no-PM). Reported metrics: how steeply the
 // no-PM elapsed time grows from 128k to 32k boxcars versus PM's.
 func BenchmarkFigure2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f := bench.RunFigure2(1, bench.Smoke)
 		if errs := f.CheckShape(); len(errs) > 0 {
@@ -61,6 +63,7 @@ func BenchmarkFigure2(b *testing.B) {
 // disk-stack write latency vs synchronous mirrored PM write latency.
 // Reported metrics: both latencies at 512 B, in virtual microseconds.
 func BenchmarkClaimLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c := bench.RunClaimC1(1)
 		if errs := c.CheckShape(); len(errs) > 0 {
@@ -76,6 +79,7 @@ func BenchmarkClaimLatency(b *testing.B) {
 // transaction control blocks. Reported metrics: both MTTRs in virtual
 // milliseconds.
 func BenchmarkClaimMTTR(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dres := recovery.RunScenario(ods.DiskDurability, 100, 1)
 		diskRep, _, err := dres.RecoverDisk(recovery.Options{})
@@ -102,6 +106,7 @@ func BenchmarkClaimMTTR(b *testing.B) {
 // configuration. Reported metric: the log writer's backup-checkpoint
 // bytes per row in each mode (the hop PM eliminates).
 func BenchmarkClaimWriteAmp(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c := bench.RunClaimC3(1, bench.Smoke)
 		if errs := c.CheckShape(); len(errs) > 0 {
@@ -115,6 +120,7 @@ func BenchmarkClaimWriteAmp(b *testing.B) {
 // BenchmarkAblationGroupCommit measures ablation A1: elapsed-time penalty
 // of disabling commit piggybacking in the disk log writer at 4 drivers.
 func BenchmarkAblationGroupCommit(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a := bench.RunAblationA1(1, bench.Smoke)
 		if errs := a.CheckShape(); len(errs) > 0 {
@@ -128,6 +134,7 @@ func BenchmarkAblationGroupCommit(b *testing.B) {
 // BenchmarkAblationMirroring measures ablation A2: response-time overhead
 // of writing both NPMUs of the mirrored pair versus a single device.
 func BenchmarkAblationMirroring(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a := bench.RunAblationA2(1, bench.Smoke)
 		if errs := a.CheckShape(); len(errs) > 0 {
@@ -140,6 +147,7 @@ func BenchmarkAblationMirroring(b *testing.B) {
 // BenchmarkAblationNetLatency measures ablation A3: PM-mode response time
 // across the paper's 10–20 µs ServerNet software-latency range.
 func BenchmarkAblationNetLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a := bench.RunAblationA3(1, bench.Smoke)
 		if errs := a.CheckShape(); len(errs) > 0 {
@@ -163,6 +171,7 @@ func BenchmarkHotStockPM(b *testing.B) {
 }
 
 func benchmarkHotStock(b *testing.B, d ods.Durability) {
+	b.ReportAllocs()
 	txns := b.N
 	opts := ods.DefaultOptions()
 	opts.Durability = d
@@ -175,4 +184,7 @@ func benchmarkHotStock(b *testing.B, d ods.Durability) {
 	})
 	b.StopTimer()
 	b.ReportMetric(r.MeanResp().Micros(), "virtResp-us")
+	// Simulation events per transaction: with -benchmem this turns the
+	// allocs/op column into allocs/event at a glance.
+	b.ReportMetric(float64(r.Events)/float64(b.N), "events/op")
 }

@@ -23,13 +23,15 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "which experiment: all, 1, 2, c1, c2, c3, a1, a2, a3, a4")
-		scale = flag.String("scale", "quick", "run scale: full (paper, 32000 records/driver), quick, smoke")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of tables (figures 1 and 2)")
-		check = flag.Bool("check", false, "run shape checks and exit non-zero on failure")
+		fig      = flag.String("fig", "all", "which experiment: all, 1, 2, c1, c2, c3, a1, a2, a3, a4")
+		scale    = flag.String("scale", "quick", "run scale: full (paper, 32000 records/driver), quick, smoke")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables (figures 1 and 2)")
+		check    = flag.Bool("check", false, "run shape checks and exit non-zero on failure")
+		parallel = flag.Int("parallel", 0, "sweep cells simulated concurrently (0 = one per CPU, 1 = sequential); output is identical at any setting")
 	)
 	flag.Parse()
+	runner := bench.Runner{Parallelism: *parallel}
 
 	var sc bench.Scale
 	switch *scale {
@@ -54,7 +56,7 @@ func main() {
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 
 	if want("1") {
-		f := bench.RunFigure1(*seed, sc)
+		f := runner.Figure1(*seed, sc)
 		if *csv {
 			fmt.Print(f.CSV())
 		} else {
@@ -65,7 +67,7 @@ func main() {
 		}
 	}
 	if want("2") {
-		f := bench.RunFigure2(*seed, sc)
+		f := runner.Figure2(*seed, sc)
 		if *csv {
 			fmt.Print(f.CSV())
 		} else {
@@ -83,42 +85,42 @@ func main() {
 		}
 	}
 	if want("c2") {
-		c := bench.RunClaimC2(*seed, sc)
+		c := runner.ClaimC2(*seed, sc)
 		fmt.Println(c.Table())
 		if *check {
 			report(c.CheckShape())
 		}
 	}
 	if want("c3") {
-		c := bench.RunClaimC3(*seed, sc)
+		c := runner.ClaimC3(*seed, sc)
 		fmt.Println(c.Table())
 		if *check {
 			report(c.CheckShape())
 		}
 	}
 	if want("a1") {
-		a := bench.RunAblationA1(*seed, sc)
+		a := runner.AblationA1(*seed, sc)
 		fmt.Println(a.Table())
 		if *check {
 			report(a.CheckShape())
 		}
 	}
 	if want("a2") {
-		a := bench.RunAblationA2(*seed, sc)
+		a := runner.AblationA2(*seed, sc)
 		fmt.Println(a.Table())
 		if *check {
 			report(a.CheckShape())
 		}
 	}
 	if want("a3") {
-		a := bench.RunAblationA3(*seed, sc)
+		a := runner.AblationA3(*seed, sc)
 		fmt.Println(a.Table())
 		if *check {
 			report(a.CheckShape())
 		}
 	}
 	if want("a4") {
-		a := bench.RunAblationA4(*seed, sc)
+		a := runner.AblationA4(*seed, sc)
 		fmt.Println(a.Table())
 		if *check {
 			report(a.CheckShape())

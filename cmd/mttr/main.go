@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"persistmem/internal/avail"
+	"persistmem/internal/bench"
 	"persistmem/internal/ods"
 	"persistmem/internal/recovery"
 	"persistmem/internal/sim"
@@ -19,8 +20,9 @@ import (
 
 func main() {
 	var (
-		txns = flag.Int("txns", 500, "committed transactions before the crash (4 x 4KB inserts each)")
-		seed = flag.Int64("seed", 1, "simulation seed")
+		txns     = flag.Int("txns", 500, "committed transactions before the crash (4 x 4KB inserts each)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 0, "recovery scenarios simulated concurrently (0 = one per CPU, 1 = sequential); output is identical at any setting")
 	)
 	flag.Parse()
 
@@ -30,36 +32,57 @@ func main() {
 		name string
 		rep  recovery.Report
 		rows int
+		err  string
 	}
-	var rows []row
-
-	dres := recovery.RunScenario(ods.DiskDurability, *txns, *seed)
-	if len(dres.Errs) > 0 {
-		fmt.Fprintf(os.Stderr, "disk workload failed: %v\n", dres.Errs)
-		os.Exit(1)
+	// The three scenarios are independent simulations (each builds its own
+	// engine), so they fan out across the pool; errors are reported after
+	// the pool drains, in scenario order, so output stays deterministic.
+	rows := []row{
+		{name: "disk audit, log scan"},
+		{name: "PM audit, log scan (no TCB)"},
+		{name: "PM audit + fine-grained TCBs"},
 	}
-	rep, rb, err := dres.RecoverDisk(recovery.Options{})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "disk recovery: %v\n", err)
-		os.Exit(1)
+	bench.ForEach(*parallel, len(rows), func(i int) {
+		var (
+			rep recovery.Report
+			rb  *recovery.Rebuilt
+			err error
+		)
+		switch i {
+		case 0:
+			res := recovery.RunScenario(ods.DiskDurability, *txns, *seed)
+			if len(res.Errs) > 0 {
+				rows[i].err = fmt.Sprintf("disk workload failed: %v", res.Errs)
+				return
+			}
+			rep, rb, err = res.RecoverDisk(recovery.Options{})
+			if err != nil {
+				rows[i].err = fmt.Sprintf("disk recovery: %v", err)
+				return
+			}
+		case 1:
+			res := recovery.RunScenario(ods.PMDurability, *txns, *seed)
+			rep, rb, err = res.RecoverPM(recovery.Options{}, false)
+			if err != nil {
+				rows[i].err = fmt.Sprintf("pm recovery (no TCB): %v", err)
+				return
+			}
+		case 2:
+			res := recovery.RunScenario(ods.PMDurability, *txns, *seed)
+			rep, rb, err = res.RecoverPM(recovery.Options{}, true)
+			if err != nil {
+				rows[i].err = fmt.Sprintf("pm recovery (TCB): %v", err)
+				return
+			}
+		}
+		rows[i].rep, rows[i].rows = rep, rb.Rows()
+	})
+	for _, r := range rows {
+		if r.err != "" {
+			fmt.Fprintln(os.Stderr, r.err)
+			os.Exit(1)
+		}
 	}
-	rows = append(rows, row{"disk audit, log scan", rep, rb.Rows()})
-
-	pres := recovery.RunScenario(ods.PMDurability, *txns, *seed)
-	rep2, rb2, err := pres.RecoverPM(recovery.Options{}, false)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pm recovery (no TCB): %v\n", err)
-		os.Exit(1)
-	}
-	rows = append(rows, row{"PM audit, log scan (no TCB)", rep2, rb2.Rows()})
-
-	pres2 := recovery.RunScenario(ods.PMDurability, *txns, *seed)
-	rep3, rb3, err := pres2.RecoverPM(recovery.Options{}, true)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pm recovery (TCB): %v\n", err)
-		os.Exit(1)
-	}
-	rows = append(rows, row{"PM audit + fine-grained TCBs", rep3, rb3.Rows()})
 
 	fmt.Printf("%-30s %12s %10s %10s %10s %8s\n",
 		"recovery path", "MTTR", "read", "records", "committed", "rows")

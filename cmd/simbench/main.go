@@ -1,0 +1,157 @@
+// Command simbench records the simulator's own performance — as opposed
+// to the simulated system's — in a machine-readable file, so the kernel's
+// perf trajectory can be tracked across commits.
+//
+// It measures the kernel microbenchmark (ns/event, allocs/event,
+// events/sec for a Schedule+dispatch cycle), a hot-stock run's event
+// throughput, and the wall-clock time of the Figure 1 + Figure 2 sweeps
+// at the chosen scale and parallelism.
+//
+// Usage:
+//
+//	simbench                          # smoke-scale sweep, BENCH_kernel.json
+//	simbench -scale quick -parallel 8 -out bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"persistmem/internal/bench"
+	"persistmem/internal/hotstock"
+	"persistmem/internal/ods"
+	"persistmem/internal/sim"
+)
+
+// report is the JSON document simbench writes.
+type report struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp"`
+
+	// Kernel is the raw Schedule+dispatch cycle cost.
+	Kernel struct {
+		NsPerEvent     float64 `json:"ns_per_event"`
+		AllocsPerEvent float64 `json:"allocs_per_event"`
+		BytesPerEvent  float64 `json:"bytes_per_event"`
+		EventsPerSec   float64 `json:"events_per_sec"`
+	} `json:"kernel"`
+
+	// HotStock is a full-stack measurement: one smoke-scale hot-stock run
+	// (disk mode), events dispatched per wall-clock second.
+	HotStock struct {
+		Events       uint64  `json:"events"`
+		WallSeconds  float64 `json:"wall_seconds"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	} `json:"hotstock"`
+
+	// Sweep is the experiment harness's wall time at the chosen settings.
+	Sweep struct {
+		Scale        string  `json:"scale"`
+		Parallelism  int     `json:"parallelism"`
+		Figure1WallS float64 `json:"figure1_wall_s"`
+		Figure2WallS float64 `json:"figure2_wall_s"`
+		TotalWallS   float64 `json:"total_wall_s"`
+	} `json:"sweep"`
+}
+
+func main() {
+	var (
+		scale    = flag.String("scale", "smoke", "sweep scale: full, quick, smoke")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 0, "sweep cells simulated concurrently (0 = one per CPU)")
+		out      = flag.String("out", "BENCH_kernel.json", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scale {
+	case "full":
+		sc = bench.Full
+	case "quick":
+		sc = bench.Quick
+	case "smoke":
+		sc = bench.Smoke
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var rep report
+	rep.GoVersion = runtime.Version()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
+
+	// Kernel microbenchmark: the same loop as BenchmarkEngineScheduleDispatch.
+	kr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine(1)
+		n := 0
+		var step func()
+		step = func() {
+			n++
+			if n < b.N {
+				e.Schedule(e.Now()+1, step)
+			}
+		}
+		e.Schedule(1, step)
+		b.ResetTimer()
+		e.Run()
+	})
+	rep.Kernel.NsPerEvent = float64(kr.NsPerOp())
+	rep.Kernel.AllocsPerEvent = float64(kr.AllocsPerOp())
+	rep.Kernel.BytesPerEvent = float64(kr.AllocedBytesPerOp())
+	if kr.NsPerOp() > 0 {
+		rep.Kernel.EventsPerSec = 1e9 / float64(kr.NsPerOp())
+	}
+
+	// Full-stack event throughput: one smoke hot-stock run, disk mode.
+	opts := ods.DefaultOptions()
+	opts.Seed = *seed
+	start := time.Now()
+	hr := hotstock.Run(opts, hotstock.Params{
+		Drivers: 1, RecordsPerDriver: bench.Smoke.RecordsPerDriver,
+		InsertsPerTxn: 8, RecordBytes: 4096,
+	})
+	wall := time.Since(start).Seconds()
+	rep.HotStock.Events = hr.Events
+	rep.HotStock.WallSeconds = wall
+	if wall > 0 {
+		rep.HotStock.EventsPerSec = float64(hr.Events) / wall
+	}
+
+	// Sweep wall time at the requested scale/parallelism.
+	runner := bench.Runner{Parallelism: *parallel}
+	rep.Sweep.Scale = sc.Name
+	rep.Sweep.Parallelism = *parallel
+	t1 := time.Now()
+	runner.Figure1(*seed, sc)
+	rep.Sweep.Figure1WallS = time.Since(t1).Seconds()
+	t2 := time.Now()
+	runner.Figure2(*seed, sc)
+	rep.Sweep.Figure2WallS = time.Since(t2).Seconds()
+	rep.Sweep.TotalWallS = rep.Sweep.Figure1WallS + rep.Sweep.Figure2WallS
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: kernel %.1f ns/event (%.0f allocs), %s sweep %.2fs at parallel=%d\n",
+		*out, rep.Kernel.NsPerEvent, rep.Kernel.AllocsPerEvent, sc.Name,
+		rep.Sweep.TotalWallS, *parallel)
+}

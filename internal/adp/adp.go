@@ -221,6 +221,11 @@ func (a *ADP) serve(ctx *cluster.PairCtx) {
 		}
 	}
 
+	// scratch holds one encoded control record at a time. The serve loop
+	// is a single simulated process and both backends copy the bytes out
+	// before append returns, so the buffer is reusable across requests.
+	var scratch []byte
+
 	for {
 		ev := ctx.Recv()
 		batch := []cluster.Envelope{ev}
@@ -244,8 +249,8 @@ func (a *ADP) serve(ctx *cluster.PairCtx) {
 				a.stats.AppendBytes += int64(len(req.Data))
 				ev.Reply(AppendResp{End: end, Err: err})
 			case CommitReq:
-				rec := audit.AppendRecord(nil, &audit.Record{Type: audit.RecCommit, Txn: req.Txn})
-				end, err := a.append(ctx, st, region, rec)
+				scratch = audit.AppendRecord(scratch[:0], &audit.Record{Type: audit.RecCommit, Txn: req.Txn})
+				end, err := a.append(ctx, st, region, scratch)
 				if err != nil {
 					ev.Reply(CommitResp{Err: err})
 					continue
@@ -253,8 +258,8 @@ func (a *ADP) serve(ctx *cluster.PairCtx) {
 				a.stats.Commits++
 				waiters = append(waiters, flushWaiter{upTo: end, ev: ev, kind: audit.RecCommit})
 			case AbortReq:
-				rec := audit.AppendRecord(nil, &audit.Record{Type: audit.RecAbort, Txn: req.Txn})
-				a.append(ctx, st, region, rec)
+				scratch = audit.AppendRecord(scratch[:0], &audit.Record{Type: audit.RecAbort, Txn: req.Txn})
+				a.append(ctx, st, region, scratch)
 				a.stats.Aborts++
 				ev.Reply(FlushResp{Durable: st.durableLSN})
 			case FlushReq:

@@ -18,20 +18,33 @@ type AblationA1 struct {
 	ElapsedOn, ElapsedOff []sim.Time
 }
 
-// RunAblationA1 runs the group-commit ablation.
+// RunAblationA1 runs the group-commit ablation with default parallelism.
 func RunAblationA1(seed int64, scale Scale) AblationA1 {
+	return Runner{}.AblationA1(seed, scale)
+}
+
+// AblationA1 runs the group-commit ablation (3 driver counts × on/off)
+// with the Runner's parallelism.
+func (r Runner) AblationA1(seed int64, scale Scale) AblationA1 {
 	a := AblationA1{Drivers: []int{1, 2, 4}}
-	for _, d := range a.Drivers {
+	a.ElapsedOn = make([]sim.Time, len(a.Drivers))
+	a.ElapsedOff = make([]sim.Time, len(a.Drivers))
+	r.forEach(len(a.Drivers)*2, func(i int) {
+		di, off := i/2, i%2 == 1
 		params := hotstock.Params{
-			Drivers: d, RecordsPerDriver: (scale.RecordsPerDriver / 8) * 8,
+			Drivers: a.Drivers[di], RecordsPerDriver: (scale.RecordsPerDriver / 8) * 8,
 			InsertsPerTxn: 8, RecordBytes: 4096,
 		}
 		opts := ods.DefaultOptions()
 		opts.Seed = seed
-		a.ElapsedOn = append(a.ElapsedOn, hotstock.Run(opts, params).Elapsed)
-		opts.NoGroupCommit = true
-		a.ElapsedOff = append(a.ElapsedOff, hotstock.Run(opts, params).Elapsed)
-	}
+		opts.NoGroupCommit = off
+		elapsed := hotstock.Run(opts, params).Elapsed
+		if off {
+			a.ElapsedOff[di] = elapsed
+		} else {
+			a.ElapsedOn[di] = elapsed
+		}
+	})
 	return a
 }
 
@@ -66,19 +79,27 @@ type AblationA2 struct {
 	MirroredResp, SingleResp sim.Time
 }
 
-// RunAblationA2 runs the mirroring ablation (1 driver, 32k transactions).
+// RunAblationA2 runs the mirroring ablation with default parallelism.
 func RunAblationA2(seed int64, scale Scale) AblationA2 {
+	return Runner{}.AblationA2(seed, scale)
+}
+
+// AblationA2 runs the mirroring ablation (1 driver, 32k transactions,
+// mirrored vs single device) with the Runner's parallelism.
+func (r Runner) AblationA2(seed int64, scale Scale) AblationA2 {
 	params := hotstock.Params{
 		Drivers: 1, RecordsPerDriver: (scale.RecordsPerDriver / 8) * 8,
 		InsertsPerTxn: 8, RecordBytes: 4096,
 	}
-	opts := ods.DefaultOptions()
-	opts.Seed = seed
-	opts.Durability = ods.PMDurability
-	mir := hotstock.Run(opts, params)
-	opts.MirrorPM = false
-	single := hotstock.Run(opts, params)
-	return AblationA2{MirroredResp: mir.MeanResp(), SingleResp: single.MeanResp()}
+	var cells [2]sim.Time
+	r.forEach(len(cells), func(i int) {
+		opts := ods.DefaultOptions()
+		opts.Seed = seed
+		opts.Durability = ods.PMDurability
+		opts.MirrorPM = i == 0
+		cells[i] = hotstock.Run(opts, params).MeanResp()
+	})
+	return AblationA2{MirroredResp: cells[0], SingleResp: cells[1]}
 }
 
 // Table renders the ablation.
@@ -114,22 +135,30 @@ type AblationA4 struct {
 	Elapsed [3]sim.Time
 }
 
-// RunAblationA4 runs the architecture comparison (1 driver, 32k txns).
+// RunAblationA4 runs the architecture comparison with default
+// parallelism.
 func RunAblationA4(seed int64, scale Scale) AblationA4 {
+	return Runner{}.AblationA4(seed, scale)
+}
+
+// AblationA4 runs the architecture comparison (1 driver, 32k txns, three
+// durability modes) with the Runner's parallelism.
+func (r Runner) AblationA4(seed int64, scale Scale) AblationA4 {
 	params := hotstock.Params{
 		Drivers: 1, RecordsPerDriver: (scale.RecordsPerDriver / 8) * 8,
 		InsertsPerTxn: 8, RecordBytes: 4096,
 	}
+	modes := []ods.Durability{ods.DiskDurability, ods.PMDurability, ods.PMDirectDurability}
 	var a AblationA4
-	for i, d := range []ods.Durability{ods.DiskDurability, ods.PMDurability, ods.PMDirectDurability} {
+	r.forEach(len(modes), func(i int) {
 		opts := ods.DefaultOptions()
 		opts.Seed = seed
-		opts.Durability = d
+		opts.Durability = modes[i]
 		opts.PMRegionBytes = 8 << 20 // 16 per-DP2 regions must fit the NPMU
-		r := hotstock.Run(opts, params)
-		a.Resp[i] = r.MeanResp()
-		a.Elapsed[i] = r.Elapsed
-	}
+		res := hotstock.Run(opts, params)
+		a.Resp[i] = res.MeanResp()
+		a.Elapsed[i] = res.Elapsed
+	})
 	return a
 }
 
@@ -165,20 +194,28 @@ type AblationA3 struct {
 	PMResp    []sim.Time
 }
 
-// RunAblationA3 sweeps the ServerNet software latency.
+// RunAblationA3 sweeps the ServerNet software latency with default
+// parallelism.
 func RunAblationA3(seed int64, scale Scale) AblationA3 {
+	return Runner{}.AblationA3(seed, scale)
+}
+
+// AblationA3 sweeps the ServerNet software latency (3 cells) with the
+// Runner's parallelism.
+func (r Runner) AblationA3(seed int64, scale Scale) AblationA3 {
 	a := AblationA3{Latencies: []sim.Time{10 * sim.Microsecond, 15 * sim.Microsecond, 20 * sim.Microsecond}}
 	params := hotstock.Params{
 		Drivers: 1, RecordsPerDriver: (scale.RecordsPerDriver / 8) * 8,
 		InsertsPerTxn: 8, RecordBytes: 4096,
 	}
-	for _, lat := range a.Latencies {
+	a.PMResp = make([]sim.Time, len(a.Latencies))
+	r.forEach(len(a.Latencies), func(i int) {
 		opts := ods.DefaultOptions()
 		opts.Seed = seed
 		opts.Durability = ods.PMDurability
-		opts.ClusterConfig.Net.SoftwareLatency = lat
-		a.PMResp = append(a.PMResp, hotstock.Run(opts, params).MeanResp())
-	}
+		opts.ClusterConfig.Net.SoftwareLatency = a.Latencies[i]
+		a.PMResp[i] = hotstock.Run(opts, params).MeanResp()
+	})
 	return a
 }
 

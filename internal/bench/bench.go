@@ -65,16 +65,32 @@ type Figure1 struct {
 }
 
 // RunFigure1 executes the Figure 1 sweep (24 hot-stock runs at 4 driver
-// counts × 3 sizes × 2 modes).
+// counts × 3 sizes × 2 modes) with default parallelism.
 func RunFigure1(seed int64, scale Scale) Figure1 {
+	return Runner{}.Figure1(seed, scale)
+}
+
+// Figure1 executes the Figure 1 sweep with the Runner's parallelism. The
+// 24 cells run independently; results land in index-addressed slots, so
+// the assembled figure is identical at every parallelism.
+func (r Runner) Figure1(seed int64, scale Scale) Figure1 {
 	f := Figure1{Scale: scale}
-	for _, inserts := range txnSizes {
+	const drvN, modeN = 4, 2 // 1–4 drivers × {disk, pm}
+	cells := make([]sim.Time, len(txnSizes)*drvN*modeN)
+	r.forEach(len(cells), func(i int) {
+		si, di, mode := i/(drvN*modeN), (i/modeN)%drvN, i%modeN
+		d := ods.DiskDurability
+		if mode == 1 {
+			d = ods.PMDurability
+		}
+		cells[i] = runOne(seed, d, di+1, txnSizes[si], scale.RecordsPerDriver).MeanResp()
+	})
+	for si := range txnSizes {
 		var speed []float64
 		var dr, pr []sim.Time
-		for drivers := 1; drivers <= 4; drivers++ {
-			disk := runOne(seed, ods.DiskDurability, drivers, inserts, scale.RecordsPerDriver)
-			pm := runOne(seed, ods.PMDurability, drivers, inserts, scale.RecordsPerDriver)
-			dRT, pRT := disk.MeanResp(), pm.MeanResp()
+		for di := 0; di < drvN; di++ {
+			dRT := cells[(si*drvN+di)*modeN]
+			pRT := cells[(si*drvN+di)*modeN+1]
 			dr = append(dr, dRT)
 			pr = append(pr, pRT)
 			speed = append(speed, float64(dRT)/float64(pRT))
@@ -160,17 +176,29 @@ type Figure2 struct {
 	Elapsed [][4]sim.Time
 }
 
-// RunFigure2 executes the Figure 2 sweep.
+// RunFigure2 executes the Figure 2 sweep with default parallelism.
 func RunFigure2(seed int64, scale Scale) Figure2 {
+	return Runner{}.Figure2(seed, scale)
+}
+
+// Figure2 executes the Figure 2 sweep (12 cells) with the Runner's
+// parallelism.
+func (r Runner) Figure2(seed int64, scale Scale) Figure2 {
 	f := Figure2{Scale: scale}
-	for _, inserts := range txnSizes {
-		var row [4]sim.Time
-		row[0] = runOne(seed, ods.DiskDurability, 1, inserts, scale.RecordsPerDriver).Elapsed
-		row[1] = runOne(seed, ods.DiskDurability, 2, inserts, scale.RecordsPerDriver).Elapsed
-		row[2] = runOne(seed, ods.PMDurability, 1, inserts, scale.RecordsPerDriver).Elapsed
-		row[3] = runOne(seed, ods.PMDurability, 2, inserts, scale.RecordsPerDriver).Elapsed
-		f.Elapsed = append(f.Elapsed, row)
+	// The four series per size: {1drv disk, 2drv disk, 1drv PM, 2drv PM}.
+	series := [4]struct {
+		d       ods.Durability
+		drivers int
+	}{
+		{ods.DiskDurability, 1}, {ods.DiskDurability, 2},
+		{ods.PMDurability, 1}, {ods.PMDurability, 2},
 	}
+	f.Elapsed = make([][4]sim.Time, len(txnSizes))
+	r.forEach(len(txnSizes)*len(series), func(i int) {
+		si, c := i/len(series), i%len(series)
+		f.Elapsed[si][c] = runOne(seed, series[c].d, series[c].drivers,
+			txnSizes[si], scale.RecordsPerDriver).Elapsed
+	})
 	return f
 }
 

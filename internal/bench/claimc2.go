@@ -18,41 +18,66 @@ type ClaimC2 struct {
 	RowsAgree bool
 }
 
-// RunClaimC2 runs the crash scenario against each recovery path.
+// RunClaimC2 runs the crash scenario against each recovery path with
+// default parallelism.
 func RunClaimC2(seed int64, scale Scale) ClaimC2 {
+	return Runner{}.ClaimC2(seed, scale)
+}
+
+// ClaimC2 runs the three recovery scenarios (disk, PM without TCBs, PM
+// with TCBs) as independent cells with the Runner's parallelism.
+func (r Runner) ClaimC2(seed int64, scale Scale) ClaimC2 {
 	txns := scale.RecordsPerDriver / 8
 	if txns < 20 {
 		txns = 20
 	}
 	c := ClaimC2{Txns: txns}
 
-	dres := recovery.RunScenario(ods.DiskDurability, txns, seed)
-	rep, rb, err := dres.RecoverDisk(recovery.Options{})
-	if err == nil {
-		c.Disk = rep
+	type cell struct {
+		rep  recovery.Report
+		rows int
+		ok   bool
 	}
-	diskRows := -1
-	if rb != nil {
-		diskRows = rb.Rows()
+	cells := make([]cell, 3)
+	r.forEach(len(cells), func(i int) {
+		var (
+			rep recovery.Report
+			rb  *recovery.Rebuilt
+			err error
+		)
+		switch i {
+		case 0:
+			res := recovery.RunScenario(ods.DiskDurability, txns, seed)
+			rep, rb, err = res.RecoverDisk(recovery.Options{})
+			res.Store.Eng.Shutdown()
+		case 1:
+			res := recovery.RunScenario(ods.PMDurability, txns, seed)
+			rep, rb, err = res.RecoverPM(recovery.Options{}, false)
+			res.Store.Eng.Shutdown()
+		case 2:
+			res := recovery.RunScenario(ods.PMDurability, txns, seed)
+			rep, rb, err = res.RecoverPM(recovery.Options{}, true)
+			res.Store.Eng.Shutdown()
+		}
+		cells[i] = cell{rows: -1 - i} // distinct sentinels: missing images never agree
+		if err == nil {
+			cells[i].rep, cells[i].ok = rep, true
+		}
+		if rb != nil {
+			cells[i].rows = rb.Rows()
+		}
+	})
+	if cells[0].ok {
+		c.Disk = cells[0].rep
 	}
-	dres.Store.Eng.Shutdown()
-
-	p1 := recovery.RunScenario(ods.PMDurability, txns, seed)
-	rep2, rb2, err2 := p1.RecoverPM(recovery.Options{}, false)
-	if err2 == nil {
-		c.PMNoTCB = rep2
+	if cells[1].ok {
+		c.PMNoTCB = cells[1].rep
 	}
-	p1.Store.Eng.Shutdown()
-
-	p2 := recovery.RunScenario(ods.PMDurability, txns, seed)
-	rep3, rb3, err3 := p2.RecoverPM(recovery.Options{}, true)
-	if err3 == nil {
-		c.PMTCB = rep3
+	if cells[2].ok {
+		c.PMTCB = cells[2].rep
 	}
-	p2.Store.Eng.Shutdown()
-
-	c.RowsAgree = rb != nil && rb2 != nil && rb3 != nil &&
-		diskRows == rb2.Rows() && diskRows == rb3.Rows()
+	c.RowsAgree = cells[0].rows >= 0 && cells[1].rows >= 0 && cells[2].rows >= 0 &&
+		cells[0].rows == cells[1].rows && cells[0].rows == cells[2].rows
 	return c
 }
 

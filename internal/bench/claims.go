@@ -136,10 +136,17 @@ func (c C3Counts) total() int64 {
 }
 
 // RunClaimC3 runs a small hot-stock load in both configurations and
-// collects the byte-movement accounting.
+// collects the byte-movement accounting, with default parallelism.
 func RunClaimC3(seed int64, scale Scale) ClaimC3 {
+	return Runner{}.ClaimC3(seed, scale)
+}
+
+// ClaimC3 runs the three durability configurations as independent cells
+// with the Runner's parallelism. Each cell returns its counts (and the
+// row total, identical across cells) rather than writing shared fields.
+func (r Runner) ClaimC3(seed int64, scale Scale) ClaimC3 {
 	out := ClaimC3{}
-	collect := func(d ods.Durability) C3Counts {
+	collect := func(d ods.Durability) (C3Counts, int64) {
 		opts := ods.DefaultOptions()
 		opts.Seed = seed
 		opts.Durability = d
@@ -152,7 +159,7 @@ func RunClaimC3(seed int64, scale Scale) ClaimC3 {
 			Drivers: 1, RecordsPerDriver: (scale.RecordsPerDriver / 8) * 8,
 			InsertsPerTxn: 8, RecordBytes: 4096,
 		}
-		r := hotstock.RunOn(s, params)
+		res := hotstock.RunOn(s, params)
 		// Let destaging finish.
 		s.Eng.Spawn("drain", func(p *sim.Proc) { p.Wait(2 * sim.Second) })
 		s.Eng.Run()
@@ -180,12 +187,16 @@ func RunClaimC3(seed int64, scale Scale) ClaimC3 {
 				c.Actions += st.Flushes
 			}
 		}
-		out.Rows = int64(len(r.Drivers)) * int64(params.RecordsPerDriver)
-		return c
+		return c, int64(len(res.Drivers)) * int64(params.RecordsPerDriver)
 	}
-	out.Disk = collect(ods.DiskDurability)
-	out.PM = collect(ods.PMDurability)
-	out.PMDirect = collect(ods.PMDirectDurability)
+	modes := []ods.Durability{ods.DiskDurability, ods.PMDurability, ods.PMDirectDurability}
+	cells := make([]C3Counts, len(modes))
+	rows := make([]int64, len(modes))
+	r.forEach(len(modes), func(i int) {
+		cells[i], rows[i] = collect(modes[i])
+	})
+	out.Disk, out.PM, out.PMDirect = cells[0], cells[1], cells[2]
+	out.Rows = rows[0]
 	return out
 }
 

@@ -10,6 +10,7 @@ package dp2
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"persistmem/internal/adp"
 	"persistmem/internal/audit"
@@ -431,8 +432,14 @@ func (d *DP2) serve(ctx *cluster.PairCtx) {
 	}
 }
 
-// lockKey names a row for the lock manager.
-func lockKey(key uint64) string { return fmt.Sprintf("r%d", key) }
+// lockKey names a row for the lock manager. Built with strconv rather
+// than fmt: this runs once per insert and per locked read, and the fmt
+// path boxes the argument and allocates scratch state per call.
+func lockKey(key uint64) string {
+	var buf [21]byte // 'r' + 20 digits covers every uint64
+	buf[0] = 'r'
+	return string(strconv.AppendUint(buf[:1], key, 10))
+}
 
 func (d *DP2) handleInsert(ctx *cluster.PairCtx, st *dpState, lm *locks.Manager, auditBuf *[]byte, ev cluster.Envelope, req InsertReq) {
 	ctx.Compute(d.cfg.InsertCPU)
@@ -573,14 +580,15 @@ func (d *DP2) handleRead(ctx *cluster.PairCtx, st *dpState, lm *locks.Manager, e
 		finish(ctx.Process) // browse access: no lock
 		return
 	}
-	if lm.QueueLen(lockKey(req.Key)) == 0 && lm.HolderCount(lockKey(req.Key)) == 0 {
+	key := lockKey(req.Key)
+	if lm.QueueLen(key) == 0 && lm.HolderCount(key) == 0 {
 		// Will grant instantly.
-		lm.Acquire(ctx.Sim(), lockKey(req.Key), req.Txn, locks.Shared, d.cfg.LockTimeout)
+		lm.Acquire(ctx.Sim(), key, req.Txn, locks.Shared, d.cfg.LockTimeout)
 		finish(ctx.Process)
 		return
 	}
 	ctx.CPU().Spawn(d.cfg.Name+"-rwaiter", func(p *cluster.Process) {
-		if err := lm.Acquire(p.Sim(), lockKey(req.Key), req.Txn, locks.Shared, d.cfg.LockTimeout); err != nil {
+		if err := lm.Acquire(p.Sim(), key, req.Txn, locks.Shared, d.cfg.LockTimeout); err != nil {
 			d.stats.LockTimeouts++
 			ev.Reply(ReadResp{Err: err})
 			return
@@ -638,6 +646,12 @@ func (d *DP2) sendAuditFrom(ctx *cluster.PairCtx, p *cluster.Process, auditBuf *
 	}
 	d.stats.AuditSends++
 	d.stats.AuditBytes += int64(len(data))
+	// The ADP copied the bytes out before replying, so the capacity can
+	// back the next batch — but only if no concurrent insert started a
+	// fresh buffer while this process was blocked in the call.
+	if *auditBuf == nil {
+		*auditBuf = data[:0]
+	}
 	return resp.End, nil
 }
 

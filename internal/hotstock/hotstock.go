@@ -71,6 +71,9 @@ type Result struct {
 	// Elapsed is the wall (virtual) time from start until the last driver
 	// commits its last transaction.
 	Elapsed sim.Time
+	// Events is the number of simulation events the kernel dispatched for
+	// the run — the denominator for events/sec and allocs/event metrics.
+	Events  uint64
 	Drivers []DriverResult
 }
 
@@ -168,7 +171,8 @@ func RunOn(s *ods.Store, params Params) Result {
 
 	s.Eng.Run()
 
-	r := Result{Params: params, Durability: s.Opts.Durability, Drivers: results}
+	r := Result{Params: params, Durability: s.Opts.Durability, Drivers: results,
+		Events: s.Eng.EventsExecuted()}
 	for _, t := range doneAt {
 		if t > r.Elapsed {
 			r.Elapsed = t

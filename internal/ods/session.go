@@ -106,7 +106,9 @@ func (t *Txn) InsertAsync(file string, key uint64, body []byte) error {
 	}
 	t.involved[name] = true
 	t.pending = append(t.pending, sig)
-	se.emit(t.id, trace.InsertIssue, fmt.Sprintf("%s key=%d %dB", name, key, len(body)))
+	if se.tracer != nil { // skip the detail formatting on the untraced hot path
+		se.emit(t.id, trace.InsertIssue, fmt.Sprintf("%s key=%d %dB", name, key, len(body)))
+	}
 	return nil
 }
 
@@ -158,7 +160,9 @@ func (t *Txn) Commit() error {
 		return err
 	}
 	t.done = true
-	t.sess.emit(t.id, trace.CommitStart, fmt.Sprintf("%d DP2s", len(t.involved)))
+	if t.sess.tracer != nil {
+		t.sess.emit(t.id, trace.CommitStart, fmt.Sprintf("%d DP2s", len(t.involved)))
+	}
 	raw, err := t.sess.p.Call(t.sess.s.TMF.Name(), 64+16*len(t.involved),
 		tmf.CommitReq{Txn: t.id, DP2s: setToList(t.involved)})
 	if err != nil {

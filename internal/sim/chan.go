@@ -126,12 +126,7 @@ func (c *Chan) RecvTimeout(p *Proc, timeout Time) (v interface{}, ok bool) {
 	id := p.newBlockID()
 	c.rxq = append(c.rxq, waiter{p: p, id: id})
 	if timeout >= 0 {
-		p.eng.Schedule(p.eng.now+timeout, func() {
-			if p.blockID != id || p.state != procBlocked {
-				return
-			}
-			p.wake(id, nil, false)
-		})
+		p.wakeAt(p.eng.now+timeout, id, nil, false)
 	}
 	p.park()
 	return p.rxVal, p.rxOK

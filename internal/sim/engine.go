@@ -1,37 +1,34 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 )
 
-// event is a scheduled callback in the simulation.
+// event is a scheduled kernel action. Two shapes share the struct: generic
+// callbacks (fn != nil) and process wake-ups (p != nil), which carry their
+// target and park stamp inline so that the hot Wait/wake paths need no
+// closure allocation. Events live by value inside the engine's heap slice;
+// the slice's retained capacity acts as the free-list, so steady-state
+// scheduling and dispatch allocate nothing.
 type event struct {
 	at  Time
 	seq uint64 // tie-break: FIFO among same-time events
-	fn  func()
-}
 
-type eventHeap []*event
+	// fn is the generic callback (Spawn starts, ad-hoc Schedule calls).
+	fn func()
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	// p/id describe a process wake-up: resume p if its park stamp still
+	// matches id, delivering (val, ok) to the parked operation. indirect
+	// wake-ups re-enqueue behind already-queued same-time events instead
+	// of resuming inline (the timeout semantics of the waiter queues).
+	p        *Proc
+	id       uint64
+	val      interface{}
+	ok       bool
+	indirect bool
 }
 
 // TraceFunc receives one line per traced kernel action.
@@ -42,15 +39,18 @@ type TraceFunc func(at Time, format string, args ...interface{})
 //
 // Engine is not safe for concurrent use from multiple OS threads; the whole
 // point is that simulated concurrency is scheduled deterministically on a
-// single thread of control.
+// single thread of control. Distinct Engine instances share no state, so
+// independent simulations may run on concurrent OS threads (one engine per
+// goroutine), which is what the bench harness's worker pool does.
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  eventHeap
+	queue  []event // binary min-heap ordered by (at, seq)
 	procs  map[*Proc]struct{}
 	nprocs uint64
 	seed   int64
 	trace  TraceFunc
+	events uint64 // events dispatched over the engine's lifetime
 
 	// cur is the process currently being stepped, if any.
 	cur *Proc
@@ -74,14 +74,27 @@ func (e *Engine) Now() Time { return e.now }
 // Seed returns the engine's root seed.
 func (e *Engine) Seed() int64 { return e.seed }
 
+// EventsExecuted returns the number of events the engine has dispatched
+// since creation — the kernel-work measure benchmarks report ns/event and
+// allocs/event against.
+func (e *Engine) EventsExecuted() uint64 { return e.events }
+
 // SetTrace installs fn as the kernel trace sink; nil disables tracing.
 func (e *Engine) SetTrace(fn TraceFunc) { e.trace = fn }
 
+// tracef forwards one trace line to the sink. Callers on hot paths must
+// guard with traceEnabled() so that the varargs slice is never built when
+// tracing is off.
 func (e *Engine) tracef(format string, args ...interface{}) {
 	if e.trace != nil {
 		e.trace(e.now, format, args...)
 	}
 }
+
+// traceEnabled reports whether a trace sink is installed. Check it before
+// calling tracef from any per-event path: the check short-circuits the
+// interface boxing and slice allocation of building the varargs.
+func (e *Engine) traceEnabled() bool { return e.trace != nil }
 
 // DeriveRand returns a deterministic random source unique to name.
 // Components should each derive their own source so that adding a new
@@ -92,6 +105,62 @@ func (e *Engine) DeriveRand(name string) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
+// push inserts ev into the heap. Hand-specialized sift-up over the value
+// slice: no interface boxing, no per-event allocation once the slice has
+// warmed up its capacity.
+func (e *Engine) push(ev event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&q[i], &q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	e.queue = q
+}
+
+// pop removes and returns the minimum event. The vacated slot is zeroed so
+// the heap does not pin callbacks or delivered values.
+func (e *Engine) pop() event {
+	q := e.queue
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && eventLess(&q[r], &q[l]) {
+			child = r
+		}
+		if !eventLess(&q[child], &q[i]) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	e.queue = q
+	return ev
+}
+
+// eventLess orders events by (time, sequence) — the deterministic FIFO
+// tie-break for same-time events.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
 // Schedule runs fn at absolute virtual time at. Scheduling in the past is
 // an error in the caller; the kernel clamps it to now to keep time monotone.
 func (e *Engine) Schedule(at Time, fn func()) {
@@ -99,7 +168,44 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// scheduleWake enqueues a process wake-up event without allocating a
+// closure — the fast path under Proc.Wait and the waiter queues. If
+// indirect is set, the fired event re-enqueues a direct wake behind
+// already-queued same-time events (matching the historical two-step
+// timeout semantics) instead of resuming the process inline.
+func (e *Engine) scheduleWake(at Time, p *Proc, id uint64, val interface{}, ok, indirect bool) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.push(event{at: at, seq: e.seq, p: p, id: id, val: val, ok: ok, indirect: indirect})
+}
+
+// dispatch executes one popped event.
+func (e *Engine) dispatch(ev event) {
+	e.events++
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	p := ev.p
+	if p.blockID != ev.id || p.state != procBlocked {
+		return // stale wake-up
+	}
+	if ev.indirect {
+		// Requeue as a direct wake at the current time so the resume
+		// lands behind events already queued for this instant.
+		e.scheduleWake(e.now, p, ev.id, ev.val, ev.ok, false)
+		return
+	}
+	p.rxVal, p.rxOK = ev.val, ev.ok
+	e.step(p)
+	if p.state == procDone {
+		e.retire(p)
+	}
 }
 
 // After runs fn after duration d of virtual time.
@@ -110,8 +216,10 @@ func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run processes events until the event queue is empty or Stop is called.
-// It returns the final virtual time.
-func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+// It returns the final virtual time. The whole Time range is runnable:
+// the deadline is math.MaxInt64, so events may be scheduled anywhere up
+// to the horizon.
+func (e *Engine) Run() Time { return e.RunUntil(Time(math.MaxInt64)) }
 
 // RunUntil processes events with timestamps <= deadline, then returns.
 // The clock is left at min(deadline, time of last event) — it never runs
@@ -122,11 +230,11 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		if e.queue[0].at > deadline {
 			break
 		}
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.pop()
 		if ev.at > e.now {
 			e.now = ev.at
 		}
-		ev.fn()
+		e.dispatch(ev)
 	}
 	return e.now
 }
@@ -137,11 +245,11 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.pop()
 	if ev.at > e.now {
 		e.now = ev.at
 	}
-	ev.fn()
+	e.dispatch(ev)
 	return true
 }
 

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkEngineScheduleDispatch measures the kernel's raw event cost:
+// one Schedule plus one dispatch per iteration, self-rescheduling so the
+// heap stays warm. Steady state must report 0 allocs/op — the hot loop
+// moves event values inside the heap slice and never boxes.
+func BenchmarkEngineScheduleDispatch(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.Schedule(e.Now()+1, step)
+		}
+	}
+	e.Schedule(1, step)
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	b.ReportMetric(float64(e.EventsExecuted())/float64(b.N), "events/op")
+}
+
+// BenchmarkEngineScheduleDispatchDeep is the same loop over a heap kept
+// 1024 events deep, so sift costs at realistic queue depths are visible.
+func BenchmarkEngineScheduleDispatchDeep(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	const depth = 1024
+	for i := 0; i < depth; i++ {
+		e.Schedule(Time(math.MaxInt64)-Time(i), func() {})
+	}
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.Schedule(e.Now()+1, step)
+		}
+	}
+	e.Schedule(1, step)
+	b.ResetTimer()
+	e.RunUntil(Time(b.N) + 1)
+	b.StopTimer()
+	b.ReportMetric(float64(e.EventsExecuted())/float64(b.N), "events/op")
+}
+
+// BenchmarkProcWaitLoop measures the process path: one Wait park/resume
+// cycle per iteration (Schedule + dispatch + goroutine handshake).
+func BenchmarkProcWaitLoop(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	e.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	b.ReportMetric(float64(e.EventsExecuted())/float64(b.N), "events/op")
+}

@@ -95,6 +95,9 @@ func (e *Engine) startProc(p *Proc) {
 		}
 		return
 	}
+	if e.traceEnabled() {
+		e.tracef("start %s", p.name)
+	}
 	p.started = true
 	go func() {
 		<-p.resume
@@ -131,6 +134,9 @@ func (e *Engine) step(p *Proc) {
 
 // retire removes a finished process from the live set and fires exit hooks.
 func (e *Engine) retire(p *Proc) {
+	if e.traceEnabled() {
+		e.tracef("retire %s", p.name)
+	}
 	delete(e.procs, p)
 	for _, fn := range p.onExit {
 		fn()
@@ -155,16 +161,14 @@ func (p *Proc) park() {
 // parked operation.
 func (p *Proc) wake(id uint64, v interface{}, ok bool) {
 	e := p.eng
-	e.Schedule(e.now, func() {
-		if p.blockID != id || p.state != procBlocked {
-			return // stale wake-up
-		}
-		p.rxVal, p.rxOK = v, ok
-		e.step(p)
-		if p.state == procDone {
-			e.retire(p)
-		}
-	})
+	e.scheduleWake(e.now, p, id, v, ok, false)
+}
+
+// wakeAt schedules a deferred wake-up for p at absolute time at — the
+// timeout arm of the waiter queues. The fired event re-enqueues behind
+// same-time events (indirect), matching wake's historical scheduling.
+func (p *Proc) wakeAt(at Time, id uint64, v interface{}, ok bool) {
+	p.eng.scheduleWake(at, p, id, v, ok, true)
 }
 
 // newBlockID stamps a fresh park and returns the stamp.
@@ -192,15 +196,7 @@ func (p *Proc) Wait(d Time) {
 		d = 0
 	}
 	id := p.newBlockID()
-	p.eng.Schedule(p.eng.now+d, func() {
-		if p.blockID != id || p.state != procBlocked {
-			return
-		}
-		p.eng.step(p)
-		if p.state == procDone {
-			p.eng.retire(p)
-		}
-	})
+	p.eng.scheduleWake(p.eng.now+d, p, id, nil, false, false)
 	p.park()
 }
 
@@ -229,16 +225,8 @@ func (p *Proc) Kill() {
 		return
 	}
 	if p.state == procBlocked {
-		id := p.blockID
-		e.Schedule(e.now, func() {
-			if p.state != procBlocked || p.blockID != id {
-				return
-			}
-			e.step(p) // park() sees killed and unwinds
-			if p.state == procDone {
-				e.retire(p)
-			}
-		})
+		// park() sees killed and unwinds when the wake steps it.
+		e.scheduleWake(e.now, p, p.blockID, nil, false, false)
 	}
 	// If running, the next park/resume observes killed.
 }

@@ -127,12 +127,7 @@ func (s *Signal) WaitTimeout(p *Proc, timeout Time) (v interface{}, ok bool) {
 	id := p.newBlockID()
 	s.waiters = append(s.waiters, waiter{p: p, id: id})
 	if timeout >= 0 {
-		p.eng.Schedule(p.eng.now+timeout, func() {
-			if p.blockID != id || p.state != procBlocked {
-				return
-			}
-			p.wake(id, nil, false)
-		})
+		p.wakeAt(p.eng.now+timeout, id, nil, false)
 	}
 	p.park()
 	return p.rxVal, p.rxOK

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"sort"
 	"testing"
@@ -55,6 +56,41 @@ func TestScheduleOrdering(t *testing.T) {
 	}
 	if e.Now() != 30 {
 		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestScheduleNearHorizon(t *testing.T) {
+	// Run's deadline is the full Time range (math.MaxInt64): events
+	// scheduled arbitrarily close to the horizon must still execute
+	// rather than being silently capped below it.
+	e := NewEngine(1)
+	var ran []Time
+	horizon := Time(math.MaxInt64)
+	e.Schedule(horizon-1, func() { ran = append(ran, e.Now()) })
+	e.Schedule(horizon, func() { ran = append(ran, e.Now()) })
+	e.Run()
+	want := []Time{horizon - 1, horizon}
+	if !reflect.DeepEqual(ran, want) {
+		t.Errorf("horizon events ran at %v, want %v", ran, want)
+	}
+	if e.Now() != horizon {
+		t.Errorf("Now() = %v, want the horizon %v", e.Now(), horizon)
+	}
+	if got := e.EventsExecuted(); got != 2 {
+		t.Errorf("EventsExecuted() = %d, want 2", got)
+	}
+}
+
+func TestEventsExecutedCounts(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Spawn("w", func(p *Proc) { p.Wait(10) })
+	e.Run()
+	// 5 plain events + 1 spawn start + 1 wait wake-up.
+	if got := e.EventsExecuted(); got != 7 {
+		t.Errorf("EventsExecuted() = %d, want 7", got)
 	}
 }
 

@@ -1,0 +1,13 @@
+#!/bin/sh
+# check.sh — the repository's pre-commit gate: build, vet, the full test
+# suite, and the race detector over the two packages that execute
+# concurrently for real (the experiment worker pool and the simulation
+# kernel it drives).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/bench/ ./internal/sim/
