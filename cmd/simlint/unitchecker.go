@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"persistmem/internal/analysis"
+)
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig — the JSON document the
+// go command writes for each package when driving a -vettool.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string // import path in source -> canonical package path
+	PackageFile map[string]string // canonical package path -> export data file
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes the single package described by the vet config
+// file and returns the process exit code: 0 clean, 1 findings, 2 error.
+func runUnitchecker(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// cmd/go expects the vetx (facts) output file to exist after a
+	// successful run. simlint exchanges no facts between packages, so the
+	// file is always empty.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+
+	// Dependencies are vetted only for facts (VetxOnly). simlint exchanges
+	// no facts between packages, so there is nothing to compute.
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	// go vet compiles packages as their test variant when tests exist: the
+	// same ID/ImportPath, with _test.go files appended to GoFiles. simlint
+	// checks non-test sources only (tests may use locally seeded rand and
+	// real concurrency freely), so test files are dropped; an external test
+	// package (_test.go files only) has nothing left to check.
+	goFiles := make([]string, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		if !strings.HasSuffix(name, "_test.go") {
+			goFiles = append(goFiles, name)
+		}
+	}
+	if len(goFiles) == 0 {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+
+	target := analysis.NewTarget(cfg.ImportPath, fset, files, pkg, info)
+	var diags []analysis.Diagnostic
+	err = analysis.RunAnalyzers(target, analysis.Analyzers(), func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	writeVetx()
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

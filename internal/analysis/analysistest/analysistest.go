@@ -1,0 +1,188 @@
+// Package analysistest runs a simlint analyzer over a fixture directory
+// and checks its diagnostics against `// want` expectations, in the style
+// of golang.org/x/tools/go/analysis/analysistest (which this repository
+// deliberately does not depend on).
+//
+// A fixture directory holds one package of .go files. Lines that should
+// produce diagnostics carry a trailing comment with one backquoted regexp
+// per expected diagnostic:
+//
+//	t0 := time.Now() // want `time\.Now`
+//
+// Every expectation must be matched by a diagnostic on its line and every
+// diagnostic must be claimed by an expectation; either kind of mismatch
+// fails the test. Fixtures are typechecked against the real standard
+// library via the source importer, so they may import time, fmt, sync,
+// math/rand, etc.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"persistmem/internal/analysis"
+)
+
+// Config adjusts the classification of the fixture package, standing in
+// for what analysis.Classify derives from real import paths.
+type Config struct {
+	SimCritical bool
+	RealConcOK  bool
+}
+
+// Run analyzes the fixture package in dir with a and asserts that its
+// diagnostics exactly satisfy the `// want` expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, cfg Config) {
+	t.Helper()
+	target, err := loadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target.SimCritical = cfg.SimCritical
+	target.RealConcOK = cfg.RealConcOK
+
+	var diags []analysis.Diagnostic
+	err = analysis.RunAnalyzers(target, []*analysis.Analyzer{a}, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, target, diags)
+}
+
+func loadFixture(dir string) (*analysis.Target, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %s: %v", dir, err)
+	}
+	return analysis.NewTarget(files[0].Name.Name, fset, files, pkg, info), nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile("`([^`]+)`")
+
+// checkWants cross-matches diagnostics against // want expectations.
+func checkWants(t *testing.T, target *analysis.Target, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range target.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := target.Fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	byLine := make(map[lineKey][]analysis.Diagnostic)
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		byLine[k] = append(byLine[k], d)
+	}
+
+	//simlint:ordered -- per-line matching is independent across keys
+	for k, patterns := range wants {
+		got := byLine[k]
+		claimed := make([]bool, len(got))
+		for _, re := range patterns {
+			matched := false
+			for i, d := range got {
+				if !claimed[i] && re.MatchString(d.Message) {
+					claimed[i] = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got %s", k.file, k.line, re, describe(got))
+			}
+		}
+		var extra []analysis.Diagnostic
+		for i, d := range got {
+			if !claimed[i] {
+				extra = append(extra, d)
+			}
+		}
+		byLine[k] = extra
+	}
+	var keys []lineKey
+	//simlint:ordered -- collected into a slice and sorted below
+	for k, ds := range byLine {
+		if len(ds) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, d := range byLine[k] {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+}
+
+func describe(ds []analysis.Diagnostic) string {
+	if len(ds) == 0 {
+		return "no diagnostics"
+	}
+	var msgs []string
+	for _, d := range ds {
+		msgs = append(msgs, fmt.Sprintf("%q", d.Message))
+	}
+	return strings.Join(msgs, ", ")
+}

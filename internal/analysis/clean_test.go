@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"persistmem/internal/analysis"
+)
+
+// TestRepositoryClean runs the full simlint suite over the repository's own
+// packages and requires zero diagnostics — the enforcement half of the
+// determinism invariants documented in DESIGN.md. A failure here means a
+// change introduced wall-clock time, rogue randomness, an unordered map
+// walk, hot-path allocation, or real concurrency into sim-critical code
+// without either fixing it or justifying it with a directive.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repo load in -short mode")
+	}
+	targets, err := analysis.Load(".", []string{"persistmem/..."})
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	if len(targets) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, target := range targets {
+		err := analysis.RunAnalyzers(target, analysis.Analyzers(), func(d analysis.Diagnostic) {
+			t.Errorf("%s", d)
+		})
+		if err != nil {
+			t.Errorf("%s: %v", target.ImportPath, err)
+		}
+	}
+}

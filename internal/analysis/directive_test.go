@@ -1,0 +1,31 @@
+package analysis
+
+import "testing"
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text      string
+		ok        bool
+		verb, arg string
+	}{
+		{"//simlint:ordered", true, "ordered", ""},
+		{"//simlint:ordered -- commutative count", true, "ordered", ""},
+		{"//simlint:allow goroutine -- coroutine machinery", true, "allow", "goroutine"},
+		{"//simlint:hotpath", true, "hotpath", ""},
+		{"//simlint:seedsource -- blessed", true, "seedsource", ""},
+		{"// simlint:ordered", false, "", ""}, // directives admit no space, like //go:
+		{"//simlint:", false, "", ""},
+		{"// ordinary comment", false, "", ""},
+		{"//simlint: -- reason only", false, "", ""},
+	}
+	for _, c := range cases {
+		d, ok := parseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("parseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if ok && (d.verb != c.verb || d.arg != c.arg) {
+			t.Errorf("parseDirective(%q) = {%q %q}, want {%q %q}", c.text, d.verb, d.arg, c.verb, c.arg)
+		}
+	}
+}

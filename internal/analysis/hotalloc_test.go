@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"persistmem/internal/analysis"
+	"persistmem/internal/analysis/analysistest"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/hotalloc/hot", analysis.Hotalloc,
+		analysistest.Config{SimCritical: true})
+}

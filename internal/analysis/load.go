@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Load resolves patterns with the go command and returns a typechecked
+// Target per matched package, ready for RunAnalyzers.
+//
+// The strategy mirrors how `go vet` feeds its unitchecker: `go list
+// -export -deps` compiles every dependency's export data into the build
+// cache, each target package is parsed from source, and imports resolve
+// through the gc export-data importer. This keeps the loader on the
+// standard library (no golang.org/x/tools dependency) while still
+// typechecking with the real compiler's view of every dependency.
+//
+// Only non-test GoFiles are analyzed: the determinism contract covers the
+// library; tests are free to use locally seeded rand and real concurrency.
+func Load(dir string, patterns []string) ([]*Target, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Pure-Go file sets only; simlint does not parse cgo-generated code.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exportFor := make(map[string]string)
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Export != "" {
+			exportFor[lp.ImportPath] = lp.Export
+		}
+		pkgs = append(pkgs, lp)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exportFor[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var targets []*Target
+	for _, lp := range pkgs {
+		if lp.DepOnly || lp.Standard || lp.Name == "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		t, err := typecheck(lp, fset, imp)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	return targets, nil
+}
+
+func typecheck(lp *listPackage, fset *token.FileSet, imp types.Importer) (*Target, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	if lp.Module != nil && lp.Module.GoVersion != "" {
+		conf.GoVersion = "go" + lp.Module.GoVersion
+	}
+	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", lp.ImportPath, err)
+	}
+	return NewTarget(lp.ImportPath, fset, files, pkg, info), nil
+}

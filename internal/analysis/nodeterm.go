@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nodeterm flags sources of run-to-run nondeterminism in sim-critical
+// packages: wall-clock reads, the process-global math/rand source, and
+// range statements over maps (whose iteration order Go randomizes per run,
+// so any map walk that can reach scheduling, output, or hashing breaks
+// byte-identical figures).
+var Nodeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid wall-clock time, global math/rand, and unordered map walks " +
+		"in sim-critical packages",
+	Run: runNodeterm,
+}
+
+// wallClockFuncs are package-level time functions that read or wait on the
+// real clock. Pure constructors/formatters (time.Date, time.Unix, ...) are
+// deterministic and stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runNodeterm(p *Pass) error {
+	if !p.SimCritical {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p.Info, n)
+				if fn == nil || isMethod(fn) || fn.Pkg() == nil {
+					return true
+				}
+				switch pkg := fn.Pkg().Path(); {
+				case pkg == "time" && wallClockFuncs[fn.Name()]:
+					p.Reportf(n.Pos(), "time.%s reads the wall clock; sim-critical code must use virtual time (Engine.Now / Proc.Wait)", fn.Name())
+				case isRandPkg(pkg) && fn.Name() != "New" && fn.Name() != "NewSource":
+					// New/NewSource construct private sources; those are
+					// seedflow's concern. Everything else package-level
+					// draws from the process-global source, which differs
+					// across runs and across concurrent sweep workers.
+					p.Reportf(n.Pos(), "%s.%s draws from the process-global random source; derive a private *rand.Rand via Engine.DeriveRand", pkg, fn.Name())
+				}
+			case *ast.RangeStmt:
+				tv := p.Info.TypeOf(n.X)
+				if tv == nil {
+					return true
+				}
+				if _, ok := tv.Underlying().(*types.Map); !ok {
+					return true
+				}
+				if p.DirectiveAt(n.Pos(), "ordered", "") {
+					return true
+				}
+				p.Reportf(n.For, "map iteration order is randomized per run and can leak into scheduling, output, or hashing; iterate in a sorted or spawn order, or annotate //simlint:ordered with a justification if the body is provably order-insensitive")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"persistmem/internal/analysis"
+	"persistmem/internal/analysis/analysistest"
+)
+
+func TestNodetermCritical(t *testing.T) {
+	analysistest.Run(t, "testdata/nodeterm/critical", analysis.Nodeterm,
+		analysistest.Config{SimCritical: true})
+}
+
+func TestNodetermNonCritical(t *testing.T) {
+	analysistest.Run(t, "testdata/nodeterm/noncritical", analysis.Nodeterm,
+		analysistest.Config{SimCritical: false})
+}

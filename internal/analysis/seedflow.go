@@ -1,0 +1,68 @@
+package analysis
+
+import "go/ast"
+
+// Seedflow enforces that every *rand.Rand in sim-critical code descends
+// from Engine.DeriveRand. DeriveRand hashes (engine seed, consumer name)
+// into a private source, so adding a new consumer of randomness never
+// perturbs the draws — and therefore the schedule — of existing ones.
+// Constructing sources any other way (rand.New, rand.NewSource, and their
+// math/rand/v2 equivalents) reintroduces seed material the engine does not
+// control; the classic failure is rand.NewSource(time.Now().UnixNano()),
+// which differs every run.
+//
+// The one legitimate construction site — DeriveRand itself — carries a
+// //simlint:seedsource directive in its doc comment.
+var Seedflow = &Analyzer{
+	Name: "seedflow",
+	Doc: "require *rand.Rand construction in sim-critical code to go " +
+		"through Engine.DeriveRand",
+	Run: runSeedflow,
+}
+
+// randConstructors are the package-level source/generator constructors per
+// rand package. (v2's NewZipf takes an existing *Rand, so it is derived.)
+var randConstructors = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true},
+	"math/rand/v2": {"New": true, "NewPCG": true, "NewChaCha8": true},
+}
+
+func runSeedflow(p *Pass) error {
+	if !p.SimCritical {
+		return nil
+	}
+	for _, f := range p.Files {
+		// Collect the source ranges of blessed derivation functions.
+		var blessed [][2]int
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && HasFuncDirective(fd, "seedsource") {
+				blessed = append(blessed, [2]int{int(fd.Pos()), int(fd.End())})
+			}
+		}
+		inBlessed := func(n ast.Node) bool {
+			for _, r := range blessed {
+				if int(n.Pos()) >= r[0] && int(n.End()) <= r[1] {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || isMethod(fn) || fn.Pkg() == nil {
+				return true
+			}
+			ctors := randConstructors[fn.Pkg().Path()]
+			if ctors == nil || !ctors[fn.Name()] || inBlessed(call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s.%s constructs a random source outside Engine.DeriveRand; derive per-component randomness from the engine seed (or mark the deriving function //simlint:seedsource)", fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

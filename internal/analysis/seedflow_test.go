@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"persistmem/internal/analysis"
+	"persistmem/internal/analysis/analysistest"
+)
+
+func TestSeedflowCritical(t *testing.T) {
+	analysistest.Run(t, "testdata/seedflow/critical", analysis.Seedflow,
+		analysistest.Config{SimCritical: true})
+}
+
+func TestSeedflowNonCritical(t *testing.T) {
+	analysistest.Run(t, "testdata/seedflow/noncritical", analysis.Seedflow,
+		analysistest.Config{SimCritical: false})
+}

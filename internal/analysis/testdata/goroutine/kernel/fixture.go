@@ -1,0 +1,38 @@
+// Package kernel exercises goroutine in sim-critical, non-exempt code:
+// sync imports, go statements, select, and real channel construction must
+// all be flagged; non-channel makes are fine and justified kernel machinery
+// is suppressed with //simlint:allow.
+package kernel
+
+import (
+	"sync"        // want `import of "sync": real synchronization primitives race on the OS scheduler`
+	"sync/atomic" // want `import of "sync/atomic": real synchronization primitives race on the OS scheduler`
+)
+
+var mu sync.Mutex
+var counter atomic.Int64
+
+func spawn() {
+	go func() { counter.Add(1) }() // want `go statement spawns an OS-scheduled goroutine inside virtual-time code`
+}
+
+func channels() {
+	ch := make(chan int, 4) // want `make\(chan\) creates a real channel`
+	select {                // want `select resolves by real channel readiness, not virtual time`
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func notAChannel(n int) []int {
+	// make on non-channel types is untouched.
+	return make([]int, n)
+}
+
+func blessedMachinery() chan struct{} {
+	//simlint:allow goroutine -- fixture: stands in for the kernel's coroutine plumbing
+	return make(chan struct{})
+}

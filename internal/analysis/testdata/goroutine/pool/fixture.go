@@ -1,0 +1,19 @@
+// Package pool holds real concurrency analyzed with the bench exemption
+// (RealConcOK): the goroutine analyzer must stay silent.
+package pool
+
+import "sync"
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	results := make(chan int, len(work))
+	for _, w := range work {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+			results <- 1
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,73 @@
+// Package critical exercises nodeterm in a sim-critical package: wall-clock
+// reads, global math/rand draws, and unordered map walks must be flagged;
+// deterministic constructors, private rand methods, slice ranges, and
+// annotated map walks must not.
+package critical
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func deterministicTime() time.Time {
+	// Pure constructors and formatters do not read the clock.
+	return time.Date(2003, time.June, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `math/rand\.Shuffle draws from the process-global random source`
+	return rand.Intn(10)               // want `math/rand\.Intn draws from the process-global random source`
+}
+
+func privateRand() int {
+	// Method draws on a private source are seedflow's concern, not
+	// nodeterm's; the constructor below is likewise exempt here.
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+func mapWalks(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is randomized per run`
+		sum += v
+	}
+	return sum
+}
+
+func annotatedWalk(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//simlint:ordered -- collected into a slice and sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func trailingAnnotation(m map[string]int) int {
+	n := 0
+	for range m { //simlint:ordered -- commutative count
+		n++
+	}
+	return n
+}
+
+func sliceWalk(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+func allowSuppression() time.Time {
+	//simlint:allow nodeterm -- fixture: demonstrates generic suppression
+	return time.Now()
+}

@@ -1,0 +1,26 @@
+// Package noncritical holds the same constructs as the critical fixture but
+// is analyzed as non-sim-critical (a command/driver package): nodeterm must
+// stay silent.
+package noncritical
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+func globalRand() int {
+	return rand.Intn(10)
+}
+
+func mapWalk(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

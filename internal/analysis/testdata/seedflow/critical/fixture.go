@@ -1,0 +1,42 @@
+// Package critical exercises seedflow in a sim-critical package: any
+// rand-source construction outside a //simlint:seedsource function must be
+// flagged.
+package critical
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func rogueSource() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.New constructs a random source outside Engine\.DeriveRand` `rand\.NewSource constructs a random source outside Engine\.DeriveRand`
+}
+
+func classicFailure() rand.Source {
+	// The canonical bug seedflow exists to catch.
+	return rand.NewSource(time.Now().UnixNano()) // want `rand\.NewSource constructs a random source outside Engine\.DeriveRand`
+}
+
+func rogueV2() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, 2)) // want `rand\.New constructs a random source outside Engine\.DeriveRand` `rand\.NewPCG constructs a random source outside Engine\.DeriveRand`
+}
+
+// deriveRand is this fixture's stand-in for Engine.DeriveRand: the one
+// blessed construction point.
+//
+//simlint:seedsource -- fixture: the blessed construction point
+func deriveRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func derived() int {
+	// Drawing from a derived generator is fine; only construction is
+	// policed.
+	return deriveRand(7).Intn(10)
+}
+
+func allowSuppression() rand.Source {
+	//simlint:allow seedflow -- fixture: demonstrates generic suppression
+	return rand.NewSource(99)
+}

@@ -1,0 +1,12 @@
+// Package noncritical constructs rand sources freely; as a non-sim-critical
+// package (a command/driver), seedflow must stay silent.
+package noncritical
+
+import (
+	"math/rand"
+	"time"
+)
+
+func freeSource() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}

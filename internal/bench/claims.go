@@ -164,6 +164,7 @@ func (r Runner) ClaimC3(seed int64, scale Scale) ClaimC3 {
 		s.Eng.Spawn("drain", func(p *sim.Proc) { p.Wait(2 * sim.Second) })
 		s.Eng.Run()
 		var c C3Counts
+		//simlint:ordered -- commutative sums over per-DP2 counters
 		for _, dp := range s.DP2s {
 			c.DP2CheckpointBytes += dp.Pair().CheckpointBytes
 			c.Actions += dp.Pair().Checkpoints

@@ -9,6 +9,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"persistmem/internal/servernet"
 	"persistmem/internal/sim"
@@ -192,16 +193,25 @@ func (c *CPU) Up() bool { return c.up }
 
 // Fail halts the CPU: all its processes are killed (their volatile state
 // is lost with them), its fabric endpoint stops responding, and names
-// registered to it are dropped.
+// registered to it are dropped. Processes die in spawn order — each kill
+// enqueues a wake-up, so the kill sequence is schedule-visible and must
+// not depend on map iteration order.
 func (c *CPU) Fail() {
 	if !c.up {
 		return
 	}
 	c.up = false
 	c.ep.Fail()
+	victims := make([]*Process, 0, len(c.procs))
+	//simlint:ordered -- collected into a slice and sorted by spawn id below
 	for p := range c.procs {
+		victims = append(victims, p)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].proc.ID() < victims[j].proc.ID() })
+	for _, p := range victims {
 		p.proc.Kill()
 	}
+	//simlint:ordered -- pure deletes; no effect depends on visit order
 	for name, r := range c.cl.registry {
 		if r.cpu == c {
 			delete(c.cl.registry, name)

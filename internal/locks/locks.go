@@ -9,6 +9,7 @@ package locks
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"persistmem/internal/audit"
 	"persistmem/internal/sim"
@@ -73,6 +74,7 @@ func NewManager(eng *sim.Engine, name string) *Manager {
 // compatible reports whether a request by txn for mode can be granted
 // given current holders.
 func (ls *lockState) compatible(txn audit.TxnID, mode Mode) bool {
+	//simlint:ordered -- pure scan; the boolean result is order-independent
 	for holder, hmode := range ls.holders {
 		if holder == txn {
 			continue // self-held handled by caller
@@ -175,15 +177,20 @@ func (m *Manager) Release(key string, txn audit.TxnID) {
 	m.admit(key, ls)
 }
 
-// ReleaseAll drops every lock held by txn — the commit/abort path.
+// ReleaseAll drops every lock held by txn — the commit/abort path. Keys
+// are released in sorted order: each release may admit waiters (waking
+// their processes), so the release sequence is schedule-visible and must
+// not depend on map iteration order.
 func (m *Manager) ReleaseAll(txn audit.TxnID) {
 	// Collect first: admit may delete map entries.
 	var keys []string
+	//simlint:ordered -- collected into a slice and sorted below
 	for key, ls := range m.locks {
 		if _, ok := ls.holders[txn]; ok {
 			keys = append(keys, key)
 		}
 	}
+	sort.Strings(keys)
 	for _, key := range keys {
 		m.Release(key, txn)
 	}
@@ -221,8 +228,10 @@ func (m *Manager) LockedKeys() int { return len(m.locks) }
 // at most one Exclusive holder per key, and never Exclusive alongside
 // other holders.
 func (m *Manager) CheckInvariants() {
+	//simlint:ordered -- per-key checks are independent; only panics escape
 	for key, ls := range m.locks {
 		excl := 0
+		//simlint:ordered -- commutative count
 		for _, mode := range ls.holders {
 			if mode == Exclusive {
 				excl++

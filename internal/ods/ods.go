@@ -8,6 +8,7 @@ package ods
 
 import (
 	"fmt"
+	"sort"
 
 	"persistmem/internal/adp"
 	"persistmem/internal/cluster"
@@ -300,11 +301,18 @@ func (s *Store) PartitionOf(file string, key uint64) int {
 }
 
 // Stop shuts down every service pair (used by tests; benchmark runs just
-// abandon the engine).
+// abandon the engine). DP2s stop in name order: each Stop sends a message,
+// so the sequence is schedule-visible and must not follow map order.
 func (s *Store) Stop() {
 	s.TMF.Stop()
-	for _, d := range s.DP2s {
-		d.Stop()
+	names := make([]string, 0, len(s.DP2s))
+	//simlint:ordered -- collected into a slice and sorted below
+	for name := range s.DP2s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.DP2s[name].Stop()
 	}
 	for _, a := range s.ADPs {
 		a.Stop()

@@ -224,6 +224,7 @@ func (se *Session) read(txn audit.TxnID, file string, key uint64, t *Txn) ([]byt
 // protocol's message order deterministic across runs.
 func setToList(set map[string]bool) []string {
 	out := make([]string, 0, len(set))
+	//simlint:ordered -- collected into a slice and sorted below
 	for k := range set {
 		out = append(out, k)
 	}

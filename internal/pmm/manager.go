@@ -3,6 +3,7 @@ package pmm
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"persistmem/internal/cluster"
 	"persistmem/internal/npmu"
@@ -150,7 +151,7 @@ func (m *Manager) serve(ctx *cluster.PairCtx) {
 	// intact and reprogramming is an idempotent refresh; after a power
 	// cycle it is what restores client access.
 	m.programManagement(ctx)
-	for name := range st.OpenBy {
+	for _, name := range sortedOpen(st) {
 		m.programRegion(st, name)
 	}
 
@@ -319,11 +320,24 @@ func (m *Manager) handleResilver(ctx *cluster.PairCtx, st *VolumeState) Resilver
 	if err := m.persist(ctx, st); err != nil {
 		return ResilverResp{BytesCopied: copied, Err: err}
 	}
-	for name := range st.OpenBy {
+	for _, name := range sortedOpen(st) {
 		m.programRegion(st, name)
 	}
 	m.Resilvers++
 	return ResilverResp{BytesCopied: copied}
+}
+
+// sortedOpen returns the names of open regions in sorted order. Window
+// (re)programming appends to device address-translation tables, so the
+// programming sequence must not follow map iteration order.
+func sortedOpen(st *VolumeState) []string {
+	names := make([]string, 0, len(st.OpenBy))
+	//simlint:ordered -- collected into a slice and sorted below
+	for name := range st.OpenBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // programManagement maps the metadata area of both devices for the PMM's
@@ -357,6 +371,7 @@ func (m *Manager) programRegion(st *VolumeState, name string) {
 			continue
 		}
 		initiators := make(map[servernet.EndpointID]bool, len(set))
+		//simlint:ordered -- builds a lookup set; insertion order is invisible
 		for cpu := range set {
 			initiators[m.cl.CPU(cpu).Endpoint().ID()] = true
 		}
@@ -397,6 +412,7 @@ func (m *Manager) persist(ctx *cluster.PairCtx, st *VolumeState) error {
 // estimate; the PMM table is small).
 func (m *Manager) checkpoint(ctx *cluster.PairCtx, st *VolumeState) {
 	sz := 64
+	//simlint:ordered -- commutative size sum
 	for _, r := range st.Regions {
 		sz += 32 + len(r.Name) + len(r.Owner)
 	}

@@ -73,12 +73,15 @@ func NewVolumeState(volume string) *VolumeState {
 func (s *VolumeState) Clone() *VolumeState {
 	c := NewVolumeState(s.Volume)
 	c.Gen = s.Gen
+	//simlint:ordered -- map-to-map copy; insertion order is invisible
 	for n, r := range s.Regions {
 		cp := *r
 		c.Regions[n] = &cp
 	}
+	//simlint:ordered -- map-to-map copy; insertion order is invisible
 	for n, set := range s.OpenBy {
 		cs := make(map[int]bool, len(set))
+		//simlint:ordered -- map-to-map copy; insertion order is invisible
 		for k, v := range set {
 			cs[k] = v
 		}
@@ -91,6 +94,7 @@ func (s *VolumeState) Clone() *VolumeState {
 // allocation scanning).
 func (s *VolumeState) sortedRegions() []*RegionMeta {
 	rs := make([]*RegionMeta, 0, len(s.Regions))
+	//simlint:ordered -- collected into a slice and sorted by offset below
 	for _, r := range s.Regions {
 		rs = append(rs, r)
 	}

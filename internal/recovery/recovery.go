@@ -93,6 +93,7 @@ func (r *Rebuilt) Get(file string, key uint64) ([]byte, bool) {
 // Rows counts all recovered rows.
 func (r *Rebuilt) Rows() int {
 	n := 0
+	//simlint:ordered -- commutative count
 	for _, t := range r.Files {
 		n += t.Len()
 	}
@@ -300,6 +301,7 @@ func FromPM(p *cluster.Process, vol *pmclient.Volume, logRegions []string, tcbRe
 		// Fine-grained knowledge: control blocks name in-flight
 		// transactions even when none of their audit reached the durable
 		// trail — no heuristic log search required.
+		//simlint:ordered -- commutative count
 		for txn, state := range an.outcome {
 			if state == tmf.TCBActive && !seen[txn] {
 				rep.InFlight++

@@ -108,6 +108,7 @@ func (r ScenarioResult) logRegions() []string {
 	s := r.Store
 	var regions []string
 	if s.Opts.Durability == ods.PMDirectDurability {
+		//simlint:ordered -- collected into a slice and sorted below
 		for name := range s.DP2s {
 			regions = append(regions, name+"-log")
 		}

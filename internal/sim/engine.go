@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // event is a scheduled kernel action. Two shapes share the struct: generic
@@ -94,11 +95,15 @@ func (e *Engine) tracef(format string, args ...interface{}) {
 // traceEnabled reports whether a trace sink is installed. Check it before
 // calling tracef from any per-event path: the check short-circuits the
 // interface boxing and slice allocation of building the varargs.
+//
+//simlint:hotpath
 func (e *Engine) traceEnabled() bool { return e.trace != nil }
 
 // DeriveRand returns a deterministic random source unique to name.
 // Components should each derive their own source so that adding a new
 // consumer of randomness does not perturb the schedules of others.
+//
+//simlint:seedsource -- the one blessed construction point for rand sources
 func (e *Engine) DeriveRand(name string) *rand.Rand {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d/%s", e.seed, name)
@@ -108,6 +113,8 @@ func (e *Engine) DeriveRand(name string) *rand.Rand {
 // push inserts ev into the heap. Hand-specialized sift-up over the value
 // slice: no interface boxing, no per-event allocation once the slice has
 // warmed up its capacity.
+//
+//simlint:hotpath
 func (e *Engine) push(ev event) {
 	q := append(e.queue, ev)
 	i := len(q) - 1
@@ -124,6 +131,8 @@ func (e *Engine) push(ev event) {
 
 // pop removes and returns the minimum event. The vacated slot is zeroed so
 // the heap does not pin callbacks or delivered values.
+//
+//simlint:hotpath
 func (e *Engine) pop() event {
 	q := e.queue
 	ev := q[0]
@@ -154,6 +163,8 @@ func (e *Engine) pop() event {
 
 // eventLess orders events by (time, sequence) — the deterministic FIFO
 // tie-break for same-time events.
+//
+//simlint:hotpath
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -163,6 +174,8 @@ func eventLess(a, b *event) bool {
 
 // Schedule runs fn at absolute virtual time at. Scheduling in the past is
 // an error in the caller; the kernel clamps it to now to keep time monotone.
+//
+//simlint:hotpath
 func (e *Engine) Schedule(at Time, fn func()) {
 	if at < e.now {
 		at = e.now
@@ -176,6 +189,8 @@ func (e *Engine) Schedule(at Time, fn func()) {
 // indirect is set, the fired event re-enqueues a direct wake behind
 // already-queued same-time events (matching the historical two-step
 // timeout semantics) instead of resuming the process inline.
+//
+//simlint:hotpath
 func (e *Engine) scheduleWake(at Time, p *Proc, id uint64, val interface{}, ok, indirect bool) {
 	if at < e.now {
 		at = e.now
@@ -185,6 +200,8 @@ func (e *Engine) scheduleWake(at Time, p *Proc, id uint64, val interface{}, ok, 
 }
 
 // dispatch executes one popped event.
+//
+//simlint:hotpath
 func (e *Engine) dispatch(ev event) {
 	e.events++
 	if ev.fn != nil {
@@ -224,6 +241,8 @@ func (e *Engine) Run() Time { return e.RunUntil(Time(math.MaxInt64)) }
 // RunUntil processes events with timestamps <= deadline, then returns.
 // The clock is left at min(deadline, time of last event) — it never runs
 // ahead to the deadline when the queue drains early.
+//
+//simlint:hotpath
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
@@ -260,11 +279,24 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // not yet finished (they may be runnable or blocked).
 func (e *Engine) LiveProcs() int { return len(e.procs) }
 
+// liveProcs returns the live set in spawn order. The procs set is a map,
+// so anything that iterates it — killing, reporting — must go through this
+// to keep event ordering and output independent of map iteration order.
+func (e *Engine) liveProcs() []*Proc {
+	out := make([]*Proc, 0, len(e.procs))
+	//simlint:ordered -- collected into a slice and sorted by spawn id below
+	for p := range e.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // BlockedProcs returns the names of live processes that are currently
-// parked, for post-mortem debugging of stuck simulations.
+// parked, in spawn order, for post-mortem debugging of stuck simulations.
 func (e *Engine) BlockedProcs() []string {
 	var names []string
-	for p := range e.procs {
+	for _, p := range e.liveProcs() {
 		if p.state == procBlocked {
 			names = append(names, p.name)
 		}
@@ -272,10 +304,13 @@ func (e *Engine) BlockedProcs() []string {
 	return names
 }
 
-// Shutdown kills every live process and drains their unwinding. The engine
-// can still be inspected afterwards but should not be reused for new work.
+// Shutdown kills every live process in spawn order and drains their
+// unwinding. Kill order is schedule-visible (each kill enqueues a wake-up
+// and fires exit hooks), so it must not depend on map iteration order. The
+// engine can still be inspected afterwards but should not be reused for
+// new work.
 func (e *Engine) Shutdown() {
-	for p := range e.procs {
+	for _, p := range e.liveProcs() {
 		p.Kill()
 	}
 	// Run only the kill wake-ups; they were scheduled "now".

@@ -61,8 +61,8 @@ func (e *Engine) SpawnAt(at Time, name string, body func(p *Proc)) *Proc {
 		eng:    e,
 		name:   name,
 		id:     e.nprocs,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		resume: make(chan struct{}), //simlint:allow goroutine -- coroutine machinery: engine->proc rendezvous
+		yield:  make(chan struct{}), //simlint:allow goroutine -- coroutine machinery: proc->engine rendezvous
 		body:   body,
 	}
 	e.procs[p] = struct{}{}
@@ -72,6 +72,11 @@ func (e *Engine) SpawnAt(at Time, name string, body func(p *Proc)) *Proc {
 
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's spawn sequence number (1 for the first process
+// spawned on the engine). It is the stable order for iterating process
+// sets deterministically.
+func (p *Proc) ID() uint64 { return p.id }
 
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
@@ -99,6 +104,10 @@ func (e *Engine) startProc(p *Proc) {
 		e.tracef("start %s", p.name)
 	}
 	p.started = true
+	// The process body runs on its own goroutine, but the park/resume
+	// rendezvous keeps exactly one side runnable at a time, so scheduling
+	// stays deterministic.
+	//simlint:allow goroutine -- coroutine machinery: see comment above
 	go func() {
 		<-p.resume
 		defer func() {
@@ -146,6 +155,8 @@ func (e *Engine) retire(p *Proc) {
 
 // park blocks the calling process until a wake-up with the current blockID
 // arrives. It must be called from within the process goroutine.
+//
+//simlint:hotpath
 func (p *Proc) park() {
 	p.state = procBlocked
 	p.yield <- struct{}{}
@@ -159,6 +170,8 @@ func (p *Proc) park() {
 // wake schedules process p to resume at the current virtual time if its
 // park stamp still matches id. The value v (with ok) is delivered to the
 // parked operation.
+//
+//simlint:hotpath
 func (p *Proc) wake(id uint64, v interface{}, ok bool) {
 	e := p.eng
 	e.scheduleWake(e.now, p, id, v, ok, false)
@@ -167,11 +180,15 @@ func (p *Proc) wake(id uint64, v interface{}, ok bool) {
 // wakeAt schedules a deferred wake-up for p at absolute time at — the
 // timeout arm of the waiter queues. The fired event re-enqueues behind
 // same-time events (indirect), matching wake's historical scheduling.
+//
+//simlint:hotpath
 func (p *Proc) wakeAt(at Time, id uint64, v interface{}, ok bool) {
 	p.eng.scheduleWake(at, p, id, v, ok, true)
 }
 
 // newBlockID stamps a fresh park and returns the stamp.
+//
+//simlint:hotpath
 func (p *Proc) newBlockID() uint64 {
 	p.blockID++
 	return p.blockID
@@ -187,6 +204,8 @@ func (p *Proc) assertRunning(op string) {
 }
 
 // Wait suspends the process for duration d of virtual time.
+//
+//simlint:hotpath
 func (p *Proc) Wait(d Time) {
 	p.assertRunning("Wait")
 	if d <= 0 {

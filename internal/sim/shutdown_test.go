@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// shutdownSequence spawns n processes that park forever, lets them block,
+// and returns (blocked-process names, exit order under Shutdown).
+func shutdownSequence(seed int64, n int) (blocked, exits []string) {
+	eng := NewEngine(seed)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("proc%d", i)
+		p := eng.Spawn(name, func(sp *Proc) {
+			eng.NewSignal().Wait(sp) // parks forever; only Kill unwinds it
+		})
+		p.OnExit(func() { exits = append(exits, name) })
+	}
+	eng.RunUntil(eng.Now()) // let every process start and park
+	blocked = eng.BlockedProcs()
+	eng.Shutdown()
+	return blocked, exits
+}
+
+// TestShutdownSpawnOrder pins the determinism fix for Engine.Shutdown and
+// BlockedProcs: both must follow spawn order, never map iteration order.
+// Kill order is schedule-visible (each kill enqueues a wake-up and fires
+// exit hooks), so a map-ordered walk here broke byte-identical replay.
+func TestShutdownSpawnOrder(t *testing.T) {
+	const n = 16
+	want := make([]string, n)
+	for i := range want {
+		want[i] = fmt.Sprintf("proc%d", i)
+	}
+	blocked, exits := shutdownSequence(1, n)
+	if !reflect.DeepEqual(blocked, want) {
+		t.Errorf("BlockedProcs = %v, want spawn order %v", blocked, want)
+	}
+	if !reflect.DeepEqual(exits, want) {
+		t.Errorf("Shutdown exit order = %v, want spawn order %v", exits, want)
+	}
+}
+
+// TestShutdownRunToRunIdentical re-runs the same shutdown under the same
+// seed: the observable event sequence must be identical across runs (Go
+// randomizes map order per process, so this catches any residual map-order
+// dependence even if spawn order itself were relaxed).
+func TestShutdownRunToRunIdentical(t *testing.T) {
+	const n = 16
+	b1, e1 := shutdownSequence(7, n)
+	for run := 0; run < 4; run++ {
+		b2, e2 := shutdownSequence(7, n)
+		if !reflect.DeepEqual(b1, b2) {
+			t.Fatalf("run %d: BlockedProcs diverged: %v vs %v", run, b1, b2)
+		}
+		if !reflect.DeepEqual(e1, e2) {
+			t.Fatalf("run %d: exit order diverged: %v vs %v", run, e1, e2)
+		}
+	}
+}

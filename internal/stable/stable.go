@@ -132,6 +132,7 @@ func (s *Store) Clone() *Store {
 	c := New(s.capacity)
 	c.discard = s.discard
 	c.BytesWritten = s.BytesWritten
+	//simlint:ordered -- map-to-map copy; insertion order is invisible
 	for pi, page := range s.pages {
 		cp := make([]byte, len(page))
 		copy(cp, page)
@@ -146,14 +147,17 @@ func (s *Store) Equal(o *Store) bool {
 		return false
 	}
 	seen := make(map[int64]bool)
+	//simlint:ordered -- builds a lookup set; insertion order is invisible
 	for pi := range s.pages {
 		seen[pi] = true
 	}
+	//simlint:ordered -- builds a lookup set; insertion order is invisible
 	for pi := range o.pages {
 		seen[pi] = true
 	}
 	a := make([]byte, s.pageSize)
 	b := make([]byte, s.pageSize)
+	//simlint:ordered -- equality result is independent of comparison order
 	for pi := range seen {
 		s.pageAt(pi, a)
 		o.pageAt(pi, b)

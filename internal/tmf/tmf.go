@@ -426,6 +426,7 @@ func (t *TMF) openTCB(ctx *cluster.PairCtx) *pmclient.Region {
 
 func sortedKeys(m map[string]audit.LSN) []string {
 	out := make([]string, 0, len(m))
+	//simlint:ordered -- collected into a slice and sorted below
 	for k := range m {
 		out = append(out, k)
 	}
