@@ -1,0 +1,200 @@
+// Command faults sweeps a (durability × fault × phase) matrix of
+// deterministic mid-flight fault-injection scenarios and holds each one
+// against the paper's §5 claims: no committed transaction lost, no
+// in-flight transaction resurrected, takeover within the bound, and
+// recovery within the MTTR budget that §1.3's availability class
+// implies. Every cell is an independent simulation, so the matrix fans
+// out across the bench pool; two runs with the same seed print
+// byte-identical tables at any -parallel setting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"persistmem/internal/avail"
+	"persistmem/internal/bench"
+	"persistmem/internal/faultinject"
+	"persistmem/internal/ods"
+	"persistmem/internal/recovery"
+	"persistmem/internal/sim"
+)
+
+// cell is one matrix entry: a durability mode, a named fault, and the
+// commit-count phase at which it strikes.
+type cell struct {
+	durability ods.Durability
+	fault      string
+	phase      string
+	plan       faultinject.Plan
+
+	// filled by run
+	firings   int
+	committed int
+	txnErrs   int
+	mttr      sim.Time
+	bytesRead int64
+	fails     []string
+}
+
+// phases positions a fault in the commit stream: right after the first
+// commit, halfway, and after the last commit (while the final
+// transaction is still in flight).
+func phases(txns int) []struct {
+	name  string
+	after int64
+} {
+	return []struct {
+		name  string
+		after int64
+	}{
+		{"early", 1},
+		{"mid", int64(txns / 2)},
+		{"late", int64(txns)},
+	}
+}
+
+// planFor builds the fault plan for one named fault at one phase. Every
+// fail is paired with a restore so the store must survive the outage
+// window, not merely the instant of failure.
+func planFor(fault string, after int64) faultinject.Plan {
+	at := faultinject.Trigger{AfterCommits: after}
+	restore := func(d sim.Time) faultinject.Trigger {
+		return faultinject.Trigger{AfterCommits: after, Delay: d}
+	}
+	switch fault {
+	case "none":
+		return nil
+	case "cpufail":
+		// CPU 0 hosts the TMF, PMM and ADP0 primaries: the worst single
+		// processor loss the paper's pair design must absorb.
+		return faultinject.Plan{
+			{Kind: faultinject.CPUFail, Target: 0, When: at},
+			{Kind: faultinject.CPURestore, Target: 0, When: restore(300 * sim.Millisecond)},
+		}
+	case "pathfail":
+		return faultinject.Plan{
+			{Kind: faultinject.PathFail, Target: 0, When: at},
+			{Kind: faultinject.PathRestore, Target: 0, When: restore(200 * sim.Millisecond)},
+		}
+	case "prockill":
+		return faultinject.Plan{
+			{Kind: faultinject.ProcessKill, Service: "$TMF", When: at},
+		}
+	case "diskfail":
+		return faultinject.Plan{
+			{Kind: faultinject.DataVolumeFail, Target: 0, When: at},
+			{Kind: faultinject.DataVolumeRestore, Target: 0, When: restore(200 * sim.Millisecond)},
+		}
+	case "npmufail":
+		return faultinject.Plan{
+			{Kind: faultinject.NPMUPowerFail, Target: 0, When: at},
+			{Kind: faultinject.NPMURestore, Target: 0, When: restore(200 * sim.Millisecond)},
+		}
+	}
+	panic("unknown fault " + fault)
+}
+
+func main() {
+	var (
+		txns     = flag.Int("txns", 12, "transactions attempted before the crash (4 inserts each)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		paceMs   = flag.Int("pace", 20, "milliseconds of think time before each transaction")
+		chaos    = flag.Int("chaos", 2, "random chaos plans appended to the matrix (0 disables)")
+		parallel = flag.Int("parallel", 0, "cells simulated concurrently (0 = one per CPU, 1 = sequential); output is identical at any setting")
+		nines    = flag.Int("nines", 5, "availability class the MTTR budget is derived from")
+		mtbfDays = flag.Int("mtbf-days", 30, "assumed mean time between failures, in days")
+	)
+	flag.Parse()
+	pace := sim.Time(*paceMs) * sim.Millisecond
+	mtbf := sim.Time(*mtbfDays) * 24 * sim.Time(time.Hour)
+	budget := avail.MTTRBudget(mtbf, *nines)
+
+	var cells []*cell
+	for _, d := range []ods.Durability{ods.DiskDurability, ods.PMDurability, ods.PMDirectDurability} {
+		cells = append(cells, &cell{durability: d, fault: "none", phase: "-"})
+		faults := []string{"cpufail", "pathfail", "prockill", "diskfail"}
+		if d != ods.DiskDurability {
+			faults = append(faults, "npmufail")
+		}
+		for _, f := range faults {
+			for _, ph := range phases(*txns) {
+				cells = append(cells, &cell{
+					durability: d, fault: f, phase: ph.name,
+					plan: planFor(f, ph.after),
+				})
+			}
+		}
+	}
+	// Chaos cells: plans drawn from the engine's derived rand stream, so
+	// the same -seed sweeps the same random faults. The workload CPU is
+	// spared (it has no backup), and only one NPMU may fail (losing both
+	// mirrors is a full PM outage, which §1.3 counts as a site disaster,
+	// not a survivable fault).
+	topo := faultinject.Topology{
+		CPUs: 4, Paths: 2, NPMUs: 2, DataVolumes: 4,
+		Services: []string{"$TMF", "$PM1", "$ADP0", "$ADP1", "$ADP2", "$ADP3",
+			"$DP-TRADES-0", "$DP-TRADES-1", "$DP-TRADES-2", "$DP-TRADES-3"},
+		SpareCPUs: []int{3},
+	}
+	horizon := pace * sim.Time(*txns)
+	for i := 0; i < *chaos; i++ {
+		probe := sim.NewEngine(*seed + int64(i))
+		plan := faultinject.RandomPlan(probe.DeriveRand("chaos"), topo, 2, horizon)
+		cells = append(cells, &cell{
+			durability: ods.PMDurability, fault: fmt.Sprintf("chaos%d", i), phase: "-",
+			plan: plan,
+		})
+	}
+
+	bench.ForEach(*parallel, len(cells), func(i int) {
+		c := cells[i]
+		res := faultinject.Run(faultinject.ScenarioConfig{
+			Durability: c.durability,
+			Txns:       *txns,
+			Seed:       *seed,
+			Plan:       c.plan,
+			Pace:       pace,
+		})
+		rep, rb, err := res.Recover(recovery.Options{})
+		if err != nil {
+			c.fails = append(c.fails, fmt.Sprintf("recovery failed: %v", err))
+		} else {
+			c.fails = res.Violations(rb)
+			if rep.MTTR > budget {
+				c.fails = append(c.fails, fmt.Sprintf("MTTR %v over the %v budget", rep.MTTR, budget))
+			}
+		}
+		c.firings = len(res.Injector.Firings())
+		c.committed = len(res.Committed)
+		c.txnErrs = res.TxnErrs
+		c.mttr = rep.MTTR
+		c.bytesRead = rep.BytesRead
+		res.Store.Eng.Shutdown()
+	})
+
+	fmt.Printf("fault matrix: %d cells, %d txns/cell, seed %d\n", len(cells), *txns, *seed)
+	fmt.Printf("MTTR budget: %v (%d nines at %d-day MTBF)\n\n", budget, *nines, *mtbfDays)
+	fmt.Printf("%-9s %-9s %-6s %8s %10s %8s %12s %12s  %s\n",
+		"mode", "fault", "phase", "firings", "committed", "txnerrs", "mttr", "bytesread", "verdict")
+	failed := 0
+	for _, c := range cells {
+		verdict := "PASS"
+		if len(c.fails) > 0 {
+			failed++
+			verdict = "FAIL: " + c.fails[0]
+			if len(c.fails) > 1 {
+				verdict += fmt.Sprintf(" (+%d more)", len(c.fails)-1)
+			}
+		}
+		fmt.Printf("%-9s %-9s %-6s %8d %10d %8d %12v %12d  %s\n",
+			c.durability, c.fault, c.phase, c.firings, c.committed, c.txnErrs,
+			c.mttr, c.bytesRead, verdict)
+	}
+	fmt.Printf("\n%d/%d cells passed\n", len(cells)-failed, len(cells))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

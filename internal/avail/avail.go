@@ -69,3 +69,16 @@ func Project(mtbf, mttr sim.Time) (float64, string) {
 	a := Availability(mtbf, mttr)
 	return a, Class(a)
 }
+
+// MTTRBudget inverts the availability equation: the longest recovery
+// time a component failing every mtbf may take while still delivering
+// the given number of nines. From a = mtbf/(mtbf+mttr) and
+// a = 1 - 10^-nines: mttr = mtbf/(10^nines - 1). The faults command
+// holds each measured recovery against this budget — the paper's §1.3
+// bar of "5 or more 9s" at a monthly failure rate allows ~26 s.
+func MTTRBudget(mtbf sim.Time, nines int) sim.Time {
+	if mtbf <= 0 || nines <= 0 {
+		return 0
+	}
+	return sim.Time(float64(mtbf) / (math.Pow(10, float64(nines)) - 1))
+}

@@ -96,3 +96,22 @@ func TestMonotonicityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// MTTRBudget is Availability's inverse: recovering exactly within the
+// budget delivers the asked-for nines, overshooting loses one.
+func TestMTTRBudget(t *testing.T) {
+	month := 30 * 24 * 3600 * sim.Second
+	budget := MTTRBudget(month, 5)
+	if budget < 25*sim.Second || budget > 27*sim.Second {
+		t.Errorf("5-nines budget at monthly MTBF = %v, want ~26s", budget)
+	}
+	if got := Nines(Availability(month, budget)); got < 5 {
+		t.Errorf("recovering within budget yields %d nines, want >= 5", got)
+	}
+	if got := Nines(Availability(month, 20*budget)); got >= 5 {
+		t.Errorf("recovering at 20x budget still yields %d nines", got)
+	}
+	if MTTRBudget(0, 5) != 0 || MTTRBudget(month, 0) != 0 {
+		t.Error("degenerate inputs must yield a zero budget")
+	}
+}

@@ -120,6 +120,18 @@ func (cl *Cluster) CPU(i int) *CPU { return cl.cpus[i] }
 // NumCPUs returns the processor count.
 func (cl *Cluster) NumCPUs() int { return len(cl.cpus) }
 
+// AllUp reports whether every CPU is running. Reboot-style recovery code
+// uses it to make power restoration idempotent: RestorePower on a node
+// that never lost power would wrongly wipe the live service registry.
+func (cl *Cluster) AllUp() bool {
+	for _, c := range cl.cpus {
+		if !c.up {
+			return false
+		}
+	}
+	return true
+}
+
 // AttachDevice adds an I/O device endpoint (NPMU, adapter) to the fabric.
 // Devices are not tied to any CPU: per the paper, they keep functioning
 // when their controlling processor fails.

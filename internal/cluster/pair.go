@@ -86,6 +86,12 @@ func (pr *Pair) Name() string { return pr.name }
 // PrimaryCPU returns the index of the CPU currently running the primary.
 func (pr *Pair) PrimaryCPU() int { return pr.primCPU }
 
+// BackupCPU returns the index of the CPU hosting the backup (meaningful
+// while Protected; after a takeover it is the old primary's CPU until
+// Rebackup moves it). Fault-injection checkers use it to predict where a
+// takeover must re-register the service name.
+func (pr *Pair) BackupCPU() int { return pr.backCPU }
+
 // Stop shuts the pair down cleanly (no takeover is triggered).
 func (pr *Pair) Stop() {
 	pr.stopped = true

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"persistmem/internal/sim"
+)
+
+// takeoverFaultRun drives one scripted CPU failure against a serving
+// pair and records everything schedule-visible: the order processes on
+// the failed CPU died, when the service name reappeared and where, and
+// how the client's in-flight call ended.
+type takeoverFaultRun struct {
+	kills        []string // processes on CPU 0, in death order
+	inflightErr  error    // outcome of the Call racing the failure
+	inflightTook sim.Time // how long that call blocked
+	reregAt      sim.Time // when the name answered again
+	reregCPU     int      // where it answered from
+}
+
+func runTakeoverFault(t *testing.T, seed int64) takeoverFaultRun {
+	t.Helper()
+	eng, cl := newTestCluster(seed)
+	var r takeoverFaultRun
+
+	// A pair that answers calls after a little service time, plus two
+	// bystander workers on the primary CPU so the kill order has
+	// something to order.
+	pr := cl.StartPair("svc", 0, 1, func(ctx *PairCtx) {
+		for {
+			ev := ctx.Recv()
+			ctx.Wait(2 * sim.Millisecond)
+			ev.Reply("ok")
+		}
+	})
+	for i := 0; i < 2; i++ {
+		w := cl.CPU(0).Spawn(fmt.Sprintf("worker%d", i), func(p *Process) {
+			p.Wait(sim.Minute)
+		})
+		w.proc.OnExit(func() { r.kills = append(r.kills, w.Name()) })
+	}
+	pr.primary.proc.OnExit(func() { r.kills = append(r.kills, "svc-primary") })
+
+	var failAt sim.Time = 10 * sim.Millisecond
+	eng.Schedule(failAt, func() { cl.CPU(0).Fail() })
+
+	// Client A: a call in flight when the CPU dies (issued 1ms before,
+	// service time 2ms). It must fail cleanly within the call timeout,
+	// not hang forever.
+	cl.CPU(2).Spawn("inflight-client", func(p *Process) {
+		p.Wait(failAt - 1*sim.Millisecond)
+		start := p.Now()
+		_, r.inflightErr = p.Call("svc", 64, "req")
+		r.inflightTook = p.Now() - start
+	})
+	// Client B: polls until the name answers again.
+	cl.CPU(2).Spawn("probe-client", func(p *Process) {
+		p.Wait(failAt)
+		for {
+			if _, err := p.Call("svc", 64, "probe"); err == nil {
+				r.reregAt = p.Now()
+				r.reregCPU = cl.LookupCPU("svc")
+				return
+			}
+			p.Wait(sim.Millisecond)
+		}
+	})
+	eng.RunUntil(5 * sim.Second)
+	eng.Shutdown()
+	return r
+}
+
+// A CPU failure under an injected fault must behave like §1.3 promises:
+// the backup re-registers the name within TakeoverDelay, in-flight
+// calls to the dead primary fail cleanly within the call timeout, and
+// the whole kill-and-takeover sequence replays identically for the
+// same seed.
+func TestTakeoverUnderCPUFailure(t *testing.T) {
+	r := runTakeoverFault(t, 42)
+	cfg := DefaultConfig()
+
+	if r.inflightErr == nil {
+		t.Error("in-flight call to the dead primary succeeded, want a clean failure")
+	}
+	// The timeout clock starts after the request's fabric hop, so the
+	// observed block is the call timeout plus that hop.
+	if r.inflightTook > cfg.CallTimeout+sim.Millisecond {
+		t.Errorf("in-flight call blocked %v, want about the call timeout %v", r.inflightTook, cfg.CallTimeout)
+	}
+	if r.reregAt == 0 {
+		t.Fatal("service never answered again after the CPU failure")
+	}
+	failAt := 10 * sim.Millisecond
+	// One poll interval plus the probe's own call service time pad the
+	// bound; the registration itself must flip at exactly TakeoverDelay.
+	slack := 10 * sim.Millisecond
+	if r.reregAt > failAt+cfg.TakeoverDelay+slack {
+		t.Errorf("backup answered at %v, want within %v of the failure at %v", r.reregAt, cfg.TakeoverDelay, failAt)
+	}
+	if r.reregCPU != 1 {
+		t.Errorf("service re-registered on CPU %d, want backup CPU 1", r.reregCPU)
+	}
+	if len(r.kills) != 3 {
+		t.Errorf("saw %d process deaths on CPU 0, want 3 (2 workers + primary): %v", len(r.kills), r.kills)
+	}
+
+	// Determinism: the same seed replays the same kill order and the
+	// same timings, byte for byte.
+	r2 := runTakeoverFault(t, 42)
+	if !reflect.DeepEqual(r.kills, r2.kills) {
+		t.Errorf("kill sequence diverged across same-seed runs: %v vs %v", r.kills, r2.kills)
+	}
+	if r.reregAt != r2.reregAt || r.inflightTook != r2.inflightTook {
+		t.Errorf("timings diverged across same-seed runs: rereg %v/%v, inflight %v/%v",
+			r.reregAt, r2.reregAt, r.inflightTook, r2.inflightTook)
+	}
+}

@@ -1,0 +1,227 @@
+package faultinject
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"persistmem/internal/ods"
+	"persistmem/internal/recovery"
+	"persistmem/internal/sim"
+)
+
+// fingerprint reduces a run to a comparable string: firing log, ground
+// truth buckets, error counts.
+func fingerprint(res *Result) string {
+	return fmt.Sprintf("firings=%v committed=%v inflight=%v unresolved=%v errs=%d viol=%v",
+		res.Injector.Firings(), res.Committed, res.InFlight, res.Unresolved,
+		res.TxnErrs, res.Injector.TakeoverViolations)
+}
+
+// runAndCheck executes a scenario, recovers, and fails the test on any
+// invariant violation.
+func runAndCheck(t *testing.T, cfg ScenarioConfig) *Result {
+	t.Helper()
+	res := Run(cfg)
+	_, rb, err := res.Recover(recovery.Options{})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if v := res.Violations(rb); len(v) > 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+	res.Store.Eng.Shutdown()
+	return res
+}
+
+// An empty plan must not perturb the simulation at all: the run matches
+// the recovery package's uninjected scenario event for event.
+func TestEmptyPlanIsInert(t *testing.T) {
+	for _, d := range []ods.Durability{ods.DiskDurability, ods.PMDurability, ods.PMDirectDurability} {
+		t.Run(d.String(), func(t *testing.T) {
+			res := Run(ScenarioConfig{Durability: d, Txns: 5, Seed: 3})
+			if res.TxnErrs != 0 || len(res.Unresolved) != 0 {
+				t.Fatalf("faultless run had %d errors, unresolved %v", res.TxnErrs, res.Unresolved)
+			}
+			if len(res.Injector.Firings()) != 0 {
+				t.Fatalf("empty plan fired: %v", res.Injector.Firings())
+			}
+			base := recovery.RunScenario(d, 5, 3)
+			if len(base.Errs) > 0 {
+				t.Fatalf("baseline errors: %v", base.Errs)
+			}
+			if !reflect.DeepEqual(res.Committed, base.Committed) || !reflect.DeepEqual(res.InFlight, base.InFlight) {
+				t.Errorf("ground truth diverged from uninjected scenario")
+			}
+			if a, b := res.Store.Eng.EventsExecuted(), base.Store.Eng.EventsExecuted(); a != b {
+				t.Errorf("schedule diverged: %d events with empty plan, %d without", a, b)
+			}
+			res.Store.Eng.Shutdown()
+			base.Store.Eng.Shutdown()
+		})
+	}
+}
+
+// Two runs with the same seed and plan must be byte-identical: same
+// firing times, same ground truth, same takeover verdicts.
+func TestSameSeedSamePlanReplays(t *testing.T) {
+	plan := Plan{
+		{Kind: CPUFail, Target: 0, When: Trigger{AfterCommits: 2}},
+		{Kind: CPURestore, Target: 0, When: Trigger{AfterCommits: 2, Delay: 300 * sim.Millisecond}},
+	}
+	cfg := ScenarioConfig{Durability: ods.PMDurability, Txns: 8, Seed: 11, Plan: plan, Pace: 50 * sim.Millisecond}
+	a := runAndCheck(t, cfg)
+	b := runAndCheck(t, cfg)
+	if fa, fb := fingerprint(a), fingerprint(b); fa != fb {
+		t.Errorf("same seed diverged:\n run 1: %s\n run 2: %s", fa, fb)
+	}
+	if len(a.Injector.Firings()) != 2 {
+		t.Errorf("expected both faults to fire, got %v", a.Injector.Firings())
+	}
+}
+
+// A CPU failure in the middle of the commit stream must be survivable
+// in every durability mode: pairs take over within the bound, committed
+// work survives, in-flight work does not resurrect.
+func TestCPUFailMidRunSurvivable(t *testing.T) {
+	plan := Plan{
+		{Kind: CPUFail, Target: 0, When: Trigger{AfterCommits: 3}},
+		{Kind: CPURestore, Target: 0, When: Trigger{AfterCommits: 3, Delay: 300 * sim.Millisecond}},
+	}
+	for _, d := range []ods.Durability{ods.DiskDurability, ods.PMDurability, ods.PMDirectDurability} {
+		t.Run(d.String(), func(t *testing.T) {
+			res := runAndCheck(t, ScenarioConfig{Durability: d, Txns: 8, Seed: 5, Plan: plan, Pace: 50 * sim.Millisecond})
+			if len(res.Committed) == 0 {
+				t.Error("no transaction committed at all")
+			}
+			if got := len(res.Injector.Firings()); got != 2 {
+				t.Errorf("fired %d faults, want 2: %v", got, res.Injector.Firings())
+			}
+			// The takeover invariant was armed (CPU 0 hosts the TMF
+			// primary) and found no violation — runAndCheck checked.
+			if res.Store.TMF.Pair().Takeovers == 0 {
+				t.Error("TMF pair recorded no takeover after its primary CPU failed")
+			}
+		})
+	}
+}
+
+// A commit-count trigger fires only once the Nth commit is durable.
+func TestAfterCommitsTriggerOrdering(t *testing.T) {
+	plan := Plan{{Kind: ProcessKill, Service: "$TMF", When: Trigger{AfterCommits: 2}}}
+	res := runAndCheck(t, ScenarioConfig{Durability: ods.DiskDurability, Txns: 6, Seed: 9, Plan: plan})
+	firings := res.Injector.Firings()
+	if len(firings) != 1 {
+		t.Fatalf("fired %d faults, want 1: %v", len(firings), firings)
+	}
+	if firings[0].At == 0 {
+		t.Error("commit-triggered fault fired at time zero")
+	}
+	if len(res.Committed) < 2*4 {
+		t.Errorf("trigger fired before 2 commits were durable: committed %v", res.Committed)
+	}
+}
+
+// Pinning regression: an NPMU that power-fails mid-run and comes back
+// holds only a stale prefix of each log region (its translations are
+// gone until a PM manager reprograms them, so post-restore writes land
+// on the surviving mirror alone). Recovery must select the longest
+// valid replica prefix — reading the primary first and trusting it
+// would silently drop every transaction committed during the degraded
+// window.
+func TestDegradedPrimaryRecoversFromMirror(t *testing.T) {
+	for _, d := range []ods.Durability{ods.PMDurability, ods.PMDirectDurability} {
+		t.Run(d.String(), func(t *testing.T) {
+			plan := Plan{
+				{Kind: NPMUPowerFail, Target: 0, When: Trigger{AfterCommits: 2}},
+				{Kind: NPMURestore, Target: 0, When: Trigger{AfterCommits: 2, Delay: 200 * sim.Millisecond}},
+			}
+			res := runAndCheck(t, ScenarioConfig{Durability: d, Txns: 8, Seed: 13, Plan: plan})
+			if res.TxnErrs != 0 {
+				t.Errorf("mirrored writes should ride out a single device loss, got %d errors", res.TxnErrs)
+			}
+			if len(res.Committed) != 8*4 {
+				t.Errorf("committed %d keys, want all %d", len(res.Committed), 8*4)
+			}
+		})
+	}
+}
+
+// The takeover checker must flag a genuine miss: the primary dies and
+// the armed backup's promotion is prevented by stopping the pair before
+// the takeover timer expires (a stand-in for a takeover-path bug).
+func TestTakeoverViolationDetected(t *testing.T) {
+	plan := Plan{{Kind: ProcessKill, Service: "$ADP2", When: Trigger{At: 40 * sim.Millisecond}}}
+	cfg := ScenarioConfig{Durability: ods.DiskDurability, Txns: 3, Seed: 17, Plan: plan}
+
+	opts := ods.DefaultOptions()
+	opts.Seed = cfg.Seed
+	opts.Durability = cfg.Durability
+	opts.RetainData = true
+	s := ods.Build(opts)
+	inj := Arm(s, cfg.Plan)
+	// Sabotage the takeover: right after the kill fires, stop the pair
+	// (Stop cancels the pending promotion but the check is already
+	// armed against the pre-kill state).
+	s.Eng.Schedule(50*sim.Millisecond, func() {
+		for _, a := range s.ADPs {
+			if a.Name() == "$ADP2" {
+				a.Pair().Stop()
+			}
+		}
+	})
+	s.Eng.RunUntil(sim.Second)
+	if len(inj.TakeoverViolations) != 1 {
+		t.Fatalf("takeover violations = %v, want exactly one for $ADP2", inj.TakeoverViolations)
+	}
+	s.Eng.Shutdown()
+}
+
+// RandomPlan is a pure function of its rand stream: two generators with
+// the same derivation produce identical plans, and the plans only name
+// targets the topology offers.
+func TestRandomPlanDeterministic(t *testing.T) {
+	topo := Topology{
+		CPUs: 4, Paths: 2, NPMUs: 2, DataVolumes: 4,
+		Services:  []string{"$TMF", "$ADP0"},
+		SpareCPUs: []int{3},
+	}
+	mk := func() Plan {
+		eng := sim.NewEngine(21)
+		return RandomPlan(eng.DeriveRand("chaos"), topo, 4, 2*sim.Second)
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same derivation produced different plans:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty chaos plan")
+	}
+	for _, f := range a {
+		if f.Kind == CPUFail && f.Target == 3 {
+			t.Errorf("chaos plan failed spare CPU 3: %v", f)
+		}
+		if (f.Kind == NPMUPowerFail || f.Kind == EndpointFail) && f.Target != 0 {
+			t.Errorf("chaos plan touched NPMU mirror: %v", f)
+		}
+	}
+}
+
+// A chaos plan drawn from the engine's derived stream must run, crash,
+// and recover with every durability invariant intact.
+func TestChaosPlanHoldsInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			probe := sim.NewEngine(seed)
+			topo := Topology{
+				CPUs: 4, Paths: 2, NPMUs: 2, DataVolumes: 4,
+				Services:  []string{"$TMF", "$ADP0", "$ADP1", "$PM1"},
+				SpareCPUs: []int{3},
+			}
+			plan := RandomPlan(probe.DeriveRand("chaos"), topo, 2, sim.Second)
+			res := runAndCheck(t, ScenarioConfig{Durability: ods.PMDurability, Txns: 10, Seed: seed, Plan: plan})
+			t.Logf("seed %d: %d firings, %d committed keys, %d errors",
+				seed, len(res.Injector.Firings()), len(res.Committed), res.TxnErrs)
+		})
+	}
+}

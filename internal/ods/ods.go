@@ -286,6 +286,11 @@ func BuildOn(eng *sim.Engine, opts Options) *Store {
 	return s
 }
 
+// SetCommitHook forwards to the transaction monitor's commit observer —
+// the store-level handle fault-injection plans arm their "after the Nth
+// commit" triggers through.
+func (s *Store) SetCommitHook(fn func(total int64)) { s.TMF.SetCommitHook(fn) }
+
 // DP2Name returns the service name for a file partition.
 func (s *Store) DP2Name(file string, partition int) string {
 	names := s.dpNames[file]

@@ -202,6 +202,43 @@ func (r *Region) Read(p *cluster.Process, off int64, buf []byte) error {
 	return nil
 }
 
+// Replicas returns the number of distinct devices backing the region: 2
+// for a mirrored volume, 1 for the unmirrored ablation.
+func (r *Region) Replicas() int {
+	if r.info.Mirror == r.info.Primary {
+		return 1
+	}
+	return 2
+}
+
+// ReadReplica fills buf from one specific device of the mirrored pair
+// (0 = primary, 1 = mirror), with no failover. Recovery code uses it to
+// compare replica contents after a degraded period — a device that sat
+// out a power failure holds only a stale prefix of its log region, and
+// the normal Read's primary-first policy would hand that prefix to the
+// scanner as if it were the whole trail.
+func (r *Region) ReadReplica(p *cluster.Process, replica int, off int64, buf []byte) error {
+	if replica < 0 || replica >= r.Replicas() {
+		return fmt.Errorf("%w: replica %d of %d", ErrOutOfRange, replica, r.Replicas())
+	}
+	if err := r.check(off, len(buf)); err != nil {
+		return err
+	}
+	dev := r.info.Primary
+	if replica == 1 {
+		dev = r.info.Mirror
+	}
+	fab := r.vol.cl.Fabric()
+	from := p.CPU().Endpoint().ID()
+	nva := r.info.Base + uint32(off)
+	if err := fab.RDMARead(p.Sim(), from, dev, nva, buf); err != nil {
+		return err
+	}
+	r.Reads++
+	r.BytesRead += int64(len(buf))
+	return nil
+}
+
 // Close revokes this handle's access with the PMM.
 func (r *Region) Close(p *cluster.Process) error {
 	if r.closed {

@@ -1,0 +1,54 @@
+package recovery
+
+import (
+	"testing"
+
+	"persistmem/internal/ods"
+)
+
+// A disk-durability store must be recoverable after a true reboot — power
+// restored first, FromDisk second — not only straight from the powered-off
+// state.
+func TestRecoverDiskAfterReboot(t *testing.T) {
+	res := RunScenario(ods.DiskDurability, 5, 7)
+	if len(res.Errs) > 0 {
+		t.Fatalf("workload errors: %v", res.Errs)
+	}
+	res.Reboot()
+	if !res.Store.Cl.AllUp() {
+		t.Fatal("reboot left CPUs down")
+	}
+	rep, rb, err := res.RecoverDisk(Options{})
+	if err != nil {
+		t.Fatalf("RecoverDisk after reboot: %v", err)
+	}
+	checkGroundTruth(t, rb, res)
+	if rep.Committed != 5 || rep.RowsRedone != 20 {
+		t.Errorf("classified %d committed / %d rows redone, want 5 / 20", rep.Committed, rep.RowsRedone)
+	}
+	res.Store.Eng.Shutdown()
+}
+
+// Reboot is idempotent: an explicit Reboot followed by RecoverPM (which
+// reboots internally) must not wipe the restarted PM manager's
+// registration or start a second manager pair.
+func TestRebootIdempotentBeforeRecoverPM(t *testing.T) {
+	res := RunScenario(ods.PMDurability, 5, 7)
+	if len(res.Errs) > 0 {
+		t.Fatalf("workload errors: %v", res.Errs)
+	}
+	res.Reboot()
+	if got := res.Store.Cl.LookupCPU(ods.PMVolumeName); got != 0 {
+		t.Fatalf("PMM registered on CPU %d after reboot, want 0", got)
+	}
+	res.Reboot() // second reboot must be a no-op
+	if got := res.Store.Cl.LookupCPU(ods.PMVolumeName); got != 0 {
+		t.Fatalf("second reboot dropped the PMM registration (CPU %d)", got)
+	}
+	_, rb, err := res.RecoverPM(Options{}, true)
+	if err != nil {
+		t.Fatalf("RecoverPM after explicit reboot: %v", err)
+	}
+	checkGroundTruth(t, rb, res)
+	res.Store.Eng.Shutdown()
+}

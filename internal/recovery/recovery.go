@@ -259,9 +259,7 @@ func FromPM(p *cluster.Process, vol *pmclient.Volume, logRegions []string, tcbRe
 		if err != nil {
 			return rep, nil, fmt.Errorf("%w: %s: %v", ErrNoLog, name, err)
 		}
-		data, n, err := readStream(r.Size(), opts, func(off int64, buf []byte) error {
-			return r.Read(p, off, buf)
-		})
+		data, n, err := readLogReplicas(p, r, opts)
 		if err != nil {
 			return rep, nil, fmt.Errorf("%w: %s: %v", ErrNoLog, name, err)
 		}
@@ -310,6 +308,44 @@ func FromPM(p *cluster.Process, vol *pmclient.Volume, logRegions []string, tcbRe
 	}
 	rep.MTTR = p.Now() - start
 	return rep, rb, nil
+}
+
+// readLogReplicas reads a log region's stream from each device of the
+// mirrored pair independently and keeps the replica whose valid record
+// prefix scans furthest. Log writes are strictly sequential appends, and
+// the PM write path succeeds whenever at least one mirror accepted the
+// data — so a device that power-failed mid-run holds a truncated prefix
+// (its partner carried the writes alone while it was away), and trusting
+// the primary blindly would silently drop committed transactions. A
+// replica that cannot be read at all (device still down) is skipped as
+// long as its partner is readable.
+func readLogReplicas(p *cluster.Process, r *pmclient.Region, opts Options) ([]byte, int64, error) {
+	var best []byte
+	bestValid := -1
+	var total int64
+	var firstErr error
+	for rep := 0; rep < r.Replicas(); rep++ {
+		data, n, err := readStream(r.Size(), opts, func(off int64, buf []byte) error {
+			return r.ReadReplica(p, rep, off, buf)
+		})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		total += n
+		s := audit.NewScanner(data)
+		for s.Next() {
+		}
+		if s.Offset() > bestValid {
+			bestValid, best = s.Offset(), data
+		}
+	}
+	if best == nil {
+		return nil, 0, firstErr
+	}
+	return best, total, nil
 }
 
 // readPMStream fills buf from the region in RDMA-sized chunks.

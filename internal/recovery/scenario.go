@@ -61,7 +61,11 @@ func RunScenario(d ods.Durability, txns int, seed int64) ScenarioResult {
 			}
 		}
 		// One more transaction, inserted but never committed.
-		txn, _ := se.Begin()
+		txn, err := se.Begin()
+		if err != nil {
+			res.Errs = append(res.Errs, fmt.Errorf("begin in-flight txn: %w", err))
+			return
+		}
 		for j := 0; j < 4; j++ {
 			key := uint64(1000000 + j)
 			txn.InsertAsync("TRADES", key, []byte("uncommitted"))
@@ -85,9 +89,13 @@ func RunScenario(d ods.Durability, txns int, seed int64) ScenarioResult {
 	return res
 }
 
-// Reboot powers the crashed store's node and PM devices back on and
-// restarts the PM manager (recovering the volume's region table), so
-// FromPM can reach the log regions.
+// Reboot powers the crashed store's node and PM devices back on and — in
+// PM modes — restarts the PM manager (recovering the volume's region
+// table), so FromPM can reach the log regions. In disk mode nothing
+// beyond the CPUs needs restarting: FromDisk reads the audit volumes
+// directly. Reboot is idempotent, so RecoverPM after an explicit Reboot
+// (or RecoverDisk after RecoverPM's implicit one) neither wipes the live
+// registry nor starts a second PM manager pair.
 func (r ScenarioResult) Reboot() {
 	s := r.Store
 	if s.NPMUPrimary != nil {
@@ -96,8 +104,10 @@ func (r ScenarioResult) Reboot() {
 			s.NPMUMirror.Restore()
 		}
 	}
-	s.Cl.RestorePower()
-	if s.NPMUPrimary != nil {
+	if !s.Cl.AllUp() {
+		s.Cl.RestorePower()
+	}
+	if s.NPMUPrimary != nil && s.Cl.LookupCPU(ods.PMVolumeName) == -1 {
 		pmm.Start(s.Cl, ods.PMVolumeName, 0, 1, s.NPMUPrimary, s.NPMUMirror)
 	}
 }

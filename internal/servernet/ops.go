@@ -91,12 +91,19 @@ func (f *Fabric) rdma(p *sim.Proc, from, to EndpointID, nva uint32, data, buf []
 	}
 	defer release()
 	p.Wait(tt)
-	// Sample target liveness again: it may have failed mid-transfer.
+	// Sample target liveness again: it may have failed mid-transfer. A
+	// single path failing mid-transfer is masked by the survivor, but if
+	// both fabrics went down the hardware ack never arrives.
 	downMid := !dst.up
+	noPathMid := !f.pathUp[0] && !f.pathUp[1]
 	release()
 	if downMid {
 		p.Wait(f.cfg.Timeout)
 		return ErrEndpointDown
+	}
+	if noPathMid {
+		p.Wait(f.cfg.Timeout)
+		return ErrNoPath
 	}
 
 	if f.crcFault() {
@@ -180,10 +187,15 @@ func (f *Fabric) Send(p *sim.Proc, from, to EndpointID, sz int, payload interfac
 	defer release()
 	p.Wait(tt)
 	downMid := !dst.up
+	noPathMid := !f.pathUp[0] && !f.pathUp[1]
 	release()
 	if downMid {
 		p.Wait(f.cfg.Timeout)
 		return ErrEndpointDown
+	}
+	if noPathMid {
+		p.Wait(f.cfg.Timeout)
+		return ErrNoPath
 	}
 	if f.crcFault() {
 		return ErrCRC

@@ -195,15 +195,26 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 	}
 }
 
+// pathIndex validates a fabric path id. Like Attach with duplicate
+// endpoints, an out-of-range id is a configuration error and panics —
+// silently aliasing it onto X/Y would make a fault-injection plan hit the
+// wrong fabric.
+func pathIndex(i int) int {
+	if i < 0 || i > 1 {
+		panic(fmt.Sprintf("servernet: invalid fabric path %d (0 = X, 1 = Y)", i))
+	}
+	return i
+}
+
 // FailPath takes fabric path i (0 = X, 1 = Y) out of service; transfers
 // transparently use the survivor.
-func (f *Fabric) FailPath(i int) { f.pathUp[i&1] = false }
+func (f *Fabric) FailPath(i int) { f.pathUp[pathIndex(i)] = false }
 
 // RestorePath returns fabric path i to service.
-func (f *Fabric) RestorePath(i int) { f.pathUp[i&1] = true }
+func (f *Fabric) RestorePath(i int) { f.pathUp[pathIndex(i)] = true }
 
 // PathUp reports whether fabric path i is in service.
-func (f *Fabric) PathUp(i int) bool { return f.pathUp[i&1] }
+func (f *Fabric) PathUp(i int) bool { return f.pathUp[pathIndex(i)] }
 
 // pickPath selects a live path, preferring X (the hardware's primary
 // route), and records the choice.

@@ -401,6 +401,82 @@ func TestBothPathsDown(t *testing.T) {
 	eng.Shutdown()
 }
 
+func TestPathIDValidationPanics(t *testing.T) {
+	eng, fab, _ := testFabric(t, DefaultConfig(), 0, rwPerm())
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("FailPath(2)", func() { fab.FailPath(2) })
+	mustPanic("FailPath(-1)", func() { fab.FailPath(-1) })
+	mustPanic("RestorePath(2)", func() { fab.RestorePath(2) })
+	mustPanic("PathUp(7)", func() { fab.PathUp(7) })
+	// Valid ids still work, and nothing above aliased onto them.
+	if !fab.PathUp(0) || !fab.PathUp(1) {
+		t.Error("valid paths disturbed by rejected ids")
+	}
+	eng.Shutdown()
+}
+
+func TestMidTransferPathFailureCompletesOnSurvivor(t *testing.T) {
+	// A transfer in flight when the X fabric dies is masked by Y: the
+	// hardware reroutes and the initiator sees a normal completion.
+	eng, fab, _ := testFabric(t, DefaultConfig(), 0, rwPerm())
+	done := false
+	eng.Spawn("client", func(p *sim.Proc) {
+		if err := fab.RDMAWrite(p, 1, 2, 0, make([]byte, 1<<20)); err != nil { // ~8ms transfer
+			t.Errorf("write across path failure: %v", err)
+			return
+		}
+		done = true
+	})
+	eng.Spawn("fault", func(p *sim.Proc) {
+		p.Wait(5 * sim.Millisecond) // transfer already started
+		fab.FailPath(0)
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("transfer did not complete on the survivor path")
+	}
+	if fab.PathUp(0) {
+		t.Error("X path unexpectedly up")
+	}
+	eng.Shutdown()
+}
+
+func TestMidTransferBothPathsDownFails(t *testing.T) {
+	// Losing both fabrics mid-transfer means the hardware ack never
+	// arrives: the initiator times out with ErrNoPath instead of
+	// pretending the write completed.
+	cfg := DefaultConfig()
+	eng, fab, _ := testFabric(t, cfg, 0, rwPerm())
+	var err error
+	var took sim.Time
+	eng.Spawn("client", func(p *sim.Proc) {
+		start := p.Now()
+		err = fab.RDMAWrite(p, 1, 2, 0, make([]byte, 1<<20))
+		took = p.Now() - start
+	})
+	eng.Spawn("fault", func(p *sim.Proc) {
+		p.Wait(5 * sim.Millisecond)
+		fab.FailPath(0)
+		fab.FailPath(1)
+	})
+	eng.Run()
+	if !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+	if took < cfg.Timeout {
+		t.Errorf("failed in %v, want >= ack timeout %v", took, cfg.Timeout)
+	}
+	eng.Shutdown()
+}
+
 // Property: any write at any legal offset/size is read back exactly
 // through the translation.
 func TestTranslationRoundTripProperty(t *testing.T) {

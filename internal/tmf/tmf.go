@@ -141,6 +141,12 @@ type TMF struct {
 	pair *cluster.Pair
 
 	stats Stats
+
+	// commitHook, when set, observes each successful commit with the
+	// cumulative commit count, after the commit record is durable and the
+	// client's reply has been sent. Fault-injection plans use it for
+	// "after the Nth commit" triggers. The hook must not block.
+	commitHook func(total int64)
 }
 
 // Start launches the transaction monitor process pair.
@@ -169,6 +175,10 @@ func (t *TMF) Pair() *cluster.Pair { return t.pair }
 
 // Stats returns a snapshot of activity counters.
 func (t *TMF) Stats() Stats { return t.stats }
+
+// SetCommitHook installs fn as the commit observer (nil removes it). See
+// the commitHook field for the contract.
+func (t *TMF) SetCommitHook(fn func(total int64)) { t.commitHook = fn }
 
 // Stop shuts the monitor down.
 func (t *TMF) Stop() { t.pair.Stop() }
@@ -234,6 +244,9 @@ func (t *TMF) serve(ctx *cluster.PairCtx) {
 				}
 				t.pair.CheckpointFrom(p, 24, outcomeDelta{txn: req.Txn, commit: err == nil})
 				ev.Reply(CommitResp{Err: err})
+				if err == nil && t.commitHook != nil {
+					t.commitHook(t.stats.Commits)
+				}
 			})
 		case AbortReq:
 			if !st.active[req.Txn] {

@@ -14,6 +14,15 @@ go vet ./...
 go run ./cmd/simlint ./...
 go test ./...
 go test -race ./...
+
+# Fault-injection smoke matrix: every (durability x fault x phase) cell
+# must pass its invariants, and the whole sweep must be deterministic —
+# two same-seed runs (one sequential) print byte-identical tables.
+go run ./cmd/faults -txns 8 -chaos 1 > /tmp/faults-a.txt
+go run ./cmd/faults -txns 8 -chaos 1 -parallel 1 > /tmp/faults-b.txt
+cmp /tmp/faults-a.txt /tmp/faults-b.txt
+rm -f /tmp/faults-a.txt /tmp/faults-b.txt
+
 if command -v govulncheck >/dev/null 2>&1; then
 	govulncheck ./...
 fi
