@@ -151,6 +151,37 @@ func (s *adpState) clone() *adpState {
 	return &c
 }
 
+// ckDelta is the checkpoint wire format: instead of cloning the whole
+// buffered trail per append, the primary ships only the appended bytes
+// plus the control fields, and the backup folds them into its own state
+// image (the NSK absorb pattern). data aliases primary memory, which is
+// safe because Checkpoint is a synchronous call: the backup copies the
+// bytes out before replying, and the primary is parked until then.
+type ckDelta struct {
+	data       []byte
+	reset      bool // buffer flushed: drop absorbed bytes first
+	nextLSN    audit.LSN
+	durableLSN audit.LSN
+	bufStart   audit.LSN
+}
+
+// absorbDelta folds one checkpointed delta into the backup's state image.
+func absorbDelta(cur, delta interface{}) interface{} {
+	st, _ := cur.(*adpState)
+	if st == nil {
+		st = &adpState{}
+	}
+	d := delta.(*ckDelta)
+	if d.reset {
+		st.buf = st.buf[:0]
+	}
+	st.buf = append(st.buf, d.data...)
+	st.nextLSN = d.nextLSN
+	st.durableLSN = d.durableLSN
+	st.bufStart = d.bufStart
+	return st
+}
+
 // ADP is a running audit data process pair.
 type ADP struct {
 	cl   *cluster.Cluster
@@ -158,6 +189,10 @@ type ADP struct {
 	pair *cluster.Pair
 
 	stats Stats
+
+	// ckfree recycles ckDelta boxes (absorbed synchronously, so a box is
+	// reusable as soon as Checkpoint returns).
+	ckfree []*ckDelta
 }
 
 // Start launches the ADP process pair.
@@ -179,7 +214,7 @@ func Start(cl *cluster.Cluster, cfg Config) *ADP {
 	}
 	a := &ADP{cl: cl, cfg: cfg}
 	a.stats.Mode = cfg.Mode
-	a.pair = cl.StartPair(cfg.Name, cfg.PrimaryCPU, cfg.BackupCPU, a.serve)
+	a.pair = cl.StartPairAbsorb(cfg.Name, cfg.PrimaryCPU, cfg.BackupCPU, a.serve, absorbDelta)
 	return a
 }
 
@@ -210,7 +245,10 @@ type flushWaiter struct {
 func (a *ADP) serve(ctx *cluster.PairCtx) {
 	st := &adpState{}
 	if ctx.Restored != nil {
-		st = ctx.Restored.(*adpState)
+		// Clone: while the pair runs unprotected, checkpoints absorb into
+		// the pair's shadow state, which must not alias the serving copy
+		// (absorbing a delta whose data aliases st.buf would double it).
+		st = ctx.Restored.(*adpState).clone()
 	}
 
 	var region *pmclient.Region
@@ -224,44 +262,45 @@ func (a *ADP) serve(ctx *cluster.PairCtx) {
 	// scratch holds one encoded control record at a time. The serve loop
 	// is a single simulated process and both backends copy the bytes out
 	// before append returns, so the buffer is reusable across requests.
+	// batch and waiters are likewise reused across loop iterations.
 	var scratch []byte
+	var batch []cluster.Envelope
+	var waiters []flushWaiter
 
 	for {
-		ev := ctx.Recv()
-		batch := []cluster.Envelope{ev}
+		batch = append(batch[:0], ctx.Recv())
 		if !a.cfg.NoGroupCommit {
 			for {
-				more, ok := ctx.Inbox.TryRecv()
+				more, ok := ctx.TryRecv()
 				if !ok {
 					break
 				}
-				batch = append(batch, more.(cluster.Envelope))
+				batch = append(batch, more)
 			}
 		}
 
-		var waiters []flushWaiter
+		waiters = waiters[:0]
 		for _, ev := range batch {
 			ctx.Compute(a.cfg.RequestCPU)
+			// Requests arrive as values (tests, legacy callers) or as
+			// pointers into their senders' free lists (the zero-alloc client
+			// paths); a pointer box is recycled by its sender only after the
+			// reply, so dereferencing here is safe.
 			switch req := ev.Payload.(type) {
+			case *AppendReq:
+				a.handleAppend(ctx, st, region, ev, req.Data)
 			case AppendReq:
-				end, err := a.append(ctx, st, region, req.Data)
-				a.stats.Appends++
-				a.stats.AppendBytes += int64(len(req.Data))
-				ev.Reply(AppendResp{End: end, Err: err})
+				a.handleAppend(ctx, st, region, ev, req.Data)
+			case *CommitReq:
+				waiters = a.handleCommit(ctx, st, region, &scratch, waiters, ev, req.Txn)
 			case CommitReq:
-				scratch = audit.AppendRecord(scratch[:0], &audit.Record{Type: audit.RecCommit, Txn: req.Txn})
-				end, err := a.append(ctx, st, region, scratch)
-				if err != nil {
-					ev.Reply(CommitResp{Err: err})
-					continue
-				}
-				a.stats.Commits++
-				waiters = append(waiters, flushWaiter{upTo: end, ev: ev, kind: audit.RecCommit})
+				waiters = a.handleCommit(ctx, st, region, &scratch, waiters, ev, req.Txn)
+			case *AbortReq:
+				a.handleAbort(ctx, st, region, &scratch, ev, req.Txn)
 			case AbortReq:
-				scratch = audit.AppendRecord(scratch[:0], &audit.Record{Type: audit.RecAbort, Txn: req.Txn})
-				a.append(ctx, st, region, scratch)
-				a.stats.Aborts++
-				ev.Reply(FlushResp{Durable: st.durableLSN})
+				a.handleAbort(ctx, st, region, &scratch, ev, req.Txn)
+			case *FlushReq:
+				waiters = append(waiters, flushWaiter{upTo: req.UpTo, ev: ev})
 			case FlushReq:
 				waiters = append(waiters, flushWaiter{upTo: req.UpTo, ev: ev})
 			case StateReq:
@@ -284,7 +323,7 @@ func (a *ADP) serve(ctx *cluster.PairCtx) {
 		var err error
 		if a.cfg.Mode == Disk {
 			err = a.flushDisk(ctx, st)
-			a.checkpoint(ctx, st, 0) // durableLSN advanced
+			a.checkpoint(ctx, st, 0, true) // buffer drained, durableLSN advanced
 		}
 		if len(waiters) > 1 {
 			a.stats.GroupedCommits += int64(len(waiters))
@@ -307,6 +346,35 @@ func (a *ADP) serve(ctx *cluster.PairCtx) {
 	}
 }
 
+//simlint:hotpath
+func (a *ADP) handleAppend(ctx *cluster.PairCtx, st *adpState, region *pmclient.Region, ev cluster.Envelope, data []byte) {
+	end, err := a.append(ctx, st, region, data)
+	a.stats.Appends++
+	a.stats.AppendBytes += int64(len(data))
+	ev.Reply(AppendResp{End: end, Err: err}) //simlint:allow hotalloc -- reply carries a per-call LSN; one box per audit batch (not per txn) is accepted
+}
+
+//simlint:hotpath
+func (a *ADP) handleCommit(ctx *cluster.PairCtx, st *adpState, region *pmclient.Region, scratch *[]byte, waiters []flushWaiter, ev cluster.Envelope, txn audit.TxnID) []flushWaiter {
+	rec := audit.Record{Type: audit.RecCommit, Txn: txn}
+	*scratch = audit.AppendRecord((*scratch)[:0], &rec)
+	end, err := a.append(ctx, st, region, *scratch)
+	if err != nil {
+		ev.Reply(CommitResp{Err: err}) //simlint:allow hotalloc -- append-failure path, cold
+		return waiters
+	}
+	a.stats.Commits++
+	return append(waiters, flushWaiter{upTo: end, ev: ev, kind: audit.RecCommit})
+}
+
+func (a *ADP) handleAbort(ctx *cluster.PairCtx, st *adpState, region *pmclient.Region, scratch *[]byte, ev cluster.Envelope, txn audit.TxnID) {
+	rec := audit.Record{Type: audit.RecAbort, Txn: txn}
+	*scratch = audit.AppendRecord((*scratch)[:0], &rec)
+	a.append(ctx, st, region, *scratch)
+	a.stats.Aborts++
+	ev.Reply(FlushResp{Durable: st.durableLSN})
+}
+
 // append adds encoded records to the trail. Disk mode buffers; PM mode
 // writes through synchronously to the mirrored region.
 func (a *ADP) append(ctx *cluster.PairCtx, st *adpState, region *pmclient.Region, data []byte) (audit.LSN, error) {
@@ -321,7 +389,7 @@ func (a *ADP) append(ctx *cluster.PairCtx, st *adpState, region *pmclient.Region
 		st.nextLSN = end
 		// The unflushed buffer must survive an ADP process failure:
 		// checkpoint the delta to the backup before acknowledging.
-		a.checkpoint(ctx, st, len(data))
+		a.checkpoint(ctx, st, len(data), false)
 	case PM:
 		// Synchronous mirrored write; the log wraps within the region.
 		off := int64(start) % a.cfg.RegionSize
@@ -334,7 +402,7 @@ func (a *ADP) append(ctx *cluster.PairCtx, st *adpState, region *pmclient.Region
 		a.stats.PMBytes += int64(len(data))
 		// Only tiny control state needs backup protection now: the log
 		// itself is already persistent.
-		a.checkpoint(ctx, st, 0)
+		a.checkpoint(ctx, st, 0, false)
 	}
 	return end, nil
 }
@@ -387,10 +455,44 @@ func (a *ADP) flushDisk(ctx *cluster.PairCtx, st *adpState) error {
 
 // checkpoint protects state at the backup. deltaBytes sizes the wire
 // payload: in Disk mode the appended audit must cross to the backup; in
-// PM mode only counters do.
-func (a *ADP) checkpoint(ctx *cluster.PairCtx, st *adpState, deltaBytes int) {
+// PM mode only counters do. The payload is a delta (the last deltaBytes
+// of the buffer plus control fields), not a state clone; the backup's
+// absorbDelta reconstructs the full image.
+//
+//simlint:hotpath
+func (a *ADP) checkpoint(ctx *cluster.PairCtx, st *adpState, deltaBytes int, reset bool) {
 	sz := 48 + deltaBytes
-	ctx.Checkpoint(sz, st.clone())
+	d := a.newDelta()
+	if deltaBytes > 0 {
+		d.data = st.buf[len(st.buf)-deltaBytes:]
+	}
+	d.reset = reset
+	d.nextLSN = st.nextLSN
+	d.durableLSN = st.durableLSN
+	d.bufStart = st.bufStart
+	if err := ctx.Checkpoint(sz, d); err == nil { //simlint:allow hotalloc -- *ckDelta is pointer-shaped: no box is allocated
+		// Absorbed (or folded into the shadow state) synchronously. On
+		// error the delta may still sit undelivered in the backup's inbox,
+		// so the box cannot be recycled.
+		a.freeDelta(d)
+	}
+}
+
+//simlint:hotpath
+func (a *ADP) newDelta() *ckDelta {
+	if n := len(a.ckfree); n > 0 {
+		d := a.ckfree[n-1]
+		a.ckfree[n-1] = nil
+		a.ckfree = a.ckfree[:n-1]
+		return d
+	}
+	return &ckDelta{}
+}
+
+//simlint:hotpath
+func (a *ADP) freeDelta(d *ckDelta) {
+	*d = ckDelta{}
+	a.ckfree = append(a.ckfree, d)
 }
 
 // openRegion attaches to the PM volume and opens (creating if necessary)

@@ -22,12 +22,21 @@ type Runner struct {
 	Parallelism int
 }
 
+// EffectiveParallelism resolves a requested parallelism to the worker
+// count actually used: values <= 0 mean "one worker per available CPU"
+// (runtime.GOMAXPROCS(0)). It is the single place that default lives;
+// commands report the returned value so records of a run show the
+// parallelism it really executed with, not the 0 sentinel.
+func EffectiveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
 // workers resolves the worker count for n jobs.
 func (r Runner) workers(n int) int {
-	w := r.Parallelism
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
+	w := EffectiveParallelism(r.Parallelism)
 	if w > n {
 		w = n
 	}

@@ -26,6 +26,22 @@ func TestForEachCoversAllJobs(t *testing.T) {
 	}
 }
 
+// TestEffectiveParallelism pins the one place the "0 means all CPUs"
+// default is resolved: non-positive requests normalize to GOMAXPROCS and
+// positive requests pass through untouched.
+func TestEffectiveParallelism(t *testing.T) {
+	for _, p := range []int{0, -1, -100} {
+		if got := EffectiveParallelism(p); got != runtime.GOMAXPROCS(0) {
+			t.Errorf("EffectiveParallelism(%d) = %d, want GOMAXPROCS %d", p, got, runtime.GOMAXPROCS(0))
+		}
+	}
+	for _, p := range []int{1, 2, 7, 128} {
+		if got := EffectiveParallelism(p); got != p {
+			t.Errorf("EffectiveParallelism(%d) = %d, want %d", p, got, p)
+		}
+	}
+}
+
 func TestRunnerWorkers(t *testing.T) {
 	if got := (Runner{}).workers(100); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("zero Runner workers = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))

@@ -66,6 +66,52 @@ type Cluster struct {
 	registry map[string]*registration
 
 	nextDevEP servernet.EndpointID
+
+	// envfree and framefree recycle message-plumbing boxes: pointers
+	// travel through inbox interfaces without allocating, and the single
+	// consumer of each box returns it here after copying the contents out.
+	// The simulation is single-threaded per engine, so plain slices work.
+	envfree   []*Envelope
+	framefree []*routedFrame
+}
+
+// newEnvelope takes an Envelope box from the free list.
+//
+//simlint:hotpath
+func (cl *Cluster) newEnvelope() *Envelope {
+	if n := len(cl.envfree); n > 0 {
+		ev := cl.envfree[n-1]
+		cl.envfree[n-1] = nil
+		cl.envfree = cl.envfree[:n-1]
+		return ev
+	}
+	return &Envelope{}
+}
+
+// freeEnvelope recycles a consumed Envelope box. The caller asserts it
+// copied the contents out and no other reference survives.
+//
+//simlint:hotpath
+func (cl *Cluster) freeEnvelope(ev *Envelope) {
+	*ev = Envelope{}
+	cl.envfree = append(cl.envfree, ev)
+}
+
+//simlint:hotpath
+func (cl *Cluster) newFrame() *routedFrame {
+	if n := len(cl.framefree); n > 0 {
+		fr := cl.framefree[n-1]
+		cl.framefree[n-1] = nil
+		cl.framefree = cl.framefree[:n-1]
+		return fr
+	}
+	return &routedFrame{}
+}
+
+//simlint:hotpath
+func (cl *Cluster) freeFrame(fr *routedFrame) {
+	*fr = routedFrame{}
+	cl.framefree = append(cl.framefree, fr)
 }
 
 type registration struct {

@@ -8,7 +8,9 @@ import (
 )
 
 // Envelope is what a registered process receives in its Inbox for
-// messages sent through the message system.
+// messages sent through the message system. Inboxes carry *Envelope
+// boxes drawn from the cluster's free list; the receive helpers copy the
+// envelope out and recycle the box, so user code only ever sees values.
 type Envelope struct {
 	// From is the sending process's name.
 	From string
@@ -21,6 +23,8 @@ type Envelope struct {
 
 // Reply answers a Call with value v; for one-way sends it is a no-op.
 // Replying twice to the same envelope panics (a server bug).
+//
+//simlint:hotpath
 func (ev *Envelope) Reply(v interface{}) {
 	if ev.reply != nil {
 		ev.reply.Trigger(v)
@@ -37,6 +41,7 @@ func (p *Process) Send(name string, sz int, payload interface{}) error {
 	return p.send(name, sz, payload, nil)
 }
 
+//simlint:hotpath
 func (p *Process) send(name string, sz int, payload interface{}, reply *sim.Signal) error {
 	cl := p.cpu.cl
 	r, ok := cl.registry[name]
@@ -45,14 +50,22 @@ func (p *Process) send(name string, sz int, payload interface{}, reply *sim.Sign
 	}
 	// Message-system software cost on the sending CPU.
 	p.Compute(cl.cfg.MsgSystemOverhead)
-	ev := Envelope{From: p.name, Payload: payload, reply: reply}
+	ev := cl.newEnvelope()
+	ev.From = p.name
+	ev.Payload = payload
+	ev.reply = reply
 	if r.cpu == p.cpu {
 		// Intra-CPU message: no fabric traversal.
-		r.inbox.Send(p.proc, ev)
+		r.inbox.Send(p.proc, ev) //simlint:allow hotalloc -- *Envelope into interface{} is pointer-shaped: no box is allocated
 		return nil
 	}
-	frame := routedFrame{dst: r.inbox, ev: ev}
-	if err := cl.fab.Send(p.proc, p.cpu.ep.ID(), r.cpu.ep.ID(), sz, frame); err != nil {
+	frame := cl.newFrame()
+	frame.dst = r.inbox
+	frame.ev = ev
+	if err := cl.fab.Send(p.proc, p.cpu.ep.ID(), r.cpu.ep.ID(), sz, frame); err != nil { //simlint:allow hotalloc -- *routedFrame is pointer-shaped: no box is allocated
+		// The frame never reached the destination inbox; reclaim the boxes.
+		cl.freeFrame(frame)
+		cl.freeEnvelope(ev)
 		return err
 	}
 	return nil
@@ -62,47 +75,66 @@ func (p *Process) send(name string, sz int, payload interface{}, reply *sim.Sign
 // plus the destination inbox resolved at send time.
 type routedFrame struct {
 	dst *sim.Chan
-	ev  Envelope
+	ev  *Envelope
 }
 
 // Call sends a request and blocks until the reply arrives or the cluster
 // call timeout expires.
+//
+//simlint:hotpath
 func (p *Process) Call(name string, sz int, payload interface{}) (interface{}, error) {
 	cl := p.cpu.cl
 	reply := cl.eng.NewSignal()
 	if err := p.send(name, sz, payload, reply); err != nil {
+		cl.eng.FreeSignal(reply)
 		return nil, err
 	}
 	v, ok := reply.WaitTimeout(p.proc, cl.cfg.CallTimeout)
 	if !ok {
+		// The server may still hold the envelope and trigger a late reply;
+		// the signal cannot be recycled.
 		return nil, ErrTimeout
 	}
+	cl.eng.FreeSignal(reply)
 	return v, nil
 }
 
 // CallAsync sends a request and returns a signal that fires with the
 // reply, letting a process issue several requests concurrently (the
 // paper's "asynchronous inserts") and collect completions later.
+//
+//simlint:hotpath
 func (p *Process) CallAsync(name string, sz int, payload interface{}) (*sim.Signal, error) {
-	reply := p.cpu.cl.eng.NewSignal()
+	cl := p.cpu.cl
+	reply := cl.eng.NewSignal()
 	if err := p.send(name, sz, payload, reply); err != nil {
+		cl.eng.FreeSignal(reply)
 		return nil, err
 	}
 	return reply, nil
 }
 
 // AwaitReply blocks on a CallAsync signal with the cluster call timeout.
+// On success the signal is recycled; the caller must not reuse it.
+//
+//simlint:hotpath
 func (p *Process) AwaitReply(reply *sim.Signal) (interface{}, error) {
 	v, ok := reply.WaitTimeout(p.proc, p.cpu.cl.cfg.CallTimeout)
 	if !ok {
 		return nil, ErrTimeout
 	}
+	p.cpu.cl.eng.FreeSignal(reply)
 	return v, nil
 }
 
 // Recv blocks until the next envelope arrives in the process inbox.
+//
+//simlint:hotpath
 func (p *Process) Recv() Envelope {
-	return p.Inbox.Recv(p.proc).(Envelope)
+	box := p.Inbox.Recv(p.proc).(*Envelope)
+	ev := *box
+	p.cpu.cl.freeEnvelope(box)
+	return ev
 }
 
 // RecvTimeout blocks for at most d; ok is false on timeout.
@@ -111,7 +143,25 @@ func (p *Process) RecvTimeout(d sim.Time) (Envelope, bool) {
 	if !ok {
 		return Envelope{}, false
 	}
-	return v.(Envelope), true
+	box := v.(*Envelope)
+	ev := *box
+	p.cpu.cl.freeEnvelope(box)
+	return ev, true
+}
+
+// TryRecv returns the next envelope without blocking; ok is false if the
+// inbox is empty.
+//
+//simlint:hotpath
+func (p *Process) TryRecv() (Envelope, bool) {
+	v, ok := p.Inbox.TryRecv()
+	if !ok {
+		return Envelope{}, false
+	}
+	box := v.(*Envelope)
+	ev := *box
+	p.cpu.cl.freeEnvelope(box)
+	return ev, true
 }
 
 // startDispatcher runs the CPU's message-system delivery loop: it moves
@@ -120,10 +170,15 @@ func (p *Process) RecvTimeout(d sim.Time) (Envelope, bool) {
 // a fresh one.
 func (c *CPU) startDispatcher() {
 	c.Spawn(fmt.Sprintf("cpu%d-msgsys", c.index), func(p *Process) {
+		cl := c.cl
 		for {
-			m := c.ep.Inbox.Recv(p.proc).(servernet.Message)
-			if frame, ok := m.Payload.(routedFrame); ok {
-				frame.dst.Send(p.proc, frame.ev)
+			m := c.ep.Inbox.Recv(p.proc).(*servernet.Message)
+			payload := m.Payload
+			cl.fab.FreeMessage(m)
+			if frame, ok := payload.(*routedFrame); ok {
+				dst, ev := frame.dst, frame.ev
+				cl.freeFrame(frame)
+				dst.Send(p.proc, ev)
 			}
 		}
 	})

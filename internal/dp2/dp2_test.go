@@ -420,10 +420,17 @@ func TestAuditRecordsCarryAfterImages(t *testing.T) {
 	srv := cl.CPU(0).Spawn("fakeadp", func(p *cluster.Process) {
 		for {
 			ev := p.Recv()
-			if req, ok := ev.Payload.(adp.AppendReq); ok {
-				frames = append(frames, req.Data...)
-				ev.Reply(adp.AppendResp{End: audit.LSN(len(frames))})
+			var data []byte
+			switch req := ev.Payload.(type) {
+			case adp.AppendReq:
+				data = req.Data
+			case *adp.AppendReq:
+				data = req.Data
+			default:
+				continue
 			}
+			frames = append(frames, data...)
+			ev.Reply(adp.AppendResp{End: audit.LSN(len(frames))})
 		}
 	})
 	cl.Register("$FAKE", srv)

@@ -9,7 +9,6 @@ package locks
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"persistmem/internal/audit"
 	"persistmem/internal/sim"
@@ -57,10 +56,20 @@ type waitReq struct {
 }
 
 // Manager is a lock manager. It is used from simulation processes only.
+// Keys are row numbers; each DP2 owns one manager, so the (manager, key)
+// pair is globally unique.
 type Manager struct {
 	eng   *sim.Engine
 	name  string
-	locks map[string]*lockState
+	locks map[uint64]*lockState
+
+	// Free lists. Lock entries churn once per touched row per
+	// transaction, so both the per-key state and queued wait requests are
+	// recycled. Per-manager (never global): managers on different engines
+	// run on different goroutines under the parallel harness.
+	lsfree  []*lockState
+	reqfree []*waitReq
+	relbuf  []uint64 // ReleaseAll scratch
 
 	// Stats
 	Grants, Waits, Timeouts int64
@@ -68,7 +77,48 @@ type Manager struct {
 
 // NewManager returns an empty lock manager.
 func NewManager(eng *sim.Engine, name string) *Manager {
-	return &Manager{eng: eng, name: name, locks: make(map[string]*lockState)}
+	return &Manager{eng: eng, name: name, locks: make(map[uint64]*lockState)}
+}
+
+//simlint:hotpath
+func (m *Manager) newLockState() *lockState {
+	if n := len(m.lsfree); n > 0 {
+		ls := m.lsfree[n-1]
+		m.lsfree = m.lsfree[:n-1]
+		return ls
+	}
+	return &lockState{holders: make(map[audit.TxnID]Mode)}
+}
+
+// freeLockState recycles a lock entry. Only admit calls it, and only
+// after verifying both the holder map and the queue are empty, so no
+// live reference can observe the recycled state: any Acquire parked on
+// this key still has its waitReq in the queue.
+//
+//simlint:hotpath
+func (m *Manager) freeLockState(ls *lockState) {
+	clear(ls.holders)
+	ls.queue = ls.queue[:0]
+	m.lsfree = append(m.lsfree, ls)
+}
+
+//simlint:hotpath
+func (m *Manager) newWaitReq(txn audit.TxnID, mode Mode) *waitReq {
+	if n := len(m.reqfree); n > 0 {
+		req := m.reqfree[n-1]
+		m.reqfree = m.reqfree[:n-1]
+		req.txn, req.mode = txn, mode
+		req.granted = m.eng.NewSignal()
+		return req
+	}
+	return &waitReq{txn: txn, mode: mode, granted: m.eng.NewSignal()}
+}
+
+//simlint:hotpath
+func (m *Manager) freeWaitReq(req *waitReq) {
+	m.eng.FreeSignal(req.granted)
+	req.granted = nil
+	m.reqfree = append(m.reqfree, req)
 }
 
 // compatible reports whether a request by txn for mode can be granted
@@ -91,10 +141,12 @@ func (ls *lockState) compatible(txn audit.TxnID, mode Mode) bool {
 // Re-acquiring a held lock is a no-op; holding Shared and requesting
 // Exclusive upgrades when the transaction is the sole holder, and queues
 // otherwise.
-func (m *Manager) Acquire(p *sim.Proc, key string, txn audit.TxnID, mode Mode, timeout sim.Time) error {
+//
+//simlint:hotpath
+func (m *Manager) Acquire(p *sim.Proc, key uint64, txn audit.TxnID, mode Mode, timeout sim.Time) error {
 	ls := m.locks[key]
 	if ls == nil {
-		ls = &lockState{holders: make(map[audit.TxnID]Mode)}
+		ls = m.newLockState()
 		m.locks[key] = ls
 	}
 	if held, ok := ls.holders[txn]; ok {
@@ -115,26 +167,33 @@ func (m *Manager) Acquire(p *sim.Proc, key string, txn audit.TxnID, mode Mode, t
 
 	// Queue and wait.
 	m.Waits++
-	req := &waitReq{txn: txn, mode: mode, granted: m.eng.NewSignal()}
+	req := m.newWaitReq(txn, mode)
 	ls.queue = append(ls.queue, req)
 	_, ok := req.granted.WaitTimeout(p, timeout)
 	if !ok {
 		// Timed out: withdraw the request and wake anyone it was blocking.
+		// The request is still queued — admit removes a request from the
+		// queue strictly before triggering it, and a triggered request
+		// cannot reach this branch — so Trigger was never called and the
+		// signal is safe to recycle.
 		for i, r := range ls.queue {
 			if r == req {
 				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				m.freeWaitReq(req)
 				break
 			}
 		}
 		m.Timeouts++
 		m.admit(key, ls)
-		return fmt.Errorf("%w: txn %d on %s/%s", ErrLockTimeout, txn, m.name, key)
+		//simlint:allow hotalloc -- deadlock-timeout path, cold by construction
+		return fmt.Errorf("%w: txn %d on %s/r%d", ErrLockTimeout, txn, m.name, key)
 	}
+	m.freeWaitReq(req)
 	return nil
 }
 
 // admit grants queued requests in FIFO order while they are compatible.
-func (m *Manager) admit(key string, ls *lockState) {
+func (m *Manager) admit(key uint64, ls *lockState) {
 	for len(ls.queue) > 0 {
 		req := ls.queue[0]
 		// An upgrade request is admissible when the requester is the sole
@@ -164,11 +223,14 @@ func (m *Manager) admit(key string, ls *lockState) {
 	}
 	if len(ls.holders) == 0 && len(ls.queue) == 0 {
 		delete(m.locks, key)
+		m.freeLockState(ls)
 	}
 }
 
 // Release drops txn's lock on key.
-func (m *Manager) Release(key string, txn audit.TxnID) {
+//
+//simlint:hotpath
+func (m *Manager) Release(key uint64, txn audit.TxnID) {
 	ls := m.locks[key]
 	if ls == nil {
 		return
@@ -181,23 +243,35 @@ func (m *Manager) Release(key string, txn audit.TxnID) {
 // are released in sorted order: each release may admit waiters (waking
 // their processes), so the release sequence is schedule-visible and must
 // not depend on map iteration order.
+//
+//simlint:hotpath
 func (m *Manager) ReleaseAll(txn audit.TxnID) {
-	// Collect first: admit may delete map entries.
-	var keys []string
+	// Collect first: admit may delete map entries. Insertion sort into a
+	// reused scratch slice: transactions touch a handful of rows, and the
+	// closure-free sort keeps the commit path allocation-free.
+	keys := m.relbuf[:0]
 	//simlint:ordered -- collected into a slice and sorted below
 	for key, ls := range m.locks {
 		if _, ok := ls.holders[txn]; ok {
+			i := len(keys)
 			keys = append(keys, key)
+			for i > 0 && keys[i-1] > key {
+				keys[i] = keys[i-1]
+				i--
+			}
+			keys[i] = key
 		}
 	}
-	sort.Strings(keys)
+	m.relbuf = keys
 	for _, key := range keys {
 		m.Release(key, txn)
 	}
 }
 
 // Holds reports the mode txn holds on key.
-func (m *Manager) Holds(key string, txn audit.TxnID) (Mode, bool) {
+//
+//simlint:hotpath
+func (m *Manager) Holds(key uint64, txn audit.TxnID) (Mode, bool) {
 	if ls := m.locks[key]; ls != nil {
 		mode, ok := ls.holders[txn]
 		return mode, ok
@@ -206,7 +280,9 @@ func (m *Manager) Holds(key string, txn audit.TxnID) (Mode, bool) {
 }
 
 // HolderCount returns the number of transactions holding key.
-func (m *Manager) HolderCount(key string) int {
+//
+//simlint:hotpath
+func (m *Manager) HolderCount(key uint64) int {
 	if ls := m.locks[key]; ls != nil {
 		return len(ls.holders)
 	}
@@ -214,7 +290,9 @@ func (m *Manager) HolderCount(key string) int {
 }
 
 // QueueLen returns the number of waiters on key.
-func (m *Manager) QueueLen(key string) int {
+//
+//simlint:hotpath
+func (m *Manager) QueueLen(key uint64) int {
 	if ls := m.locks[key]; ls != nil {
 		return len(ls.queue)
 	}
@@ -238,10 +316,10 @@ func (m *Manager) CheckInvariants() {
 			}
 		}
 		if excl > 1 {
-			panic(fmt.Sprintf("locks: %d exclusive holders on %s", excl, key))
+			panic(fmt.Sprintf("locks: %d exclusive holders on r%d", excl, key))
 		}
 		if excl == 1 && len(ls.holders) > 1 {
-			panic(fmt.Sprintf("locks: exclusive plus others on %s", key))
+			panic(fmt.Sprintf("locks: exclusive plus others on r%d", key))
 		}
 	}
 }

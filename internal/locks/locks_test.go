@@ -14,18 +14,18 @@ func TestSharedLocksCoexist(t *testing.T) {
 	eng := sim.NewEngine(1)
 	m := NewManager(eng, "dp0")
 	eng.Spawn("a", func(p *sim.Proc) {
-		if err := m.Acquire(p, "k", 1, Shared, -1); err != nil {
+		if err := m.Acquire(p, 7, 1, Shared, -1); err != nil {
 			t.Errorf("txn1: %v", err)
 		}
 	})
 	eng.Spawn("b", func(p *sim.Proc) {
-		if err := m.Acquire(p, "k", 2, Shared, -1); err != nil {
+		if err := m.Acquire(p, 7, 2, Shared, -1); err != nil {
 			t.Errorf("txn2: %v", err)
 		}
 	})
 	eng.Run()
-	if m.HolderCount("k") != 2 {
-		t.Errorf("HolderCount = %d, want 2", m.HolderCount("k"))
+	if m.HolderCount(7) != 2 {
+		t.Errorf("HolderCount = %d, want 2", m.HolderCount(7))
 	}
 	m.CheckInvariants()
 }
@@ -36,13 +36,13 @@ func TestExclusiveBlocksAndFIFO(t *testing.T) {
 	var order []audit.TxnID
 	use := func(txn audit.TxnID, start sim.Time) {
 		eng.SpawnAt(start, fmt.Sprint("t", txn), func(p *sim.Proc) {
-			if err := m.Acquire(p, "k", txn, Exclusive, -1); err != nil {
+			if err := m.Acquire(p, 7, txn, Exclusive, -1); err != nil {
 				t.Errorf("txn%d: %v", txn, err)
 				return
 			}
 			order = append(order, txn)
 			p.Wait(10 * sim.Millisecond)
-			m.Release("k", txn)
+			m.Release(7, txn)
 		})
 	}
 	use(1, 0)
@@ -63,17 +63,17 @@ func TestSharedThenExclusiveWaits(t *testing.T) {
 	m := NewManager(eng, "dp0")
 	var writerAt sim.Time
 	eng.Spawn("reader", func(p *sim.Proc) {
-		m.Acquire(p, "k", 1, Shared, -1)
+		m.Acquire(p, 7, 1, Shared, -1)
 		p.Wait(50 * sim.Millisecond)
-		m.Release("k", 1)
+		m.Release(7, 1)
 	})
 	eng.SpawnAt(sim.Millisecond, "writer", func(p *sim.Proc) {
-		if err := m.Acquire(p, "k", 2, Exclusive, -1); err != nil {
+		if err := m.Acquire(p, 7, 2, Exclusive, -1); err != nil {
 			t.Errorf("writer: %v", err)
 			return
 		}
 		writerAt = p.Now()
-		m.Release("k", 2)
+		m.Release(7, 2)
 	})
 	eng.Run()
 	if writerAt != 50*sim.Millisecond {
@@ -85,11 +85,11 @@ func TestUpgradeSoleHolder(t *testing.T) {
 	eng := sim.NewEngine(1)
 	m := NewManager(eng, "dp0")
 	eng.Spawn("t", func(p *sim.Proc) {
-		m.Acquire(p, "k", 1, Shared, -1)
-		if err := m.Acquire(p, "k", 1, Exclusive, -1); err != nil {
+		m.Acquire(p, 7, 1, Shared, -1)
+		if err := m.Acquire(p, 7, 1, Exclusive, -1); err != nil {
 			t.Errorf("upgrade: %v", err)
 		}
-		if mode, _ := m.Holds("k", 1); mode != Exclusive {
+		if mode, _ := m.Holds(7, 1); mode != Exclusive {
 			t.Errorf("mode after upgrade = %v", mode)
 		}
 	})
@@ -102,13 +102,13 @@ func TestUpgradeWaitsForOtherReaders(t *testing.T) {
 	m := NewManager(eng, "dp0")
 	var upgradedAt sim.Time
 	eng.Spawn("other-reader", func(p *sim.Proc) {
-		m.Acquire(p, "k", 2, Shared, -1)
+		m.Acquire(p, 7, 2, Shared, -1)
 		p.Wait(30 * sim.Millisecond)
-		m.Release("k", 2)
+		m.Release(7, 2)
 	})
 	eng.SpawnAt(sim.Millisecond, "upgrader", func(p *sim.Proc) {
-		m.Acquire(p, "k", 1, Shared, -1)
-		if err := m.Acquire(p, "k", 1, Exclusive, -1); err != nil {
+		m.Acquire(p, 7, 1, Shared, -1)
+		if err := m.Acquire(p, 7, 1, Exclusive, -1); err != nil {
 			t.Errorf("upgrade: %v", err)
 			return
 		}
@@ -125,17 +125,17 @@ func TestReacquireIsNoop(t *testing.T) {
 	eng := sim.NewEngine(1)
 	m := NewManager(eng, "dp0")
 	eng.Spawn("t", func(p *sim.Proc) {
-		m.Acquire(p, "k", 1, Exclusive, -1)
-		if err := m.Acquire(p, "k", 1, Exclusive, -1); err != nil {
+		m.Acquire(p, 7, 1, Exclusive, -1)
+		if err := m.Acquire(p, 7, 1, Exclusive, -1); err != nil {
 			t.Errorf("reacquire X: %v", err)
 		}
-		if err := m.Acquire(p, "k", 1, Shared, -1); err != nil {
+		if err := m.Acquire(p, 7, 1, Shared, -1); err != nil {
 			t.Errorf("S under X: %v", err)
 		}
 	})
 	eng.Run()
-	if m.HolderCount("k") != 1 {
-		t.Errorf("HolderCount = %d", m.HolderCount("k"))
+	if m.HolderCount(7) != 1 {
+		t.Errorf("HolderCount = %d", m.HolderCount(7))
 	}
 }
 
@@ -145,7 +145,7 @@ func TestTimeoutResolvesDeadlock(t *testing.T) {
 	eng := sim.NewEngine(1)
 	m := NewManager(eng, "dp0")
 	var errs []error
-	work := func(txn audit.TxnID, first, second string) {
+	work := func(txn audit.TxnID, first, second uint64) {
 		eng.Spawn(fmt.Sprint("t", txn), func(p *sim.Proc) {
 			m.Acquire(p, first, txn, Exclusive, -1)
 			p.Wait(sim.Millisecond)
@@ -154,8 +154,8 @@ func TestTimeoutResolvesDeadlock(t *testing.T) {
 			m.ReleaseAll(txn)
 		})
 	}
-	work(1, "A", "B")
-	work(2, "B", "A")
+	work(1, 100, 200)
+	work(2, 200, 100)
 	eng.Run()
 	timeouts := 0
 	for _, err := range errs {
@@ -182,23 +182,23 @@ func TestTimeoutDoesNotBlockQueueForever(t *testing.T) {
 	m := NewManager(eng, "dp0")
 	var granted []audit.TxnID
 	eng.Spawn("holder", func(p *sim.Proc) {
-		m.Acquire(p, "k", 1, Exclusive, -1)
+		m.Acquire(p, 7, 1, Exclusive, -1)
 		p.Wait(200 * sim.Millisecond)
-		m.Release("k", 1)
+		m.Release(7, 1)
 	})
 	eng.SpawnAt(sim.Millisecond, "impatient", func(p *sim.Proc) {
-		if err := m.Acquire(p, "k", 2, Exclusive, 20*sim.Millisecond); err == nil {
+		if err := m.Acquire(p, 7, 2, Exclusive, 20*sim.Millisecond); err == nil {
 			t.Error("impatient waiter should time out")
-			m.Release("k", 2)
+			m.Release(7, 2)
 		}
 	})
 	eng.SpawnAt(2*sim.Millisecond, "patient", func(p *sim.Proc) {
-		if err := m.Acquire(p, "k", 3, Exclusive, -1); err != nil {
+		if err := m.Acquire(p, 7, 3, Exclusive, -1); err != nil {
 			t.Errorf("patient: %v", err)
 			return
 		}
 		granted = append(granted, 3)
-		m.Release("k", 3)
+		m.Release(7, 3)
 	})
 	eng.Run()
 	if fmt.Sprint(granted) != "[3]" {
@@ -211,7 +211,7 @@ func TestReleaseAll(t *testing.T) {
 	m := NewManager(eng, "dp0")
 	eng.Spawn("t", func(p *sim.Proc) {
 		for i := 0; i < 10; i++ {
-			m.Acquire(p, fmt.Sprint("k", i), 1, Exclusive, -1)
+			m.Acquire(p, uint64(i), 1, Exclusive, -1)
 		}
 	})
 	eng.Run()
@@ -243,7 +243,7 @@ func TestLockInvariantProperty(t *testing.T) {
 		for i, o := range ops {
 			o := o
 			txn := audit.TxnID(o.Txn%8 + 1)
-			key := fmt.Sprint("k", o.Key%4)
+			key := uint64(o.Key % 4)
 			eng.SpawnAt(sim.Time(i)*sim.Microsecond, fmt.Sprint("p", i), func(p *sim.Proc) {
 				mode := Shared
 				if o.Excl {

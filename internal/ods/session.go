@@ -32,6 +32,57 @@ type Session struct {
 
 	// tracer, when set, records the session's transaction timelines.
 	tracer *trace.Recorder
+
+	// Per-session scratch, reused across the one-at-a-time transactions:
+	// the involved-DP2 set, the in-flight insert list, and free lists for
+	// the request boxes the data plane sends. A request box is recycled
+	// only once its reply arrived (the server is done with it by then);
+	// on a call timeout the box may still sit in a server inbox and is
+	// abandoned to the garbage collector instead.
+	involved map[string]bool
+	pending  []pendingIns
+	names    []string
+	insfree  []*dp2.InsertReq
+	cmtfree  []*tmf.CommitReq
+}
+
+// pendingIns pairs an in-flight insert's completion signal with its
+// request box so the box can be recycled when the reply arrives.
+type pendingIns struct {
+	sig *sim.Signal
+	req *dp2.InsertReq
+}
+
+//simlint:hotpath
+func (se *Session) newInsertReq() *dp2.InsertReq {
+	if n := len(se.insfree); n > 0 {
+		r := se.insfree[n-1]
+		se.insfree = se.insfree[:n-1]
+		return r
+	}
+	return &dp2.InsertReq{}
+}
+
+//simlint:hotpath
+func (se *Session) freeInsertReq(r *dp2.InsertReq) {
+	*r = dp2.InsertReq{}
+	se.insfree = append(se.insfree, r)
+}
+
+//simlint:hotpath
+func (se *Session) newCommitReq() *tmf.CommitReq {
+	if n := len(se.cmtfree); n > 0 {
+		r := se.cmtfree[n-1]
+		se.cmtfree = se.cmtfree[:n-1]
+		return r
+	}
+	return &tmf.CommitReq{}
+}
+
+//simlint:hotpath
+func (se *Session) freeCommitReq(r *tmf.CommitReq) {
+	r.DP2s = nil
+	se.cmtfree = append(se.cmtfree, r)
 }
 
 // SetTracer attaches a timeline recorder to the session (nil detaches).
@@ -46,19 +97,16 @@ func (se *Session) emit(txn audit.TxnID, kind trace.Kind, detail string) {
 
 // NewSession binds a client process to the store.
 func (s *Store) NewSession(p *cluster.Process) *Session {
-	return &Session{s: s, p: p}
+	return &Session{s: s, p: p, involved: make(map[string]bool)}
 }
 
-// Txn is an open transaction.
+// Txn is an open transaction. It borrows its session's scratch state
+// (the involved set, the pending-insert list): a session runs one
+// transaction at a time, so an ended handle never races a live one.
 type Txn struct {
 	sess *Session
 	id   audit.TxnID
 	done bool
-
-	// involved tracks the DP2s this transaction touched.
-	involved map[string]bool
-	// pending holds in-flight asynchronous insert completions.
-	pending []*sim.Signal
 
 	// BeginAt is the virtual time the transaction started (for response-
 	// time measurement).
@@ -76,11 +124,12 @@ func (se *Session) Begin() (*Txn, error) {
 		return nil, resp.Err
 	}
 	se.emit(resp.Txn, trace.Begin, "")
+	clear(se.involved)
+	se.pending = se.pending[:0]
 	return &Txn{
-		sess:     se,
-		id:       resp.Txn,
-		involved: make(map[string]bool),
-		BeginAt:  se.p.Now(),
+		sess:    se,
+		id:      resp.Txn,
+		BeginAt: se.p.Now(),
 	}, nil
 }
 
@@ -90,6 +139,8 @@ func (t *Txn) ID() audit.TxnID { return t.id }
 // InsertAsync issues an insert without waiting for its completion — the
 // benchmark's "asynchronous inserts" (§4.3). Completions are collected by
 // WaitPending or Commit.
+//
+//simlint:hotpath
 func (t *Txn) InsertAsync(file string, key uint64, body []byte) error {
 	if t.done {
 		return ErrTxnDone
@@ -97,16 +148,22 @@ func (t *Txn) InsertAsync(file string, key uint64, body []byte) error {
 	se := t.sess
 	names, ok := se.s.dpNames[file]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownFile, file)
+		return fmt.Errorf("%w: %q", ErrUnknownFile, file) //simlint:allow hotalloc -- misconfiguration path, cold
 	}
 	name := names[se.s.PartitionOf(file, key)]
-	sig, err := se.p.CallAsync(name, 64+len(body), dp2.InsertReq{Txn: t.id, Key: key, Body: body})
+	req := se.newInsertReq()
+	req.Txn, req.Key, req.Body = t.id, key, body
+	//simlint:allow hotalloc -- *dp2.InsertReq is pointer-shaped: no box is allocated
+	sig, err := se.p.CallAsync(name, 64+len(body), req)
 	if err != nil {
+		// The send never reached an inbox; the box is immediately reusable.
+		se.freeInsertReq(req)
 		return err
 	}
-	t.involved[name] = true
-	t.pending = append(t.pending, sig)
+	se.involved[name] = true
+	se.pending = append(se.pending, pendingIns{sig: sig, req: req})
 	if se.tracer != nil { // skip the detail formatting on the untraced hot path
+		//simlint:allow hotalloc -- only runs with a tracer attached (debugging, not benchmarks)
 		se.emit(t.id, trace.InsertIssue, fmt.Sprintf("%s key=%d %dB", name, key, len(body)))
 	}
 	return nil
@@ -122,22 +179,28 @@ func (t *Txn) Insert(file string, key uint64, body []byte) error {
 
 // WaitPending collects all outstanding insert completions, returning the
 // first failure (the transaction should then be aborted).
+//
+//simlint:hotpath
 func (t *Txn) WaitPending() error {
 	var firstErr error
-	for _, sig := range t.pending {
-		raw, err := t.sess.p.AwaitReply(sig)
+	se := t.sess
+	for _, pi := range se.pending {
+		raw, err := se.p.AwaitReply(pi.sig)
 		if err != nil {
+			// Timed out: the DP2 may still hold the request box, so it
+			// cannot be recycled.
 			if firstErr == nil {
-				firstErr = fmt.Errorf("%w: %v", ErrInsertFailed, err)
+				firstErr = fmt.Errorf("%w: %v", ErrInsertFailed, err) //simlint:allow hotalloc -- insert-failure path, cold
 			}
 			continue
 		}
+		se.freeInsertReq(pi.req)
 		if resp := raw.(dp2.InsertResp); resp.Err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("%w: %v", ErrInsertFailed, resp.Err)
+			firstErr = fmt.Errorf("%w: %v", ErrInsertFailed, resp.Err) //simlint:allow hotalloc -- insert-failure path, cold
 		}
-		t.sess.emit(t.id, trace.InsertDone, "")
+		se.emit(t.id, trace.InsertDone, "")
 	}
-	t.pending = nil
+	se.pending = se.pending[:0]
 	return firstErr
 }
 
@@ -151,6 +214,8 @@ func (t *Txn) Read(file string, key uint64) ([]byte, error) {
 
 // Commit waits for pending inserts, then drives the commit protocol. On
 // any failure the transaction is aborted and an error returned.
+//
+//simlint:hotpath
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrTxnDone
@@ -160,18 +225,27 @@ func (t *Txn) Commit() error {
 		return err
 	}
 	t.done = true
-	if t.sess.tracer != nil {
-		t.sess.emit(t.id, trace.CommitStart, fmt.Sprintf("%d DP2s", len(t.involved)))
+	se := t.sess
+	if se.tracer != nil {
+		//simlint:allow hotalloc -- only runs with a tracer attached (debugging, not benchmarks)
+		se.emit(t.id, trace.CommitStart, fmt.Sprintf("%d DP2s", len(se.involved)))
 	}
-	raw, err := t.sess.p.Call(t.sess.s.TMF.Name(), 64+16*len(t.involved),
-		tmf.CommitReq{Txn: t.id, DP2s: setToList(t.involved)})
+	req := se.newCommitReq()
+	req.Txn, req.DP2s = t.id, se.setToList()
+	//simlint:allow hotalloc -- *tmf.CommitReq is pointer-shaped: no box is allocated
+	raw, err := se.p.Call(se.s.TMF.Name(), 64+16*len(se.involved), req)
 	if err != nil {
+		// The coordinator may still be using the box; abandon it.
 		return err
 	}
+	// Reply received: the coordinator finished with the request before
+	// replying, so the box and its DP2s slice are reusable.
+	se.names = req.DP2s[:0]
+	se.freeCommitReq(req)
 	if resp := raw.(tmf.CommitResp); resp.Err != nil {
 		return resp.Err
 	}
-	t.sess.emit(t.id, trace.CommitDone, "")
+	se.emit(t.id, trace.CommitDone, "")
 	return nil
 }
 
@@ -182,8 +256,8 @@ func (t *Txn) Abort() error {
 	}
 	t.WaitPending() // drain; outcomes no longer matter
 	t.done = true
-	raw, err := t.sess.p.Call(t.sess.s.TMF.Name(), 64+16*len(t.involved),
-		tmf.AbortReq{Txn: t.id, DP2s: setToList(t.involved)})
+	raw, err := t.sess.p.Call(t.sess.s.TMF.Name(), 64+16*len(t.sess.involved),
+		tmf.AbortReq{Txn: t.id, DP2s: t.sess.setToList()})
 	if err != nil {
 		return err
 	}
@@ -215,17 +289,22 @@ func (se *Session) read(txn audit.TxnID, file string, key uint64, t *Txn) ([]byt
 		return nil, resp.Err
 	}
 	if t != nil {
-		t.involved[name] = true
+		se.involved[name] = true
 	}
 	return resp.Body, nil
 }
 
-// setToList returns the set's members sorted, keeping the commit
-// protocol's message order deterministic across runs.
-func setToList(set map[string]bool) []string {
-	out := make([]string, 0, len(set))
+// setToList returns the involved set's members sorted, keeping the
+// commit protocol's message order deterministic across runs. The slice
+// is built in the session's scratch buffer and ownership transfers to
+// the caller (the request box); Commit hands it back on success.
+//
+//simlint:hotpath
+func (se *Session) setToList() []string {
+	out := se.names[:0]
+	se.names = nil
 	//simlint:ordered -- collected into a slice and sorted below
-	for k := range set {
+	for k := range se.involved {
 		out = append(out, k)
 	}
 	sort.Strings(out)

@@ -43,11 +43,26 @@ func (f *Fabric) crcFault() bool {
 	return f.cfg.CRCErrorRate > 0 && f.rng.Float64() < f.cfg.CRCErrorRate
 }
 
+// releaseOnce releases the port pair unless *released is already set.
+// Transfer paths call it inline on the normal path and defer it as a
+// kill guard; using a flag pointer instead of a closure keeps the guard
+// off the heap.
+//
+//simlint:hotpath
+func (f *Fabric) releaseOnce(released *bool, a, b *Endpoint) {
+	if !*released {
+		*released = true
+		f.releasePorts(a, b)
+	}
+}
+
 // rdma performs one one-sided operation from initiator from against target
 // to. For writes, data is stored through the target's ATT; for reads, buf
 // is filled. Both complete synchronously in virtual time: when the call
 // returns nil, the hardware ack has arrived (and for writes the data is in
 // the target device with a correct CRC — the §4.1 persistence contract).
+//
+//simlint:hotpath
 func (f *Fabric) rdma(p *sim.Proc, from, to EndpointID, nva uint32, data, buf []byte, write bool) error {
 	src, dst := f.eps[from], f.eps[to]
 	if src == nil || dst == nil {
@@ -83,20 +98,14 @@ func (f *Fabric) rdma(p *sim.Proc, from, to EndpointID, nva uint32, data, buf []
 	tt := f.transferTime(n)
 	f.acquirePorts(p, src, dst)
 	released := false
-	release := func() {
-		if !released {
-			released = true
-			f.releasePorts(src, dst)
-		}
-	}
-	defer release()
+	defer f.releaseOnce(&released, src, dst)
 	p.Wait(tt)
 	// Sample target liveness again: it may have failed mid-transfer. A
 	// single path failing mid-transfer is masked by the survivor, but if
 	// both fabrics went down the hardware ack never arrives.
 	downMid := !dst.up
 	noPathMid := !f.pathUp[0] && !f.pathUp[1]
-	release()
+	f.releaseOnce(&released, src, dst)
 	if downMid {
 		p.Wait(f.cfg.Timeout)
 		return ErrEndpointDown
@@ -155,6 +164,8 @@ func (f *Fabric) RDMARead(p *sim.Proc, from, to EndpointID, nva uint32, buf []by
 // is reliable while the target is up; against a down target it returns
 // ErrEndpointDown after the timeout. Message size sz models the payload's
 // wire footprint for bandwidth accounting.
+//
+//simlint:hotpath
 func (f *Fabric) Send(p *sim.Proc, from, to EndpointID, sz int, payload interface{}) error {
 	src, dst := f.eps[from], f.eps[to]
 	if src == nil || dst == nil {
@@ -178,17 +189,11 @@ func (f *Fabric) Send(p *sim.Proc, from, to EndpointID, sz int, payload interfac
 	tt := f.transferTime(sz)
 	f.acquirePorts(p, src, dst)
 	released := false
-	release := func() {
-		if !released {
-			released = true
-			f.releasePorts(src, dst)
-		}
-	}
-	defer release()
+	defer f.releaseOnce(&released, src, dst)
 	p.Wait(tt)
 	downMid := !dst.up
 	noPathMid := !f.pathUp[0] && !f.pathUp[1]
-	release()
+	f.releaseOnce(&released, src, dst)
 	if downMid {
 		p.Wait(f.cfg.Timeout)
 		return ErrEndpointDown
@@ -203,7 +208,10 @@ func (f *Fabric) Send(p *sim.Proc, from, to EndpointID, sz int, payload interfac
 	src.BytesOut += int64(sz)
 	dst.BytesIn += int64(sz)
 	dst.MsgsSeen++
-	dst.Inbox.Send(p, Message{From: from, Payload: payload})
+	m := f.newMessage()
+	m.From = from
+	m.Payload = payload
+	dst.Inbox.Send(p, m) //simlint:allow hotalloc -- *Message into interface{} is pointer-shaped: no box is allocated
 	return nil
 }
 

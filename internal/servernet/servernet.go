@@ -81,7 +81,9 @@ func DefaultConfig() Config {
 }
 
 // Message is a unit of the fabric's messaging service (the NSK message
-// system rides on this).
+// system rides on this). Endpoint inboxes carry *Message boxes drawn
+// from the fabric's free list; the consumer copies the fields out and
+// returns the box with FreeMessage.
 type Message struct {
 	From    EndpointID
 	Payload interface{}
@@ -173,6 +175,31 @@ type Fabric struct {
 	// transfers each carried.
 	pathUp  [2]bool
 	PathOps [2]int64
+
+	// msgfree recycles Message boxes delivered to endpoint inboxes.
+	msgfree []*Message
+}
+
+// newMessage takes a Message box from the free list.
+//
+//simlint:hotpath
+func (f *Fabric) newMessage() *Message {
+	if n := len(f.msgfree); n > 0 {
+		m := f.msgfree[n-1]
+		f.msgfree[n-1] = nil
+		f.msgfree = f.msgfree[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+// FreeMessage recycles a consumed Message box. The caller asserts it
+// copied the fields out and no other reference survives.
+//
+//simlint:hotpath
+func (f *Fabric) FreeMessage(m *Message) {
+	*m = Message{}
+	f.msgfree = append(f.msgfree, m)
 }
 
 // New creates a fabric on the given engine.

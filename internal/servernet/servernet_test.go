@@ -189,7 +189,9 @@ func TestMessaging(t *testing.T) {
 	b := fab.Attach(2, "b")
 	var got Message
 	eng.Spawn("rx", func(p *sim.Proc) {
-		got = b.Inbox.Recv(p).(Message)
+		m := b.Inbox.Recv(p).(*Message)
+		got = *m
+		fab.FreeMessage(m)
 	})
 	eng.Spawn("tx", func(p *sim.Proc) {
 		if err := fab.Send(p, 1, 2, 256, "hello"); err != nil {

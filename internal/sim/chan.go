@@ -9,6 +9,7 @@ type waiter struct {
 	val interface{} // for blocked senders: the value being sent
 }
 
+//simlint:hotpath
 func (w waiter) stale() bool {
 	return w.p.blockID != w.id || w.p.state != procBlocked
 }
@@ -24,10 +25,10 @@ type Chan struct {
 	eng  *Engine
 	name string
 	cap  int // 0 = unbounded
-	buf  []interface{}
-	rxq  []waiter // blocked receivers
-	txq  []waiter // blocked senders (cap > 0 only)
-	dead bool     // closed for simulation teardown
+	buf  vqueue
+	rxq  wqueue // blocked receivers
+	txq  wqueue // blocked senders (cap > 0 only)
+	dead bool   // closed for simulation teardown
 }
 
 // NewChan returns an unbounded channel.
@@ -43,13 +44,14 @@ func (e *Engine) NewBoundedChan(name string, capacity int) *Chan {
 }
 
 // Len reports the number of buffered values.
-func (c *Chan) Len() int { return len(c.buf) }
+func (c *Chan) Len() int { return c.buf.len() }
 
 // popRx removes and returns the first non-stale blocked receiver.
+//
+//simlint:hotpath
 func (c *Chan) popRx() (waiter, bool) {
-	for len(c.rxq) > 0 {
-		w := c.rxq[0]
-		c.rxq = c.rxq[1:]
+	for c.rxq.len() > 0 {
+		w := c.rxq.pop()
 		if !w.stale() {
 			return w, true
 		}
@@ -58,10 +60,11 @@ func (c *Chan) popRx() (waiter, bool) {
 }
 
 // popTx removes and returns the first non-stale blocked sender.
+//
+//simlint:hotpath
 func (c *Chan) popTx() (waiter, bool) {
-	for len(c.txq) > 0 {
-		w := c.txq[0]
-		c.txq = c.txq[1:]
+	for c.txq.len() > 0 {
+		w := c.txq.pop()
 		if !w.stale() {
 			return w, true
 		}
@@ -71,6 +74,8 @@ func (c *Chan) popTx() (waiter, bool) {
 
 // Send delivers v into the channel, blocking p while a bounded buffer is
 // full. Values are received in FIFO order.
+//
+//simlint:hotpath
 func (c *Chan) Send(p *Proc, v interface{}) {
 	p.assertRunning("Chan.Send")
 	if w, ok := c.popRx(); ok {
@@ -78,25 +83,27 @@ func (c *Chan) Send(p *Proc, v interface{}) {
 		w.p.wake(w.id, v, true)
 		return
 	}
-	if c.cap == 0 || len(c.buf) < c.cap {
-		c.buf = append(c.buf, v)
+	if c.cap == 0 || c.buf.len() < c.cap {
+		c.buf.push(v)
 		return
 	}
 	// Buffer full: block until a receiver makes room.
 	id := p.newBlockID()
-	c.txq = append(c.txq, waiter{p: p, id: id, val: v})
+	c.txq.push(waiter{p: p, id: id, val: v})
 	p.park()
 }
 
 // TrySend is like Send but never blocks; it reports whether the value was
 // accepted.
+//
+//simlint:hotpath
 func (c *Chan) TrySend(v interface{}) bool {
 	if w, ok := c.popRx(); ok {
 		w.p.wake(w.id, v, true)
 		return true
 	}
-	if c.cap == 0 || len(c.buf) < c.cap {
-		c.buf = append(c.buf, v)
+	if c.cap == 0 || c.buf.len() < c.cap {
+		c.buf.push(v)
 		return true
 	}
 	return false
@@ -110,21 +117,21 @@ func (c *Chan) Recv(p *Proc) interface{} {
 
 // RecvTimeout blocks p until a value arrives or timeout elapses. A negative
 // timeout means wait forever. ok is false on timeout.
+//
+//simlint:hotpath
 func (c *Chan) RecvTimeout(p *Proc, timeout Time) (v interface{}, ok bool) {
 	p.assertRunning("Chan.Recv")
-	if len(c.buf) > 0 {
-		v = c.buf[0]
-		c.buf[0] = nil
-		c.buf = c.buf[1:]
+	if c.buf.len() > 0 {
+		v = c.buf.pop()
 		// Room freed: admit one blocked sender.
 		if w, wok := c.popTx(); wok {
-			c.buf = append(c.buf, w.val)
+			c.buf.push(w.val)
 			w.p.wake(w.id, nil, true)
 		}
 		return v, true
 	}
 	id := p.newBlockID()
-	c.rxq = append(c.rxq, waiter{p: p, id: id})
+	c.rxq.push(waiter{p: p, id: id})
 	if timeout >= 0 {
 		p.wakeAt(p.eng.now+timeout, id, nil, false)
 	}
@@ -134,15 +141,15 @@ func (c *Chan) RecvTimeout(p *Proc, timeout Time) (v interface{}, ok bool) {
 
 // TryRecv returns a buffered value without blocking; ok is false if the
 // channel is empty.
+//
+//simlint:hotpath
 func (c *Chan) TryRecv() (v interface{}, ok bool) {
-	if len(c.buf) == 0 {
+	if c.buf.len() == 0 {
 		return nil, false
 	}
-	v = c.buf[0]
-	c.buf[0] = nil
-	c.buf = c.buf[1:]
+	v = c.buf.pop()
 	if w, wok := c.popTx(); wok {
-		c.buf = append(c.buf, w.val)
+		c.buf.push(w.val)
 		w.p.wake(w.id, nil, true)
 	}
 	return v, true

@@ -8,23 +8,33 @@ import (
 	"sort"
 )
 
-// event is a scheduled kernel action. Two shapes share the struct: generic
-// callbacks (fn != nil) and process wake-ups (p != nil), which carry their
-// target and park stamp inline so that the hot Wait/wake paths need no
-// closure allocation. Events live by value inside the engine's heap slice;
-// the slice's retained capacity acts as the free-list, so steady-state
-// scheduling and dispatch allocate nothing.
+// maxTime is the scheduling horizon: the whole Time range is runnable.
+const maxTime = Time(math.MaxInt64)
+
+// startEventID marks a wake-shaped event as a process start rather than a
+// wake-up (blockID stamps count up from zero and never reach it), so spawns
+// need no closure allocation.
+const startEventID = ^uint64(0)
+
+// event is a scheduled kernel action. Three shapes share the struct: generic
+// callbacks (fn != nil), process starts (p != nil, id == startEventID) and
+// process wake-ups (p != nil otherwise), which carry their target and park
+// stamp inline so that the hot Wait/wake paths need no closure allocation.
+// Events live by value inside the scheduler's buckets; retained slice
+// capacity acts as the free-list, so steady-state scheduling and dispatch
+// allocate nothing.
 type event struct {
 	at  Time
 	seq uint64 // tie-break: FIFO among same-time events
 
-	// fn is the generic callback (Spawn starts, ad-hoc Schedule calls).
+	// fn is the generic callback (ad-hoc Schedule calls).
 	fn func()
 
-	// p/id describe a process wake-up: resume p if its park stamp still
-	// matches id, delivering (val, ok) to the parked operation. indirect
-	// wake-ups re-enqueue behind already-queued same-time events instead
-	// of resuming inline (the timeout semantics of the waiter queues).
+	// p/id describe a process start or wake-up: resume p if its park stamp
+	// still matches id, delivering (val, ok) to the parked operation.
+	// indirect wake-ups re-enqueue behind already-queued same-time events
+	// instead of resuming inline (the timeout semantics of the waiter
+	// queues).
 	p        *Proc
 	id       uint64
 	val      interface{}
@@ -46,12 +56,17 @@ type TraceFunc func(at Time, format string, args ...interface{})
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  []event // binary min-heap ordered by (at, seq)
+	q      wheel    // production scheduler: hierarchical timing wheel
+	ref    *refHeap // non-nil: tests are running the reference heap instead
 	procs  map[*Proc]struct{}
 	nprocs uint64
 	seed   int64
 	trace  TraceFunc
 	events uint64 // events dispatched over the engine's lifetime
+
+	// sigfree recycles Signals through NewSignal/FreeSignal so the
+	// call/reply hot path stops allocating one per request.
+	sigfree []*Signal
 
 	// cur is the process currently being stepped, if any.
 	cur *Proc
@@ -67,6 +82,16 @@ func NewEngine(seed int64) *Engine {
 		procs: make(map[*Proc]struct{}),
 		seed:  seed,
 	}
+}
+
+// useReferenceHeap switches a fresh engine onto the retained reference
+// min-heap scheduler. Differential tests drive identical programs through
+// both schedulers; production engines always run the timing wheel.
+func (e *Engine) useReferenceHeap() {
+	if e.events != 0 || e.q.count != 0 {
+		panic("sim: useReferenceHeap on a used engine")
+	}
+	e.ref = &refHeap{}
 }
 
 // Now returns the current virtual time.
@@ -110,66 +135,38 @@ func (e *Engine) DeriveRand(name string) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
-// push inserts ev into the heap. Hand-specialized sift-up over the value
-// slice: no interface boxing, no per-event allocation once the slice has
-// warmed up its capacity.
+// push hands ev to the active scheduler.
 //
 //simlint:hotpath
 func (e *Engine) push(ev event) {
-	q := append(e.queue, ev)
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !eventLess(&q[i], &q[parent]) {
-			break
-		}
-		q[i], q[parent] = q[parent], q[i]
-		i = parent
+	if e.ref != nil {
+		e.ref.push(ev)
+		return
 	}
-	e.queue = q
+	e.q.insert(ev)
 }
 
-// pop removes and returns the minimum event. The vacated slot is zeroed so
-// the heap does not pin callbacks or delivered values.
+// next returns the earliest pending event's time without consuming it
+// (the wheel advances its cursor and stages the ready bucket; the heap
+// just peeks). ok is false when nothing is pending.
+//
+//simlint:hotpath
+func (e *Engine) next() (Time, bool) {
+	if e.ref != nil {
+		return e.ref.peek()
+	}
+	return e.q.nextTime()
+}
+
+// pop removes and returns the earliest pending event. Callers must have
+// seen next return ok.
 //
 //simlint:hotpath
 func (e *Engine) pop() event {
-	q := e.queue
-	ev := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q[n] = event{}
-	q = q[:n]
-	// Sift down.
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		if l >= n {
-			break
-		}
-		child := l
-		if r < n && eventLess(&q[r], &q[l]) {
-			child = r
-		}
-		if !eventLess(&q[child], &q[i]) {
-			break
-		}
-		q[i], q[child] = q[child], q[i]
-		i = child
+	if e.ref != nil {
+		return e.ref.pop()
 	}
-	e.queue = q
-	return ev
-}
-
-// eventLess orders events by (time, sequence) — the deterministic FIFO
-// tie-break for same-time events.
-//
-//simlint:hotpath
-func eventLess(a, b *event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
+	return e.q.popReady()
 }
 
 // Schedule runs fn at absolute virtual time at. Scheduling in the past is
@@ -209,6 +206,10 @@ func (e *Engine) dispatch(ev event) {
 		return
 	}
 	p := ev.p
+	if ev.id == startEventID {
+		e.startProc(p)
+		return
+	}
 	if p.blockID != ev.id || p.state != procBlocked {
 		return // stale wake-up
 	}
@@ -236,7 +237,7 @@ func (e *Engine) Stop() { e.stopped = true }
 // It returns the final virtual time. The whole Time range is runnable:
 // the deadline is math.MaxInt64, so events may be scheduled anywhere up
 // to the horizon.
-func (e *Engine) Run() Time { return e.RunUntil(Time(math.MaxInt64)) }
+func (e *Engine) Run() Time { return e.RunUntil(maxTime) }
 
 // RunUntil processes events with timestamps <= deadline, then returns.
 // The clock is left at min(deadline, time of last event) — it never runs
@@ -245,8 +246,9 @@ func (e *Engine) Run() Time { return e.RunUntil(Time(math.MaxInt64)) }
 //simlint:hotpath
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		if e.queue[0].at > deadline {
+	for !e.stopped {
+		at, ok := e.next()
+		if !ok || at > deadline {
 			break
 		}
 		ev := e.pop()
@@ -261,7 +263,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // Step executes exactly one pending event, if any, and reports whether one
 // was executed. Mostly useful in kernel tests.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if _, ok := e.next(); !ok {
 		return false
 	}
 	ev := e.pop()
@@ -273,7 +275,12 @@ func (e *Engine) Step() bool {
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int {
+	if e.ref != nil {
+		return e.ref.len()
+	}
+	return e.q.count
+}
 
 // LiveProcs returns the number of processes that have been spawned and have
 // not yet finished (they may be runnable or blocked).

@@ -66,7 +66,14 @@ func (e *Engine) SpawnAt(at Time, name string, body func(p *Proc)) *Proc {
 		body:   body,
 	}
 	e.procs[p] = struct{}{}
-	e.Schedule(at, func() { e.startProc(p) })
+	// The start is a wake-shaped event carrying startEventID, so spawning
+	// allocates no closure; it follows the same (at, seq) order a
+	// Schedule here would have.
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.push(event{at: at, seq: e.seq, p: p, id: startEventID})
 	return p
 }
 

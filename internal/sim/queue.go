@@ -1,0 +1,75 @@
+package sim
+
+// This file holds the head-indexed FIFO queues backing channels, resources
+// and waiter lists. The previous representation advanced queues by
+// re-slicing the front (q = q[1:]), which makes every later append
+// reallocate because the discarded prefix is unreachable capacity. A head
+// index keeps the backing array reusable; the consumed prefix is compacted
+// in place once it dominates the slice, so steady-state push/pop allocates
+// nothing and each element is moved O(1) amortized times.
+
+// compactAt is the consumed-prefix length beyond which a queue considers
+// sliding its live elements back to the front of the backing array.
+const compactAt = 32
+
+// vqueue is a FIFO of interface{} values (channel buffers).
+type vqueue struct {
+	v    []interface{}
+	head int
+}
+
+//simlint:hotpath
+func (q *vqueue) push(v interface{}) { q.v = append(q.v, v) }
+
+//simlint:hotpath
+func (q *vqueue) pop() interface{} {
+	v := q.v[q.head]
+	q.v[q.head] = nil
+	q.head++
+	if q.head == len(q.v) {
+		q.v = q.v[:0]
+		q.head = 0
+	} else if q.head >= compactAt && q.head*2 >= len(q.v) {
+		n := copy(q.v, q.v[q.head:])
+		for i := n; i < len(q.v); i++ {
+			q.v[i] = nil
+		}
+		q.v = q.v[:n]
+		q.head = 0
+	}
+	return v
+}
+
+//simlint:hotpath
+func (q *vqueue) len() int { return len(q.v) - q.head }
+
+// wqueue is a FIFO of waiters (blocked receivers, senders, acquirers).
+type wqueue struct {
+	w    []waiter
+	head int
+}
+
+//simlint:hotpath
+func (q *wqueue) push(w waiter) { q.w = append(q.w, w) }
+
+//simlint:hotpath
+func (q *wqueue) pop() waiter {
+	w := q.w[q.head]
+	q.w[q.head] = waiter{}
+	q.head++
+	if q.head == len(q.w) {
+		q.w = q.w[:0]
+		q.head = 0
+	} else if q.head >= compactAt && q.head*2 >= len(q.w) {
+		n := copy(q.w, q.w[q.head:])
+		for i := n; i < len(q.w); i++ {
+			q.w[i] = waiter{}
+		}
+		q.w = q.w[:n]
+		q.head = 0
+	}
+	return w
+}
+
+//simlint:hotpath
+func (q *wqueue) len() int { return len(q.w) - q.head }

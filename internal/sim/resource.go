@@ -9,7 +9,7 @@ type Resource struct {
 	name  string
 	total int
 	inUse int
-	queue []waiter
+	queue wqueue
 }
 
 // NewResource returns a resource with the given number of units.
@@ -21,6 +21,8 @@ func (e *Engine) NewResource(name string, units int) *Resource {
 }
 
 // Acquire takes one unit, blocking p in FIFO order while none are free.
+//
+//simlint:hotpath
 func (r *Resource) Acquire(p *Proc) {
 	p.assertRunning("Resource.Acquire")
 	if r.inUse < r.total {
@@ -28,7 +30,7 @@ func (r *Resource) Acquire(p *Proc) {
 		return
 	}
 	id := p.newBlockID()
-	r.queue = append(r.queue, waiter{p: p, id: id})
+	r.queue.push(waiter{p: p, id: id})
 	p.park()
 	// The releaser transferred its unit to us; inUse is already counted.
 }
@@ -44,13 +46,14 @@ func (r *Resource) TryAcquire() bool {
 
 // Release returns one unit. If a process is waiting, the unit passes
 // directly to it (inUse stays constant); otherwise the unit becomes free.
+//
+//simlint:hotpath
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Release of idle resource " + r.name)
 	}
-	for len(r.queue) > 0 {
-		w := r.queue[0]
-		r.queue = r.queue[1:]
+	for r.queue.len() > 0 {
+		w := r.queue.pop()
 		if w.stale() {
 			continue
 		}
@@ -65,7 +68,7 @@ func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen reports the number of processes waiting (possibly including
 // stale entries about to be discarded).
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return r.queue.len() }
 
 // Use acquires the resource, holds it for duration d of virtual time, and
 // releases it — the common "serve one request" pattern. The release is
@@ -86,23 +89,58 @@ type Signal struct {
 	waiters []waiter
 }
 
-// NewSignal returns an untriggered signal.
-func (e *Engine) NewSignal() *Signal { return &Signal{eng: e} }
+// NewSignal returns an untriggered signal, reusing one from the engine's
+// free list when available. Call/reply paths return signals with
+// FreeSignal once the reply has been consumed.
+//
+//simlint:hotpath
+func (e *Engine) NewSignal() *Signal {
+	if n := len(e.sigfree); n > 0 {
+		s := e.sigfree[n-1]
+		e.sigfree[n-1] = nil
+		e.sigfree = e.sigfree[:n-1]
+		return s
+	}
+	return &Signal{eng: e}
+}
+
+// FreeSignal returns s to the engine's free list for reuse by a later
+// NewSignal. The caller asserts no other reference to s survives: a
+// recycled signal that something still waits on or may trigger would
+// corrupt an unrelated future call. Freeing nil is a no-op.
+//
+//simlint:hotpath
+func (e *Engine) FreeSignal(s *Signal) {
+	if s == nil {
+		return
+	}
+	s.fired = false
+	s.val = nil
+	for i := range s.waiters {
+		s.waiters[i] = waiter{}
+	}
+	s.waiters = s.waiters[:0]
+	e.sigfree = append(e.sigfree, s)
+}
 
 // Trigger fires the signal with value v, waking all waiters. Triggering
 // twice panics: completions in this codebase are strictly one-shot.
+//
+//simlint:hotpath
 func (s *Signal) Trigger(v interface{}) {
 	if s.fired {
 		panic("sim: Signal triggered twice")
 	}
 	s.fired = true
 	s.val = v
-	for _, w := range s.waiters {
-		if !w.stale() {
-			w.p.wake(w.id, v, true)
+	ws := s.waiters
+	for i := range ws {
+		if !ws[i].stale() {
+			ws[i].p.wake(ws[i].id, v, true)
 		}
+		ws[i] = waiter{}
 	}
-	s.waiters = nil
+	s.waiters = ws[:0]
 }
 
 // Fired reports whether the signal has been triggered.
@@ -119,6 +157,8 @@ func (s *Signal) Wait(p *Proc) interface{} {
 
 // WaitTimeout blocks p until the signal fires or timeout elapses; a
 // negative timeout waits forever. ok is false on timeout.
+//
+//simlint:hotpath
 func (s *Signal) WaitTimeout(p *Proc, timeout Time) (v interface{}, ok bool) {
 	p.assertRunning("Signal.Wait")
 	if s.fired {

@@ -1,0 +1,368 @@
+package sim
+
+import "math/bits"
+
+// This file implements the engine's production scheduler: a hierarchical
+// timing wheel. The simulated workload's event mix is sharply bimodal —
+// microsecond-scale fabric and NPMU completions on one side, and a standing
+// population of far-out timers (2 s call timeouts, 500 ms lock timeouts,
+// 400 ms takeover timers) that are almost always cancelled before they
+// fire on the other. A binary heap pays O(log n) on every operation with n
+// inflated by the stale timers; the wheel pays amortized O(1) per event
+// and the stale timers cost nothing until their slot expires.
+//
+// Layout: numLevels wheels of numSlots slots each, slotBits bits of the
+// timestamp per level. Level 0 is nanosecond-granular (one timestamp per
+// slot per rotation), so a level-0 slot's current-window events all share
+// one timestamp; level l spans 1<<(slotBits*(l+1)) ns. Events further out
+// than the top span go to an overflow min-heap and migrate into the wheel
+// when the cursor comes within range.
+//
+// Ordering contract: popReady yields events in exactly (at, seq) order —
+// the same total order as the reference heap — because (a) the cursor only
+// ever advances to a lower bound of every pending event's timestamp, so no
+// event is passed over, (b) a slot's bucket is re-placed against the new
+// cursor whenever its digit becomes current, pushing events down until
+// they surface in the ready bucket at exactly their timestamp, and (c) the
+// ready bucket is sorted by seq (all its events share one timestamp).
+// Events from a future rotation that alias an occupied slot are detected
+// at expiry (their delta is still positive) and simply re-placed.
+const (
+	slotBits  = 8
+	numSlots  = 1 << slotBits
+	slotMask  = numSlots - 1
+	numLevels = 6
+	// spanTop is the horizon of the top wheel (~78 h of virtual time);
+	// events at or beyond it wait in the overflow heap.
+	spanTop = Time(1) << (slotBits * numLevels)
+)
+
+// wheel is the hierarchical timing wheel. The zero value is ready to use.
+type wheel struct {
+	// cur is the scheduler cursor: no pending event is earlier. It can run
+	// ahead of Engine.now after a deadline-limited RunUntil; inserting
+	// before it rewinds the cursor (rare, and only between runs).
+	cur Time
+
+	levels [numLevels][numSlots][]event
+	occ    [numLevels][numSlots / 64]uint64
+
+	// ready holds the events due at exactly cur, consumed from readyHead.
+	ready       []event
+	readyHead   int
+	readySorted bool
+
+	// ovf is a min-heap (by eventLess) of events at least spanTop out.
+	ovf []event
+
+	// scratch is the spare bucket backing rotated through cascades so
+	// steady-state redistribution allocates nothing.
+	scratch []event
+
+	count  int // all pending events
+	wcount int // events resident in level buckets
+}
+
+// levelOf picks the level whose span covers delta (0 < delta < spanTop).
+//
+//simlint:hotpath
+func levelOf(delta Time) int {
+	return (bits.Len64(uint64(delta)) - 1) / slotBits
+}
+
+// insert schedules ev, rewinding the cursor first if ev lands before it.
+//
+//simlint:hotpath
+func (w *wheel) insert(ev event) {
+	if ev.at < w.cur {
+		w.rewind(ev.at)
+	}
+	w.place(ev)
+	w.count++
+}
+
+// place routes an event (with at >= cur) to the ready bucket, a level slot,
+// or the overflow heap. It does not touch count.
+//
+//simlint:hotpath
+func (w *wheel) place(ev event) {
+	delta := ev.at - w.cur
+	switch {
+	case delta == 0:
+		if n := len(w.ready); n > w.readyHead && ev.seq < w.ready[n-1].seq {
+			w.readySorted = false
+		}
+		w.ready = append(w.ready, ev)
+	case delta < spanTop:
+		lvl := levelOf(delta)
+		slot := int(uint64(ev.at)>>(uint(lvl)*slotBits)) & slotMask
+		w.levels[lvl][slot] = append(w.levels[lvl][slot], ev)
+		w.occ[lvl][slot>>6] |= 1 << uint(slot&63)
+		w.wcount++
+	default:
+		w.ovfPush(ev)
+	}
+}
+
+// rewind moves the cursor back to at (engine code inserted an event before
+// the cursor, which can only happen after a deadline-limited run stopped
+// short of the next event). Ready events are no longer current and are
+// re-placed against the earlier cursor; level buckets keep their absolute
+// slots and self-correct at expiry.
+func (w *wheel) rewind(at Time) {
+	w.cur = at
+	if w.readyHead >= len(w.ready) {
+		w.ready = w.ready[:0]
+		w.readyHead = 0
+		w.readySorted = true
+		return
+	}
+	pend := append(w.scratch[:0], w.ready[w.readyHead:]...)
+	for i := range w.ready {
+		w.ready[i] = event{}
+	}
+	w.ready = w.ready[:0]
+	w.readyHead = 0
+	w.readySorted = true
+	for i := range pend {
+		w.place(pend[i])
+	}
+	w.scratch = pend[:0]
+}
+
+// nextTime advances the cursor to the exact timestamp of the earliest
+// pending event, fills the ready bucket with every event due then, and
+// returns that time. ok is false when nothing is pending. Idempotent once
+// the ready bucket is non-empty.
+//
+//simlint:hotpath
+func (w *wheel) nextTime() (Time, bool) {
+	for {
+		if w.readyHead < len(w.ready) {
+			if !w.readySorted {
+				w.sortReady()
+			}
+			return w.cur, true
+		}
+		if w.count == 0 {
+			return 0, false
+		}
+		// Lower-bound candidate over the levels' next occupied slots,
+		// bottom up. Once a candidate falls inside the cursor's current
+		// level-(lvl+1) window it cannot be beaten: any higher-level
+		// candidate differs from the cursor in a digit above lvl, so it
+		// starts at or beyond that window's end.
+		var best Time
+		found := false
+		if w.wcount > 0 {
+			for lvl := 0; lvl < numLevels; lvl++ {
+				if ws, ok := w.scan(lvl); ok && (!found || ws < best) {
+					best, found = ws, true
+				}
+				if found {
+					shift := uint(lvl+1) * slotBits
+					if uint64(best)>>shift == uint64(w.cur)>>shift {
+						break
+					}
+				}
+			}
+		}
+		if len(w.ovf) > 0 && (!found || w.ovf[0].at <= best) {
+			best, found = w.ovf[0].at, true
+		}
+		if !found {
+			panic("sim: timing wheel lost an event")
+		}
+		w.advanceTo(best)
+		// Pull overflow events that are now within the wheel horizon.
+		for len(w.ovf) > 0 && w.ovf[0].at-w.cur < spanTop {
+			w.place(w.ovfPop())
+		}
+	}
+}
+
+// popReady removes and returns the head of the ready bucket. Callers must
+// have seen nextTime return ok.
+//
+//simlint:hotpath
+func (w *wheel) popReady() event {
+	ev := w.ready[w.readyHead]
+	w.ready[w.readyHead] = event{}
+	w.readyHead++
+	if w.readyHead == len(w.ready) {
+		w.ready = w.ready[:0]
+		w.readyHead = 0
+		w.readySorted = true
+	}
+	w.count--
+	return ev
+}
+
+// sortReady insertion-sorts the live portion of the ready bucket by seq.
+// All entries share one timestamp; the bucket is nearly sorted already
+// (only cascaded events can arrive out of order), so this is close to a
+// single verification pass.
+func (w *wheel) sortReady() {
+	r := w.ready[w.readyHead:]
+	for i := 1; i < len(r); i++ {
+		for j := i; j > 0 && r[j].seq < r[j-1].seq; j-- {
+			r[j], r[j-1] = r[j-1], r[j]
+		}
+	}
+	w.readySorted = true
+}
+
+// scan returns the window start of level lvl's next occupied slot, walking
+// the occupancy bitmap circularly from the digit after the cursor's. Slots
+// reached after wrapping (including the cursor's own digit) belong to the
+// level's next rotation. The result is a lower bound on every pending
+// event in the level: the cursor digit's current window holds no events
+// (advanceTo cascades it), so anything found sits at or beyond its slot's
+// window start.
+//
+//simlint:hotpath
+func (w *wheel) scan(lvl int) (Time, bool) {
+	shift := uint(lvl) * slotBits
+	d := int(uint64(w.cur)>>shift) & slotMask
+	slot, wrapped, ok := w.nextOccupied(lvl, d)
+	if !ok {
+		return 0, false
+	}
+	// rotBase: cur with digits 0..lvl cleared.
+	span := uint64(1) << (shift + slotBits)
+	rotBase := uint64(w.cur) &^ (span - 1)
+	ws := rotBase | uint64(slot)<<shift
+	if wrapped {
+		ws += span
+		if ws > uint64(maxTime) {
+			// Beyond the representable horizon: nothing pending can live
+			// there, so the occupied slot holds only events this rotation
+			// already surfaced. Treat as empty.
+			return 0, false
+		}
+	}
+	return Time(ws), true
+}
+
+// nextOccupied finds the first occupied slot of level lvl strictly after
+// digit d, wrapping around to d itself. wrapped reports whether the result
+// was reached by wrapping past slot numSlots-1.
+//
+//simlint:hotpath
+func (w *wheel) nextOccupied(lvl, d int) (slot int, wrapped, ok bool) {
+	bm := &w.occ[lvl]
+	from := d + 1
+	if from < numSlots {
+		if s, ok := scanBitmap(bm, from, numSlots); ok {
+			return s, false, true
+		}
+	}
+	if s, ok := scanBitmap(bm, 0, from); ok {
+		return s, true, true
+	}
+	return 0, false, false
+}
+
+// scanBitmap returns the first set bit in [from, to) of a 256-bit bitmap.
+//
+//simlint:hotpath
+func scanBitmap(bm *[numSlots / 64]uint64, from, to int) (int, bool) {
+	for word := from >> 6; word <= (to-1)>>6; word++ {
+		v := bm[word]
+		if word == from>>6 {
+			v &= ^uint64(0) << uint(from&63)
+		}
+		if word == (to-1)>>6 && to&63 != 0 {
+			v &= (1 << uint(to&63)) - 1
+		}
+		if v != 0 {
+			return word<<6 + bits.TrailingZeros64(v), true
+		}
+	}
+	return 0, false
+}
+
+// advanceTo moves the cursor to t and re-places the bucket of every level
+// whose digit became current, highest level first so pushed-down events
+// keep cascading toward the ready bucket.
+//
+//simlint:hotpath
+func (w *wheel) advanceTo(t Time) {
+	old := w.cur
+	w.cur = t
+	if w.wcount == 0 {
+		return
+	}
+	diff := uint64(old) ^ uint64(t)
+	if diff == 0 {
+		return
+	}
+	top := (bits.Len64(diff) - 1) / slotBits
+	if top >= numLevels {
+		top = numLevels - 1
+	}
+	for lvl := top; lvl >= 0; lvl-- {
+		slot := int(uint64(t)>>(uint(lvl)*slotBits)) & slotMask
+		if w.occ[lvl][slot>>6]&(1<<uint(slot&63)) == 0 {
+			continue
+		}
+		b := w.levels[lvl][slot]
+		w.levels[lvl][slot] = w.scratch[:0]
+		w.occ[lvl][slot>>6] &^= 1 << uint(slot&63)
+		w.wcount -= len(b)
+		for i := range b {
+			w.place(b[i])
+		}
+		// No per-element zeroing: the vacated entries are overwritten by
+		// the next cascade that borrows this backing, and everything they
+		// pin is alive in its new bucket anyway.
+		w.scratch = b[:0]
+	}
+}
+
+// ovfPush inserts ev into the overflow min-heap.
+//
+//simlint:hotpath
+func (w *wheel) ovfPush(ev event) {
+	q := append(w.ovf, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&q[i], &q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	w.ovf = q
+}
+
+// ovfPop removes and returns the overflow heap's minimum.
+//
+//simlint:hotpath
+func (w *wheel) ovfPop() event {
+	q := w.ovf
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && eventLess(&q[r], &q[l]) {
+			child = r
+		}
+		if !eventLess(&q[child], &q[i]) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	w.ovf = q
+	return ev
+}

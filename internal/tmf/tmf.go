@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"persistmem/internal/adp"
 	"persistmem/internal/audit"
@@ -147,6 +148,136 @@ type TMF struct {
 	// client's reply has been sent. Fault-injection plans use it for
 	// "after the Nth commit" triggers. The hook must not block.
 	commitHook func(total int64)
+
+	// Free lists. Commit coordinators run concurrently (they interleave
+	// at blocking points), so scratch is checked out per coordinator and
+	// returned when it finishes — never shared. The delta boxes are
+	// recycled once CheckpointFrom returns nil (absorbed by then).
+	scfree  []*commitScratch
+	begfree []*beginDelta
+	outfree []*outcomeDelta
+
+	// Spawn-name scratch (the serve loop is one process) and prefixes.
+	namebuf                   []byte
+	commitPrefix, abortPrefix string
+}
+
+// Pre-boxed success replies (read-only after init).
+var (
+	commitRespOK interface{} = CommitResp{}
+	abortRespOK  interface{} = AbortResp{}
+)
+
+// commitScratch is one coordinator's working set: completion signals,
+// the request boxes it sends to DP2s and ADPs, and the per-commit ADP
+// LSN table. If any call times out, a server may still reference one of
+// the boxes, so the whole scratch is abandoned (dirty) instead of being
+// returned to the pool.
+type commitScratch struct {
+	sigs    []*sim.Signal
+	freqs   []*dp2.FlushAuditReq
+	ereqs   []*dp2.EndTxnReq
+	flreqs  []*adp.FlushReq
+	creq    adp.CommitReq
+	adpLSNs map[string]audit.LSN
+	adps    []string
+	dirty   bool
+}
+
+//simlint:hotpath
+func (sc *commitScratch) flushReq(i int) *dp2.FlushAuditReq {
+	for len(sc.freqs) <= i {
+		sc.freqs = append(sc.freqs, new(dp2.FlushAuditReq))
+	}
+	return sc.freqs[i]
+}
+
+//simlint:hotpath
+func (sc *commitScratch) endReq(i int) *dp2.EndTxnReq {
+	for len(sc.ereqs) <= i {
+		sc.ereqs = append(sc.ereqs, new(dp2.EndTxnReq))
+	}
+	return sc.ereqs[i]
+}
+
+//simlint:hotpath
+func (sc *commitScratch) adpFlushReq(i int) *adp.FlushReq {
+	for len(sc.flreqs) <= i {
+		sc.flreqs = append(sc.flreqs, new(adp.FlushReq))
+	}
+	return sc.flreqs[i]
+}
+
+// sortedADPs lists the LSN table's streams in name order (deterministic
+// message order), built in the scratch's reused slice.
+//
+//simlint:hotpath
+func (sc *commitScratch) sortedADPs() []string {
+	sc.adps = sc.adps[:0]
+	//simlint:ordered -- collected into a slice and sorted below
+	for k := range sc.adpLSNs {
+		sc.adps = append(sc.adps, k)
+	}
+	sort.Strings(sc.adps)
+	return sc.adps
+}
+
+//simlint:hotpath
+func (t *TMF) takeScratch() *commitScratch {
+	if n := len(t.scfree); n > 0 {
+		sc := t.scfree[n-1]
+		t.scfree = t.scfree[:n-1]
+		sc.dirty = false
+		return sc
+	}
+	return &commitScratch{adpLSNs: make(map[string]audit.LSN)}
+}
+
+//simlint:hotpath
+func (t *TMF) releaseScratch(sc *commitScratch) {
+	if sc.dirty {
+		return // a call timed out; a server may still hold a box
+	}
+	t.scfree = append(t.scfree, sc)
+}
+
+//simlint:hotpath
+func (t *TMF) checkpointBegin(p *cluster.Process, txn audit.TxnID) {
+	var dl *beginDelta
+	if n := len(t.begfree); n > 0 {
+		dl = t.begfree[n-1]
+		t.begfree = t.begfree[:n-1]
+	} else {
+		dl = new(beginDelta)
+	}
+	dl.txn = txn
+	//simlint:allow hotalloc -- *beginDelta is pointer-shaped: no box is allocated
+	if t.pair.CheckpointFrom(p, 16, dl) == nil {
+		t.begfree = append(t.begfree, dl)
+	}
+}
+
+//simlint:hotpath
+func (t *TMF) checkpointOutcome(p *cluster.Process, txn audit.TxnID, commit bool) {
+	var dl *outcomeDelta
+	if n := len(t.outfree); n > 0 {
+		dl = t.outfree[n-1]
+		t.outfree = t.outfree[:n-1]
+	} else {
+		dl = new(outcomeDelta)
+	}
+	dl.txn, dl.commit = txn, commit
+	//simlint:allow hotalloc -- *outcomeDelta is pointer-shaped: no box is allocated
+	if t.pair.CheckpointFrom(p, 24, dl) == nil {
+		t.outfree = append(t.outfree, dl)
+	}
+}
+
+// spawnName builds "<prefix><txn>" in the serve loop's scratch buffer
+// (one string allocation — Spawn retains the name).
+func (t *TMF) spawnName(prefix string, txn audit.TxnID) string {
+	t.namebuf = strconv.AppendUint(append(t.namebuf[:0], prefix...), uint64(txn), 10)
+	return string(t.namebuf)
 }
 
 // Start launches the transaction monitor process pair.
@@ -163,6 +294,8 @@ func Start(cl *cluster.Cluster, cfg Config) *TMF {
 		cfg.TCBRegionSize = 64 << 10
 	}
 	t := &TMF{cl: cl, cfg: cfg}
+	t.commitPrefix = cfg.Name + "-commit-"
+	t.abortPrefix = cfg.Name + "-abort-"
 	t.pair = cl.StartPairAbsorb(cfg.Name, cfg.PrimaryCPU, cfg.BackupCPU, t.serve, t.absorb)
 	return t
 }
@@ -189,11 +322,18 @@ func (t *TMF) absorb(cur, delta interface{}) interface{} {
 		st = newState()
 	}
 	switch d := delta.(type) {
+	case *beginDelta:
+		st.active[d.txn] = true
+		if d.txn >= st.nextTxn {
+			st.nextTxn = d.txn + 1
+		}
 	case beginDelta:
 		st.active[d.txn] = true
 		if d.txn >= st.nextTxn {
 			st.nextTxn = d.txn + 1
 		}
+	case *outcomeDelta:
+		delete(st.active, d.txn)
 	case outcomeDelta:
 		delete(st.active, d.txn)
 	case *tmfState:
@@ -222,44 +362,19 @@ func (t *TMF) serve(ctx *cluster.PairCtx) {
 			st.nextTxn++
 			st.active[txn] = true
 			t.stats.Begins++
-			t.pair.CheckpointFrom(ctx.Process, 16, beginDelta{txn: txn})
+			t.checkpointBegin(ctx.Process, txn)
 			if tcb != nil {
 				t.writeTCB(ctx.Process, tcb, txn, TCBActive)
 			}
 			ev.Reply(BeginResp{Txn: txn})
+		case *CommitReq:
+			t.handleCommit(ctx, st, tcb, ev, *req)
 		case CommitReq:
-			if !st.active[req.Txn] {
-				ev.Reply(CommitResp{Err: fmt.Errorf("%w: %d", ErrUnknownTxn, req.Txn)})
-				continue
-			}
-			delete(st.active, req.Txn)
-			// Coordinate in a continuation so concurrent transactions
-			// pipeline through the monitor (and group-commit at the ADPs).
-			ctx.CPU().Spawn(fmt.Sprintf("%s-commit-%d", t.cfg.Name, req.Txn), func(p *cluster.Process) {
-				err := t.coordinateCommit(p, tcb, req)
-				if err == nil {
-					t.stats.Commits++
-				} else {
-					t.stats.Aborts++
-				}
-				t.pair.CheckpointFrom(p, 24, outcomeDelta{txn: req.Txn, commit: err == nil})
-				ev.Reply(CommitResp{Err: err})
-				if err == nil && t.commitHook != nil {
-					t.commitHook(t.stats.Commits)
-				}
-			})
+			t.handleCommit(ctx, st, tcb, ev, req)
+		case *AbortReq:
+			t.handleAbort(ctx, st, tcb, ev, *req)
 		case AbortReq:
-			if !st.active[req.Txn] {
-				ev.Reply(AbortResp{Err: fmt.Errorf("%w: %d", ErrUnknownTxn, req.Txn)})
-				continue
-			}
-			delete(st.active, req.Txn)
-			ctx.CPU().Spawn(fmt.Sprintf("%s-abort-%d", t.cfg.Name, req.Txn), func(p *cluster.Process) {
-				t.coordinateAbort(p, tcb, req)
-				t.stats.Aborts++
-				t.pair.CheckpointFrom(p, 24, outcomeDelta{txn: req.Txn, commit: false})
-				ev.Reply(AbortResp{})
-			})
+			t.handleAbort(ctx, st, tcb, ev, req)
 		case StateReq:
 			s := t.stats
 			s.ActiveTxns = len(st.active)
@@ -270,27 +385,81 @@ func (t *TMF) serve(ctx *cluster.PairCtx) {
 	}
 }
 
+// handleCommit validates a commit request and hands it to a spawned
+// coordinator continuation so concurrent transactions pipeline through
+// the monitor (and group-commit at the ADPs).
+func (t *TMF) handleCommit(ctx *cluster.PairCtx, st *tmfState, tcb *pmclient.Region, ev cluster.Envelope, req CommitReq) {
+	if !st.active[req.Txn] {
+		ev.Reply(CommitResp{Err: fmt.Errorf("%w: %d", ErrUnknownTxn, req.Txn)})
+		return
+	}
+	delete(st.active, req.Txn)
+	ctx.CPU().Spawn(t.spawnName(t.commitPrefix, req.Txn), func(p *cluster.Process) {
+		sc := t.takeScratch()
+		err := t.coordinateCommit(p, tcb, sc, req)
+		if err == nil {
+			t.stats.Commits++
+		} else {
+			t.stats.Aborts++
+		}
+		t.checkpointOutcome(p, req.Txn, err == nil)
+		if err == nil {
+			ev.Reply(commitRespOK)
+		} else {
+			ev.Reply(CommitResp{Err: err})
+		}
+		t.releaseScratch(sc)
+		if err == nil && t.commitHook != nil {
+			t.commitHook(t.stats.Commits)
+		}
+	})
+}
+
+// handleAbort is handleCommit's rollback twin.
+func (t *TMF) handleAbort(ctx *cluster.PairCtx, st *tmfState, tcb *pmclient.Region, ev cluster.Envelope, req AbortReq) {
+	if !st.active[req.Txn] {
+		ev.Reply(AbortResp{Err: fmt.Errorf("%w: %d", ErrUnknownTxn, req.Txn)})
+		return
+	}
+	delete(st.active, req.Txn)
+	ctx.CPU().Spawn(t.spawnName(t.abortPrefix, req.Txn), func(p *cluster.Process) {
+		sc := t.takeScratch()
+		t.coordinateAbort(p, tcb, sc, req)
+		t.stats.Aborts++
+		t.checkpointOutcome(p, req.Txn, false)
+		ev.Reply(abortRespOK)
+		t.releaseScratch(sc)
+	})
+}
+
 // coordinateCommit runs the two-phase commit for one transaction. On any
 // error it rolls the transaction back and reports failure.
-func (t *TMF) coordinateCommit(p *cluster.Process, tcb *pmclient.Region, req CommitReq) error {
+//
+//simlint:hotpath
+func (t *TMF) coordinateCommit(p *cluster.Process, tcb *pmclient.Region, sc *commitScratch, req CommitReq) error {
 	// Phase 1: gather and flush every involved audit stream.
-	adpLSNs, err := t.flushDataAudit(p, req.Txn, req.DP2s)
-	if err != nil {
-		t.rollback(p, req.Txn, req.DP2s)
+	if err := t.flushDataAudit(p, sc, req.Txn, req.DP2s); err != nil {
+		t.rollback(p, sc, req.Txn, req.DP2s)
+		//simlint:allow hotalloc -- commit-failure path, cold
 		return fmt.Errorf("%w: %v", ErrCommitFailed, err)
 	}
 
 	// Phase 2: commit record in the master log.
-	adps := sortedKeys(adpLSNs)
+	adps := sc.sortedADPs()
 	if len(adps) > 0 {
 		master := adps[0]
-		raw, cerr := p.Call(master, 64, adp.CommitReq{Txn: req.Txn})
+		sc.creq.Txn = req.Txn
+		//simlint:allow hotalloc -- *adp.CommitReq is pointer-shaped: no box is allocated
+		raw, cerr := p.Call(master, 64, &sc.creq)
 		if cerr != nil {
-			t.rollback(p, req.Txn, req.DP2s)
+			sc.dirty = true // the master may still hold the request box
+			t.rollback(p, sc, req.Txn, req.DP2s)
+			//simlint:allow hotalloc -- commit-failure path, cold
 			return fmt.Errorf("%w: master log: %v", ErrCommitFailed, cerr)
 		}
 		if resp := raw.(adp.CommitResp); resp.Err != nil {
-			t.rollback(p, req.Txn, req.DP2s)
+			t.rollback(p, sc, req.Txn, req.DP2s)
+			//simlint:allow hotalloc -- commit-failure path, cold
 			return fmt.Errorf("%w: master log: %v", ErrCommitFailed, resp.Err)
 		}
 	}
@@ -301,82 +470,95 @@ func (t *TMF) coordinateCommit(p *cluster.Process, tcb *pmclient.Region, req Com
 	}
 
 	// Release locks and retire the transaction at the DP2s.
-	t.endAll(p, req.Txn, req.DP2s, true)
+	t.endAll(p, sc, req.Txn, req.DP2s, true)
 	return nil
 }
 
 // flushDataAudit implements phase 1: each DP2 pushes pending audit and
-// reports (ADP, LSN); then each distinct non-master stream is flushed.
-// The master stream's flush rides on the phase-2 commit record.
-func (t *TMF) flushDataAudit(p *cluster.Process, txn audit.TxnID, dp2s []string) (map[string]audit.LSN, error) {
-	type flushResult struct {
-		resp dp2.FlushAuditResp
-		err  error
-	}
-	sigs := make([]*sim.Signal, 0, len(dp2s))
-	for _, name := range dp2s {
-		sig, err := p.CallAsync(name, 48, dp2.FlushAuditReq{Txn: txn})
+// reports (ADP, LSN) into sc.adpLSNs; then each distinct non-master
+// stream is flushed. The master stream's flush rides on the phase-2
+// commit record. Any early error return marks the scratch dirty: requests
+// may still be outstanding, so their boxes cannot be recycled.
+//
+//simlint:hotpath
+func (t *TMF) flushDataAudit(p *cluster.Process, sc *commitScratch, txn audit.TxnID, dp2s []string) error {
+	sc.sigs = sc.sigs[:0]
+	for i, name := range dp2s {
+		r := sc.flushReq(i)
+		r.Txn = txn
+		//simlint:allow hotalloc -- *dp2.FlushAuditReq is pointer-shaped: no box is allocated
+		sig, err := p.CallAsync(name, 48, r)
 		if err != nil {
-			return nil, err
+			sc.dirty = true
+			return err
 		}
-		sigs = append(sigs, sig)
+		sc.sigs = append(sc.sigs, sig)
 	}
-	adpLSNs := make(map[string]audit.LSN)
-	for _, sig := range sigs {
+	clear(sc.adpLSNs)
+	for _, sig := range sc.sigs {
 		raw, err := p.AwaitReply(sig)
 		if err != nil {
-			return nil, err
+			sc.dirty = true
+			return err
 		}
 		resp := raw.(dp2.FlushAuditResp)
 		if resp.Err != nil {
-			return nil, resp.Err
+			sc.dirty = true
+			return resp.Err
 		}
 		if resp.ADP == "" {
 			continue // PMDirect DP2: its changes are already persistent
 		}
-		if resp.LSN > adpLSNs[resp.ADP] {
-			adpLSNs[resp.ADP] = resp.LSN
-		} else if _, seen := adpLSNs[resp.ADP]; !seen {
-			adpLSNs[resp.ADP] = resp.LSN
+		if resp.LSN > sc.adpLSNs[resp.ADP] {
+			sc.adpLSNs[resp.ADP] = resp.LSN
+		} else if _, seen := sc.adpLSNs[resp.ADP]; !seen {
+			sc.adpLSNs[resp.ADP] = resp.LSN
 		}
 	}
 
-	adps := sortedKeys(adpLSNs)
+	adps := sc.sortedADPs()
 	if len(adps) <= 1 {
-		return adpLSNs, nil // single stream: phase 2 flush covers it
+		return nil // single stream: phase 2 flush covers it
 	}
-	var flushSigs []*sim.Signal
-	for _, name := range adps[1:] {
-		sig, err := p.CallAsync(name, 48, adp.FlushReq{UpTo: adpLSNs[name]})
+	sc.sigs = sc.sigs[:0]
+	for i, name := range adps[1:] {
+		r := sc.adpFlushReq(i)
+		r.UpTo = sc.adpLSNs[name]
+		//simlint:allow hotalloc -- *adp.FlushReq is pointer-shaped: no box is allocated
+		sig, err := p.CallAsync(name, 48, r)
 		if err != nil {
-			return nil, err
+			sc.dirty = true
+			return err
 		}
-		flushSigs = append(flushSigs, sig)
+		sc.sigs = append(sc.sigs, sig)
 	}
-	for _, sig := range flushSigs {
+	for _, sig := range sc.sigs {
 		raw, err := p.AwaitReply(sig)
 		if err != nil {
-			return nil, err
+			sc.dirty = true
+			return err
 		}
 		if resp := raw.(adp.FlushResp); resp.Err != nil {
-			return nil, resp.Err
+			sc.dirty = true
+			return resp.Err
 		}
 	}
-	return adpLSNs, nil
+	return nil
 }
 
 // coordinateAbort rolls back at the DP2s and lazily notes the abort in
 // each involved audit stream.
-func (t *TMF) coordinateAbort(p *cluster.Process, tcb *pmclient.Region, req AbortReq) {
-	t.rollback(p, req.Txn, req.DP2s)
+func (t *TMF) coordinateAbort(p *cluster.Process, tcb *pmclient.Region, sc *commitScratch, req AbortReq) {
+	t.rollback(p, sc, req.Txn, req.DP2s)
 	if tcb != nil {
 		t.writeTCB(p, tcb, req.Txn, TCBAborted)
 	}
 }
 
 // rollback undoes the transaction at every DP2 and writes abort records.
-func (t *TMF) rollback(p *cluster.Process, txn audit.TxnID, dp2s []string) {
-	t.endAll(p, txn, dp2s, false)
+// Cold path: its own allocations are left alone.
+func (t *TMF) rollback(p *cluster.Process, sc *commitScratch, txn audit.TxnID, dp2s []string) {
+	t.endAll(p, sc, txn, dp2s, false)
 	seen := map[string]bool{}
 	for _, name := range dp2s {
 		adpName := adpOf(p, name)
@@ -389,15 +571,23 @@ func (t *TMF) rollback(p *cluster.Process, txn audit.TxnID, dp2s []string) {
 }
 
 // endAll tells every DP2 the outcome and waits for lock release.
-func (t *TMF) endAll(p *cluster.Process, txn audit.TxnID, dp2s []string, commit bool) {
-	var sigs []*sim.Signal
-	for _, name := range dp2s {
-		if sig, err := p.CallAsync(name, 48, dp2.EndTxnReq{Txn: txn, Commit: commit}); err == nil {
-			sigs = append(sigs, sig)
+//
+//simlint:hotpath
+func (t *TMF) endAll(p *cluster.Process, sc *commitScratch, txn audit.TxnID, dp2s []string, commit bool) {
+	sc.sigs = sc.sigs[:0]
+	for i, name := range dp2s {
+		r := sc.endReq(i)
+		r.Txn, r.Commit = txn, commit
+		//simlint:allow hotalloc -- *dp2.EndTxnReq is pointer-shaped: no box is allocated
+		if sig, err := p.CallAsync(name, 48, r); err == nil {
+			sc.sigs = append(sc.sigs, sig)
 		}
+		// A send failure never reached an inbox; the box stays reusable.
 	}
-	for _, sig := range sigs {
-		p.AwaitReply(sig)
+	for _, sig := range sc.sigs {
+		if _, err := p.AwaitReply(sig); err != nil {
+			sc.dirty = true // the DP2 may still hold the request box
+		}
 	}
 }
 
@@ -435,14 +625,4 @@ func (t *TMF) openTCB(ctx *cluster.PairCtx) *pmclient.Region {
 		}
 	}
 	return nil
-}
-
-func sortedKeys(m map[string]audit.LSN) []string {
-	out := make([]string, 0, len(m))
-	//simlint:ordered -- collected into a slice and sorted below
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }

@@ -15,6 +15,10 @@ go run ./cmd/simlint ./...
 go test ./...
 go test -race ./...
 
+# Kernel perf gate: re-measure scheduler ns/event and data-plane
+# allocs/txn and fail on >20% regression against the committed baseline.
+go run ./cmd/simbench -compare BENCH_kernel.json
+
 # Fault-injection smoke matrix: every (durability x fault x phase) cell
 # must pass its invariants, and the whole sweep must be deterministic —
 # two same-seed runs (one sequential) print byte-identical tables.
