@@ -28,6 +28,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables (figures 1 and 2)")
 		check    = flag.Bool("check", false, "run shape checks and exit non-zero on failure")
+		breakdn  = flag.Bool("breakdown", false, "emit the commit-latency decomposition (per-phase p50/p99 per durability config)")
 		parallel = flag.Int("parallel", 0, "sweep cells simulated concurrently (0 = one per CPU, 1 = sequential); output is identical at any setting")
 	)
 	flag.Parse()
@@ -54,6 +55,23 @@ func main() {
 		}
 	}
 	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if *breakdn {
+		b := runner.Breakdown(*seed, sc)
+		if *csv {
+			fmt.Print(b.CSV())
+		} else {
+			fmt.Println(b.Table())
+		}
+		if *check {
+			report(b.CheckShape())
+		}
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "%d shape check(s) failed\n", failures)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if want("1") {
 		f := runner.Figure1(*seed, sc)

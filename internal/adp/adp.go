@@ -24,6 +24,7 @@ import (
 	"persistmem/internal/audit"
 	"persistmem/internal/cluster"
 	"persistmem/internal/disk"
+	"persistmem/internal/metrics"
 	"persistmem/internal/pmclient"
 	"persistmem/internal/sim"
 )
@@ -73,6 +74,10 @@ type Config struct {
 	RequestCPU sim.Time
 	// FlushCPU is the extra CPU per physical flush.
 	FlushCPU sim.Time
+
+	// Metrics optionally wires boxcar (group-commit) spans and PM write
+	// spans into a store-wide registry. Nil disables all recording.
+	Metrics *metrics.Registry
 }
 
 // protocol messages
@@ -193,6 +198,12 @@ type ADP struct {
 	// ckfree recycles ckDelta boxes (absorbed synchronously, so a box is
 	// reusable as soon as Checkpoint returns).
 	ckfree []*ckDelta
+
+	// Instrument pointers, nil when unmetered (methods on m nil-short-
+	// circuit; mFlush is copied out so no field access touches a nil
+	// bundle on the hot path).
+	m      *metrics.ADPSpans
+	mFlush *metrics.LatencyHist
 }
 
 // Start launches the ADP process pair.
@@ -213,6 +224,10 @@ func Start(cl *cluster.Cluster, cfg Config) *ADP {
 		cfg.RegionSize = 16 << 20
 	}
 	a := &ADP{cl: cl, cfg: cfg}
+	if cfg.Metrics != nil {
+		a.m = cfg.Metrics.ADP
+		a.mFlush = cfg.Metrics.ADP.FlushDisk
+	}
 	a.stats.Mode = cfg.Mode
 	a.pair = cl.StartPairAbsorb(cfg.Name, cfg.PrimaryCPU, cfg.BackupCPU, a.serve, absorbDelta)
 	return a
@@ -240,6 +255,7 @@ type flushWaiter struct {
 	upTo audit.LSN
 	ev   cluster.Envelope
 	kind audit.RecType // RecCommit for commits, 0 for plain flushes
+	enq  sim.Time      // when the waiter joined the boxcar
 }
 
 func (a *ADP) serve(ctx *cluster.PairCtx) {
@@ -300,9 +316,11 @@ func (a *ADP) serve(ctx *cluster.PairCtx) {
 			case AbortReq:
 				a.handleAbort(ctx, st, region, &scratch, ev, req.Txn)
 			case *FlushReq:
-				waiters = append(waiters, flushWaiter{upTo: req.UpTo, ev: ev})
+				a.m.OnWaiterIn()
+				waiters = append(waiters, flushWaiter{upTo: req.UpTo, ev: ev, enq: ctx.Process.Now()})
 			case FlushReq:
-				waiters = append(waiters, flushWaiter{upTo: req.UpTo, ev: ev})
+				a.m.OnWaiterIn()
+				waiters = append(waiters, flushWaiter{upTo: req.UpTo, ev: ev, enq: ctx.Process.Now()})
 			case StateReq:
 				s := a.stats
 				s.NextLSN = st.nextLSN
@@ -328,7 +346,12 @@ func (a *ADP) serve(ctx *cluster.PairCtx) {
 		if len(waiters) > 1 {
 			a.stats.GroupedCommits += int64(len(waiters))
 		}
+		durableAt := ctx.Process.Now()
 		for _, w := range waiters {
+			// Every reply — success or error — takes its waiter out of the
+			// boxcar, keeping In == Flushed + Pending balanced; only waiters
+			// lost to a killed primary stay Pending.
+			a.m.OnWaiterFlushed(durableAt - w.enq)
 			if err != nil {
 				if w.kind == audit.RecCommit {
 					w.ev.Reply(CommitResp{Err: err})
@@ -364,7 +387,8 @@ func (a *ADP) handleCommit(ctx *cluster.PairCtx, st *adpState, region *pmclient.
 		return waiters
 	}
 	a.stats.Commits++
-	return append(waiters, flushWaiter{upTo: end, ev: ev, kind: audit.RecCommit})
+	a.m.OnWaiterIn()
+	return append(waiters, flushWaiter{upTo: end, ev: ev, kind: audit.RecCommit, enq: ctx.Process.Now()})
 }
 
 func (a *ADP) handleAbort(ctx *cluster.PairCtx, st *adpState, region *pmclient.Region, scratch *[]byte, ev cluster.Envelope, txn audit.TxnID) {
@@ -429,6 +453,7 @@ func (a *ADP) flushDisk(ctx *cluster.PairCtx, st *adpState) error {
 	if len(st.buf) == 0 {
 		return nil
 	}
+	fstart := ctx.Process.Now()
 	ctx.Compute(a.cfg.FlushCPU)
 	volOff := int64(st.bufStart) % a.cfg.Volume.Capacity()
 	n := len(st.buf)
@@ -447,6 +472,7 @@ func (a *ADP) flushDisk(ctx *cluster.PairCtx, st *adpState) error {
 	}
 	a.stats.Flushes++
 	a.stats.FlushBytes += int64(n)
+	a.mFlush.Record(ctx.Process.Now() - fstart)
 	st.durableLSN = st.bufStart + audit.LSN(n)
 	st.buf = st.buf[:0]
 	st.bufStart = st.durableLSN
@@ -503,6 +529,9 @@ func (a *ADP) openRegion(ctx *cluster.PairCtx) *pmclient.Region {
 	for attempt := 0; attempt < 3; attempt++ {
 		r, err := vol.Open(ctx.Process, name)
 		if err == nil {
+			if a.cfg.Metrics != nil {
+				r.SetMetrics(a.cfg.Metrics.PM)
+			}
 			return r
 		}
 		if cerr := vol.Create(ctx.Process, name, a.cfg.RegionSize); cerr != nil {

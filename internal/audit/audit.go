@@ -137,8 +137,11 @@ func DecodeRecord(data []byte) (*Record, int, error) {
 	if inner == 0 {
 		return nil, 0, ErrEndOfLog
 	}
-	// Smallest legal frame interior: fixed fields plus CRC, 29 bytes.
-	if inner < 29 || int(inner) > len(data)-frameHeader {
+	// Smallest legal frame interior: fixed fields plus CRC, 29 bytes. The
+	// length comparison is done in uint64: int(inner) would go negative on
+	// 32-bit platforms for inner >= 2^31, slip past this check, and panic
+	// in the slice expression below.
+	if inner < 29 || uint64(inner) > uint64(len(data)-frameHeader) {
 		return nil, 0, ErrTornRecord
 	}
 	payload := data[frameHeader : frameHeader+int(inner)-4]

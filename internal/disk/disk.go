@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"persistmem/internal/metrics"
 	"persistmem/internal/sim"
 	"persistmem/internal/stable"
 )
@@ -84,6 +85,12 @@ type Volume struct {
 	lastEnd  int64 // end offset of the previous access, for seq detection
 	accessed bool  // false until the first access (which always seeks)
 
+	// Instrument pointers, nil when unmetered (Record/Add nil-short-
+	// circuit). Shared per volume class (audit vs data) across a store.
+	mQueue   *metrics.LatencyHist
+	mService *metrics.LatencyHist
+	mArm     *metrics.Util
+
 	Stats Stats
 }
 
@@ -111,6 +118,16 @@ func newVolume(eng *sim.Engine, name string, cfg Config, st *stable.Store) *Volu
 		store: st,
 		up:    true,
 	}
+}
+
+// SetMetrics attaches queue/service/utilization instruments (nil
+// detaches all three).
+func (v *Volume) SetMetrics(ds *metrics.DiskSpans) {
+	if ds == nil {
+		v.mQueue, v.mService, v.mArm = nil, nil, nil
+		return
+	}
+	v.mQueue, v.mService, v.mArm = ds.Queue, ds.Service, ds.Arm
 }
 
 // Name returns the volume name.
@@ -182,9 +199,14 @@ func (v *Volume) Write(p *sim.Proc, off int64, data []byte) error {
 		// cache (ignored here: cache is assumed deep enough).
 		service := v.position(off, len(data), true) + v.transfer(len(data))
 		v.eng.Spawn(fmt.Sprintf("%s-destage", v.name), func(d *sim.Proc) {
+			qstart := v.eng.Now()
 			v.arm.Acquire(d)
+			v.mQueue.Record(v.eng.Now() - qstart)
+			v.mArm.Add(1, v.eng.Now())
 			d.Wait(service)
 			v.Stats.BusyTime += service
+			v.mService.Record(service)
+			v.mArm.Add(-1, v.eng.Now())
 			v.arm.Release()
 		})
 		return nil
@@ -193,11 +215,16 @@ func (v *Volume) Write(p *sim.Proc, off int64, data []byte) error {
 	if q := v.arm.QueueLen(); q > v.Stats.MaxQueueObserve {
 		v.Stats.MaxQueueObserve = q
 	}
+	qstart := v.eng.Now()
 	v.arm.Acquire(p)
+	v.mQueue.Record(v.eng.Now() - qstart)
 	defer v.arm.Release() // kill-safe: never leak the arm
 	service := v.position(off, len(data), true) + v.transfer(len(data))
+	v.mArm.Add(1, v.eng.Now())
 	p.Wait(service)
 	v.Stats.BusyTime += service
+	v.mService.Record(service)
+	v.mArm.Add(-1, v.eng.Now())
 	if !v.up {
 		return ErrVolumeDown
 	}
@@ -217,11 +244,16 @@ func (v *Volume) Read(p *sim.Proc, off int64, buf []byte) error {
 	if q := v.arm.QueueLen(); q > v.Stats.MaxQueueObserve {
 		v.Stats.MaxQueueObserve = q
 	}
+	qstart := v.eng.Now()
 	v.arm.Acquire(p)
+	v.mQueue.Record(v.eng.Now() - qstart)
 	defer v.arm.Release() // kill-safe: never leak the arm
 	service := v.position(off, len(buf), false) + v.transfer(len(buf))
+	v.mArm.Add(1, v.eng.Now())
 	p.Wait(service)
 	v.Stats.BusyTime += service
+	v.mService.Record(service)
+	v.mArm.Add(-1, v.eng.Now())
 	if !v.up {
 		return ErrVolumeDown
 	}

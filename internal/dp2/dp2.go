@@ -18,6 +18,7 @@ import (
 	"persistmem/internal/disk"
 	"persistmem/internal/integrity"
 	"persistmem/internal/locks"
+	"persistmem/internal/metrics"
 	"persistmem/internal/pmclient"
 	"persistmem/internal/sim"
 )
@@ -97,6 +98,9 @@ type Config struct {
 	// the insert instead of poisoning the durable trail. Costs roughly
 	// one extra InsertCPU per insert.
 	Checker *integrity.Checker
+	// Metrics, when set, attaches span instruments (insert, checkpoint,
+	// audit send, lock wait, PM write) to this DP2. Nil costs nothing.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -377,6 +381,11 @@ type DP2 struct {
 	// Precomputed continuation names (string concat allocates per spawn).
 	waiterName, rwaiterName, missName string
 
+	// Instrument pointers, nil when unmetered (Record nil-short-circuits).
+	mInsert     *metrics.LatencyHist
+	mCheckpoint *metrics.LatencyHist
+	mAuditSend  *metrics.LatencyHist
+
 	stats Stats
 }
 
@@ -482,6 +491,11 @@ func Start(cl *cluster.Cluster, cfg Config) *DP2 {
 		}
 	}
 	d := &DP2{cl: cl, cfg: cfg}
+	if cfg.Metrics != nil {
+		d.mInsert = cfg.Metrics.DP2.Insert
+		d.mCheckpoint = cfg.Metrics.DP2.Checkpoint
+		d.mAuditSend = cfg.Metrics.DP2.AuditSend
+	}
 	d.waiterName = cfg.Name + "-waiter"
 	d.rwaiterName = cfg.Name + "-rwaiter"
 	d.missName = cfg.Name + "-miss"
@@ -536,6 +550,9 @@ func (d *DP2) serve(ctx *cluster.PairCtx) {
 		st = ctx.Restored.(*dpState)
 	}
 	lm := locks.NewManager(ctx.Cluster().Engine(), d.cfg.Name)
+	if d.cfg.Metrics != nil {
+		lm.SetMetrics(d.cfg.Metrics.Locks)
+	}
 
 	if d.cfg.Mode == PMDirect {
 		d.pmlog = d.openRegion(ctx)
@@ -657,6 +674,7 @@ func canGrantNow(lm *locks.Manager, key uint64, txn audit.TxnID) bool {
 // cooperatively scheduled.
 //simlint:hotpath
 func (d *DP2) completeInsert(ctx *cluster.PairCtx, p *cluster.Process, st *dpState, auditBuf *[]byte, ev cluster.Envelope, req InsertReq) {
+	istart := p.Now()
 	if st.tree.Has(req.Key) {
 		d.stats.DuplicateKeys++
 		//simlint:allow hotalloc -- duplicate-key rejection, cold
@@ -717,6 +735,7 @@ func (d *DP2) completeInsert(ctx *cluster.PairCtx, p *cluster.Process, st *dpSta
 			return
 		}
 		d.checkpointLSN(p, lsnDelta{lsn: st.lsn})
+		d.mInsert.Record(p.Now() - istart)
 		ev.Reply(insertRespOK)
 		return
 	}
@@ -726,11 +745,14 @@ func (d *DP2) completeInsert(ctx *cluster.PairCtx, p *cluster.Process, st *dpSta
 	}
 
 	// Checkpoint before externalizing (§1.3).
+	cstart := p.Now()
 	dl := d.newInsertDelta(delta)
 	//simlint:allow hotalloc -- *insertDelta is pointer-shaped: no box is allocated
 	if d.pair.CheckpointFrom(p, 48+len(req.Body), dl) == nil {
 		d.insfree = append(d.insfree, dl)
 	}
+	d.mCheckpoint.Record(p.Now() - cstart)
+	d.mInsert.Record(p.Now() - istart)
 	ev.Reply(insertRespOK)
 }
 
@@ -814,11 +836,13 @@ func (d *DP2) handleEnd(ctx *cluster.PairCtx, st *dpState, lm *locks.Manager, ev
 		ev.Reply(EndTxnResp{}) //simlint:allow hotalloc -- EndTxnResp is zero-size: the runtime boxes it for free
 		return
 	}
+	cstart := ctx.Process.Now()
 	dl := d.newEndDelta(delta)
 	//simlint:allow hotalloc -- *endDelta is pointer-shaped: no box is allocated
 	if d.pair.CheckpointFrom(ctx.Process, 24, dl) == nil {
 		d.endfree = append(d.endfree, dl)
 	}
+	d.mCheckpoint.Record(ctx.Process.Now() - cstart)
 	ev.Reply(EndTxnResp{}) //simlint:allow hotalloc -- EndTxnResp is zero-size: the runtime boxes it for free
 }
 
@@ -836,6 +860,7 @@ func (d *DP2) sendAuditFrom(ctx *cluster.PairCtx, p *cluster.Process, auditBuf *
 	}
 	data := *auditBuf
 	*auditBuf = nil
+	astart := p.Now()
 	areq := d.newAppendReq(data)
 	//simlint:allow hotalloc -- *adp.AppendReq is pointer-shaped: no box is allocated
 	raw, err := p.Call(d.cfg.ADPName, len(data), areq)
@@ -855,6 +880,7 @@ func (d *DP2) sendAuditFrom(ctx *cluster.PairCtx, p *cluster.Process, auditBuf *
 	}
 	d.stats.AuditSends++
 	d.stats.AuditBytes += int64(len(data))
+	d.mAuditSend.Record(p.Now() - astart)
 	// The ADP copied the bytes out before replying, so the capacity can
 	// back the next batch — but only if no concurrent insert started a
 	// fresh buffer while this process was blocked in the call.
@@ -869,11 +895,13 @@ func (d *DP2) sendAuditFrom(ctx *cluster.PairCtx, p *cluster.Process, auditBuf *
 //
 //simlint:hotpath
 func (d *DP2) checkpointLSN(p *cluster.Process, v lsnDelta) {
+	cstart := p.Now()
 	dl := d.newLSNDelta(v)
 	//simlint:allow hotalloc -- *lsnDelta is pointer-shaped: no box is allocated
 	if d.pair.CheckpointFrom(p, 32, dl) == nil {
 		d.lsnfree = append(d.lsnfree, dl)
 	}
+	d.mCheckpoint.Record(p.Now() - cstart)
 }
 
 // logToPM synchronously writes encoded audit frames into this DP2's PM
@@ -906,6 +934,9 @@ func (d *DP2) openRegion(ctx *cluster.PairCtx) *pmclient.Region {
 	for attempt := 0; attempt < 3; attempt++ {
 		r, err := vol.Open(ctx.Process, name)
 		if err == nil {
+			if d.cfg.Metrics != nil {
+				r.SetMetrics(d.cfg.Metrics.PM)
+			}
 			return r
 		}
 		if cerr := vol.Create(ctx.Process, name, d.cfg.PMRegionSize); cerr != nil {

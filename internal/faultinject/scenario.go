@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"persistmem/internal/cluster"
+	"persistmem/internal/metrics"
 	"persistmem/internal/ods"
 	"persistmem/internal/recovery"
 	"persistmem/internal/sim"
@@ -51,6 +52,10 @@ type Result struct {
 	TxnErrs int
 	// Injector exposes the firing log and takeover-bound verdicts.
 	Injector *Injector
+	// Metrics is the span registry the scenario ran with. Its conservation
+	// laws are written with occupancy terms, so they must balance even at
+	// a crash point — Violations checks every one.
+	Metrics *metrics.Registry
 }
 
 // Run executes the scenario: build a data-retaining store, arm the
@@ -70,9 +75,10 @@ func Run(cfg ScenarioConfig) *Result {
 	opts.AuditVolumeBytes = 256 << 20
 	opts.NPMUBytes = 256 << 20
 	opts.PMRegionBytes = 32 << 20
+	opts.Metrics = metrics.NewRegistry()
 	s := ods.Build(opts)
 
-	res := &Result{ScenarioResult: recovery.ScenarioResult{Store: s}}
+	res := &Result{ScenarioResult: recovery.ScenarioResult{Store: s}, Metrics: opts.Metrics}
 	inj := Arm(s, cfg.Plan)
 	res.Injector = inj
 
@@ -179,7 +185,10 @@ func (res *Result) Recover(opts recovery.Options) (recovery.Report, *recovery.Re
 //  2. no in-flight transaction resurrects (presumed abort),
 //  3. an unresolved commit is either absent or intact — never corrupt,
 //  4. every fault that killed a protected primary led to a takeover
-//     within the cluster's TakeoverDelay.
+//     within the cluster's TakeoverDelay,
+//  5. every metrics conservation law balances at the crash point (work
+//     lost to a fault must stay counted in an occupancy term, never
+//     vanish from the ledger).
 func (res *Result) Violations(rb *recovery.Rebuilt) []string {
 	var v []string
 	if rb == nil {
@@ -204,5 +213,8 @@ func (res *Result) Violations(rb *recovery.Rebuilt) []string {
 		}
 	}
 	v = append(v, res.Injector.TakeoverViolations...)
+	for _, err := range res.Metrics.CheckConservation() {
+		v = append(v, "conservation: "+err.Error())
+	}
 	return v
 }

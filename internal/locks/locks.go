@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"persistmem/internal/audit"
+	"persistmem/internal/metrics"
 	"persistmem/internal/sim"
 )
 
@@ -73,12 +74,22 @@ type Manager struct {
 
 	// Stats
 	Grants, Waits, Timeouts int64
+
+	// ms holds shared wait-queue instruments (nil when unmetered). All
+	// managers in a store record into the same bundle, and the bundle
+	// survives process-pair takeovers, so the queue conservation law
+	// (enters == exits + timeouts + queued) holds store-wide even as
+	// manager incarnations come and go.
+	ms *metrics.LockSpans
 }
 
 // NewManager returns an empty lock manager.
 func NewManager(eng *sim.Engine, name string) *Manager {
 	return &Manager{eng: eng, name: name, locks: make(map[uint64]*lockState)}
 }
+
+// SetMetrics attaches wait-queue instruments (nil detaches).
+func (m *Manager) SetMetrics(ms *metrics.LockSpans) { m.ms = ms }
 
 //simlint:hotpath
 func (m *Manager) newLockState() *lockState {
@@ -167,6 +178,8 @@ func (m *Manager) Acquire(p *sim.Proc, key uint64, txn audit.TxnID, mode Mode, t
 
 	// Queue and wait.
 	m.Waits++
+	m.ms.OnEnter()
+	waitStart := m.eng.Now()
 	req := m.newWaitReq(txn, mode)
 	ls.queue = append(ls.queue, req)
 	_, ok := req.granted.WaitTimeout(p, timeout)
@@ -184,11 +197,13 @@ func (m *Manager) Acquire(p *sim.Proc, key uint64, txn audit.TxnID, mode Mode, t
 			}
 		}
 		m.Timeouts++
+		m.ms.OnTimeout()
 		m.admit(key, ls)
 		//simlint:allow hotalloc -- deadlock-timeout path, cold by construction
 		return fmt.Errorf("%w: txn %d on %s/r%d", ErrLockTimeout, txn, m.name, key)
 	}
 	m.freeWaitReq(req)
+	m.ms.OnGranted(m.eng.Now() - waitStart)
 	return nil
 }
 

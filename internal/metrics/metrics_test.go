@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"persistmem/internal/sim"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	// The zero-cost-disabled rule: every recording method must be safe on
+	// a nil receiver, because unmetered subsystems hold nil pointers.
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Inc()
+	g.Dec()
+	g.Add(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var u *Util
+	u.Add(1, 10)
+	if u.Level() != 0 || u.Busy(100) != 0 || u.MeanLevel(100) != 0 {
+		t.Fatal("nil util has state")
+	}
+	var h *LatencyHist
+	h.Record(42)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Fatal("nil hist has observations")
+	}
+	var cp *CommitPath
+	cp.Mark(1, MarkBeginCall, 0)
+	cp.Drop(1)
+	if _, folded := cp.Complete(1); folded {
+		t.Fatal("nil commit path folded a transaction")
+	}
+	if cp.Open() != 0 {
+		t.Fatal("nil commit path has open transactions")
+	}
+	var tx *TxnAccounting
+	tx.OnBegin()
+	tx.OnCommit()
+	tx.OnAbort()
+	tx.OnUnresolved()
+	var ls *LockSpans
+	ls.OnEnter()
+	ls.OnGranted(1)
+	ls.OnTimeout()
+	var as *ADPSpans
+	as.OnWaiterIn()
+	as.OnWaiterFlushed(1)
+	var r *Registry
+	if errs := r.CheckConservation(); errs != nil {
+		t.Fatal("nil registry reported violations")
+	}
+	if r.Dump(0) != "" {
+		t.Fatal("nil registry dumped output")
+	}
+}
+
+func TestUtilIntegratesBusyTime(t *testing.T) {
+	r := NewRegistry()
+	u := r.Util("test.util")
+	u.Add(1, 10)  // busy from t=10
+	u.Add(1, 20)  // level 2 from t=20
+	u.Add(-1, 30) // level 1 from t=30
+	u.Add(-1, 50) // idle from t=50
+	// Busy 10..50 of 0..100 = 40%.
+	if got := u.Busy(100); got != 0.4 {
+		t.Fatalf("busy = %v, want 0.4", got)
+	}
+	// Level-weighted: 1×10 + 2×10 + 1×20 = 50 unit-ticks over 100.
+	if got := u.MeanLevel(100); got != 0.5 {
+		t.Fatalf("mean level = %v, want 0.5", got)
+	}
+	if u.Level() != 0 {
+		t.Fatalf("level = %d, want 0", u.Level())
+	}
+}
+
+func TestLatencyHistExactSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Hist("test.hist")
+	var want sim.Time
+	for _, d := range []sim.Time{1, 10, 100, 1000, 12345} {
+		h.Record(d)
+		want += d
+	}
+	if h.Sum() != want {
+		t.Fatalf("sum = %v, want %v (must be exact, not bucketed)", h.Sum(), want)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != want/5 {
+		t.Fatalf("mean = %v, want %v", h.Mean(), want/5)
+	}
+	if h.Max() < 12345 {
+		t.Fatalf("max = %v, want >= 12345", h.Max())
+	}
+}
+
+func TestCommitPathFoldsAndConserves(t *testing.T) {
+	r := NewRegistry()
+	cp := r.Commit
+	cp.Retain = true
+
+	// One clean transaction: strictly increasing marks.
+	for m := 0; m < NumPhases+1; m++ {
+		cp.Mark(1, m, sim.Time(10*(m+1)))
+	}
+	tp, folded := cp.Complete(1)
+	if !folded {
+		t.Fatal("clean transaction did not fold")
+	}
+	var sum sim.Time
+	for _, ph := range tp.Phase {
+		if ph != 10 {
+			t.Fatalf("phase = %v, want 10", ph)
+		}
+		sum += ph
+	}
+	if sum != tp.Total || tp.Total != sim.Time(10*NumPhases) {
+		t.Fatalf("sum %v total %v", sum, tp.Total)
+	}
+
+	// A dropped transaction leaves the histograms untouched.
+	cp.Mark(2, MarkBeginCall, 5)
+	cp.Drop(2)
+
+	// A transaction with a missing mark counts Incomplete, not Completed.
+	cp.Mark(3, MarkBeginCall, 1)
+	cp.Mark(3, MarkCommitDone, 99)
+	if _, folded := cp.Complete(3); folded {
+		t.Fatal("gap-marked transaction folded")
+	}
+
+	// Completing an unknown transaction is a no-op.
+	if _, folded := cp.Complete(77); folded {
+		t.Fatal("unknown transaction folded")
+	}
+
+	if cp.Completed.Value() != 1 || cp.Dropped.Value() != 1 || cp.Incomplete.Value() != 1 {
+		t.Fatalf("completed=%d dropped=%d incomplete=%d, want 1/1/1",
+			cp.Completed.Value(), cp.Dropped.Value(), cp.Incomplete.Value())
+	}
+	if cp.Open() != 0 {
+		t.Fatalf("open = %d, want 0", cp.Open())
+	}
+	if errs := r.CheckConservation(); len(errs) != 0 {
+		t.Fatalf("conservation violated: %v", errs)
+	}
+	if len(cp.Txns) != 1 {
+		t.Fatalf("retained %d, want 1", len(cp.Txns))
+	}
+	if s := FormatPhases(&tp); !strings.Contains(s, "total=") {
+		t.Fatalf("FormatPhases output %q lacks total", s)
+	}
+}
+
+func TestConservationLawsDetectViolations(t *testing.T) {
+	r := NewRegistry()
+	// Healthy: balanced ledger.
+	r.Txns.OnBegin()
+	r.Txns.OnCommit()
+	if errs := r.CheckConservation(); len(errs) != 0 {
+		t.Fatalf("balanced ledger flagged: %v", errs)
+	}
+	// Violate: a commit counted without its in-flight decrement (the
+	// paired OnCommit can't break the law; a raw counter bump can).
+	r.Txns.Committed.Inc()
+	errs := r.CheckConservation()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "txn-conservation") {
+		t.Fatalf("unbalanced ledger not flagged: %v", errs)
+	}
+
+	// Lock-queue law.
+	r2 := NewRegistry()
+	r2.Locks.OnEnter()
+	if errs := r2.CheckConservation(); len(errs) != 0 {
+		t.Fatalf("queued waiter flagged (occupancy term must absorb it): %v", errs)
+	}
+	r2.Locks.OnGranted(10)
+	r2.Locks.Timeouts.Inc() // timeout without its queue decrement: broken
+	if errs := r2.CheckConservation(); len(errs) == 0 {
+		t.Fatal("spurious timeout not flagged")
+	}
+
+	// ADP boxcar law.
+	r3 := NewRegistry()
+	r3.ADP.OnWaiterIn()
+	if errs := r3.CheckConservation(); len(errs) != 0 {
+		t.Fatalf("pending waiter flagged (occupancy term must absorb it): %v", errs)
+	}
+	r3.ADP.OnWaiterFlushed(5)
+	r3.ADP.Flushed.Inc() // flush without its pending decrement: broken
+	if errs := r3.CheckConservation(); len(errs) == 0 {
+		t.Fatal("spurious flush not flagged")
+	}
+}
+
+func TestDumpSortedAndNonZeroOnly(t *testing.T) {
+	r := NewRegistry()
+	r.Txns.OnBegin()
+	r.Txns.OnCommit()
+	r.DP2.Insert.Record(250)
+	out := r.Dump(1000)
+	if !strings.Contains(out, "txn.begun") || !strings.Contains(out, "dp2.insert") {
+		t.Fatalf("dump missing instruments:\n%s", out)
+	}
+	if strings.Contains(out, "locks.wait") {
+		t.Fatalf("dump includes zero-valued instrument:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Fatalf("dump not sorted: %q > %q", lines[i-1], lines[i])
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package metrics_test
+
+import (
+	"fmt"
+	"testing"
+
+	"persistmem/internal/hotstock"
+	"persistmem/internal/metrics"
+	"persistmem/internal/ods"
+	"persistmem/internal/sim"
+)
+
+// runInstrumented executes a small hot-stock run with span metrics
+// attached and per-transaction decompositions retained.
+func runInstrumented(seed int64, d ods.Durability) (*metrics.Registry, hotstock.Result) {
+	reg := metrics.NewRegistry()
+	reg.Commit.Retain = true
+	opts := ods.DefaultOptions()
+	opts.Seed = seed
+	opts.Durability = d
+	opts.Metrics = reg
+	if d == ods.PMDirectDurability {
+		opts.PMRegionBytes = 8 << 20
+	}
+	res := hotstock.Run(opts, hotstock.Params{
+		Drivers:          2,
+		RecordsPerDriver: 64,
+		InsertsPerTxn:    8,
+		RecordBytes:      4096,
+	})
+	return reg, res
+}
+
+// TestPhaseDecompositionTilesCommitLatency is the tiling property: for
+// every committed transaction, across seeds and durability configs, the
+// phase durations sum exactly — to the tick — to the client-visible
+// begin→commit interval. No gaps, no overlaps, no sampling error.
+func TestPhaseDecompositionTilesCommitLatency(t *testing.T) {
+	for _, d := range []ods.Durability{ods.DiskDurability, ods.PMDurability, ods.PMDirectDurability} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", d, seed), func(t *testing.T) {
+				reg, res := runInstrumented(seed, d)
+				cp := reg.Commit
+
+				committed := 0
+				for _, dr := range res.Drivers {
+					committed += dr.Txns
+					if dr.Errors != 0 {
+						t.Fatalf("driver %d saw %d errors; tiling needs a clean run", dr.Driver, dr.Errors)
+					}
+				}
+				if committed == 0 {
+					t.Fatal("no transactions committed")
+				}
+				if got := len(cp.Txns); got != committed {
+					t.Fatalf("retained %d decompositions, committed %d", got, committed)
+				}
+				if n := cp.Incomplete.Value(); n != 0 {
+					t.Fatalf("%d transactions folded incomplete", n)
+				}
+				if n := cp.Open(); n != 0 {
+					t.Fatalf("%d transactions left open after the run", n)
+				}
+
+				for _, tp := range cp.Txns {
+					var sum sim.Time
+					for _, ph := range tp.Phase {
+						if ph < 0 {
+							t.Fatalf("txn %d: negative phase duration %v", tp.Txn, ph)
+						}
+						sum += ph
+					}
+					visible := tp.At[len(tp.At)-1] - tp.At[0]
+					if sum != tp.Total || tp.Total != visible {
+						t.Fatalf("txn %d: phases sum to %v, Total %v, client-visible %v; must all be equal",
+							tp.Txn, sum, tp.Total, visible)
+					}
+				}
+
+				// The aggregate histograms must tile too: Σ phase sums ==
+				// total sum (exact int64 arithmetic, not bucket estimates).
+				var phaseSum sim.Time
+				for _, ps := range cp.PhaseStats() {
+					phaseSum += ps.Sum
+				}
+				if total := cp.TotalStat().Sum; phaseSum != total {
+					t.Fatalf("aggregate phase sums %v != total %v", phaseSum, total)
+				}
+
+				if errs := reg.CheckConservation(); len(errs) != 0 {
+					t.Fatalf("conservation violated: %v", errs)
+				}
+			})
+		}
+	}
+}
+
+// TestDecompositionDeterministic pins that two identically-seeded
+// instrumented runs produce byte-identical decompositions: metering must
+// not perturb or randomize the simulation.
+func TestDecompositionDeterministic(t *testing.T) {
+	regA, _ := runInstrumented(7, ods.DiskDurability)
+	regB, _ := runInstrumented(7, ods.DiskDurability)
+	a, b := regA.Commit.Txns, regB.Commit.Txns
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("txn %d decomposition differs between identical runs:\n%+v\n%+v", a[i].Txn, a[i], b[i])
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"persistmem/internal/adp"
 	"persistmem/internal/cluster"
 	"persistmem/internal/disk"
+	"persistmem/internal/metrics"
 	"persistmem/internal/npmu"
 	"persistmem/internal/pmm"
 	"persistmem/internal/sim"
@@ -81,6 +82,13 @@ type Options struct {
 	RetainData bool
 	// NoGroupCommit disables log-writer flush piggybacking (A1 ablation).
 	NoGroupCommit bool
+	// Metrics, when non-nil, wires the whole stack's span instrumentation
+	// into this registry: commit-path marks, lock-queue spans, ADP boxcar
+	// accounting, disk queue/service, fabric transfers, and PM writes.
+	// Leaving it nil (the default) keeps every instrument pointer nil, so
+	// the hot paths pay only nil tests and all benchmark output is
+	// byte-identical to an unbuilt registry.
+	Metrics *metrics.Registry
 
 	// DiskConfig shapes all disk volumes.
 	DiskConfig disk.Config
@@ -186,15 +194,27 @@ func BuildOn(eng *sim.Engine, opts Options) *Store {
 		dpNames: make(map[string][]string),
 	}
 
-	mkVolume := func(name string, capacity int64) *disk.Volume {
+	if opts.Metrics != nil {
+		cl.Fabric().SetMetrics(opts.Metrics.Net)
+	}
+
+	mkVolume := func(name string, capacity int64, spans *metrics.DiskSpans) *disk.Volume {
+		var v *disk.Volume
 		if opts.RetainData {
-			return disk.New(eng, name, opts.DiskConfig, capacity)
+			v = disk.New(eng, name, opts.DiskConfig, capacity)
+		} else {
+			v = disk.NewDiscard(eng, name, opts.DiskConfig, capacity)
 		}
-		return disk.NewDiscard(eng, name, opts.DiskConfig, capacity)
+		v.SetMetrics(spans)
+		return v
+	}
+	var dataSpans, auditSpans *metrics.DiskSpans
+	if opts.Metrics != nil {
+		dataSpans, auditSpans = opts.Metrics.DataDisk, opts.Metrics.AuditDisk
 	}
 
 	for i := 0; i < opts.DataVolumes; i++ {
-		s.DataVolumes = append(s.DataVolumes, mkVolume(fmt.Sprintf("$DATA%02d", i), opts.DataVolumeBytes))
+		s.DataVolumes = append(s.DataVolumes, mkVolume(fmt.Sprintf("$DATA%02d", i), opts.DataVolumeBytes, dataSpans))
 	}
 
 	// PM deployment first: the ADPs (or PMDirect DP2s) open their regions
@@ -230,13 +250,14 @@ func BuildOn(eng *sim.Engine, opts Options) *Store {
 				BackupCPU:     (i + 1) % opts.CPUs,
 				Mode:          adp.Disk,
 				NoGroupCommit: opts.NoGroupCommit,
+				Metrics:       opts.Metrics,
 			}
 			if opts.Durability == PMDurability {
 				acfg.Mode = adp.PM
 				acfg.PMVolume = PMVolumeName
 				acfg.RegionSize = opts.PMRegionBytes
 			} else {
-				vol := mkVolume(fmt.Sprintf("$AUDIT%d", i), opts.AuditVolumeBytes)
+				vol := mkVolume(fmt.Sprintf("$AUDIT%d", i), opts.AuditVolumeBytes, auditSpans)
 				s.AuditVolumes = append(s.AuditVolumes, vol)
 				acfg.Volume = vol
 			}
@@ -262,6 +283,7 @@ func BuildOn(eng *sim.Engine, opts Options) *Store {
 				BackupCPU:  (cpu + 1) % opts.CPUs,
 				Volume:     s.DataVolumes[volIdx],
 				RetainData: opts.RetainData,
+				Metrics:    opts.Metrics,
 			}
 			if opts.Durability == PMDirectDurability {
 				dcfg.Mode = dp2.PMDirect
@@ -277,7 +299,7 @@ func BuildOn(eng *sim.Engine, opts Options) *Store {
 
 	// The transaction monitor, with PM control blocks in both PM modes
 	// (in PMDirect they are the commit point, not just an accelerator).
-	tcfg := tmf.Config{PrimaryCPU: 0, BackupCPU: 1 % opts.CPUs}
+	tcfg := tmf.Config{PrimaryCPU: 0, BackupCPU: 1 % opts.CPUs, Metrics: opts.Metrics}
 	if opts.Durability == PMDurability || opts.Durability == PMDirectDurability {
 		tcfg.TCBVolume = PMVolumeName
 	}

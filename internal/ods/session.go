@@ -8,6 +8,7 @@ import (
 	"persistmem/internal/audit"
 	"persistmem/internal/cluster"
 	"persistmem/internal/dp2"
+	"persistmem/internal/metrics"
 	"persistmem/internal/sim"
 	"persistmem/internal/tmf"
 	"persistmem/internal/trace"
@@ -32,6 +33,12 @@ type Session struct {
 
 	// tracer, when set, records the session's transaction timelines.
 	tracer *trace.Recorder
+
+	// cp and tx are the store registry's commit-path recorder and
+	// transaction ledger (nil when the store has no metrics attached;
+	// every method on them nil-short-circuits).
+	cp *metrics.CommitPath
+	tx *metrics.TxnAccounting
 
 	// Per-session scratch, reused across the one-at-a-time transactions:
 	// the involved-DP2 set, the in-flight insert list, and free lists for
@@ -97,7 +104,11 @@ func (se *Session) emit(txn audit.TxnID, kind trace.Kind, detail string) {
 
 // NewSession binds a client process to the store.
 func (s *Store) NewSession(p *cluster.Process) *Session {
-	return &Session{s: s, p: p, involved: make(map[string]bool)}
+	se := &Session{s: s, p: p, involved: make(map[string]bool)}
+	if m := s.Opts.Metrics; m != nil {
+		se.cp, se.tx = m.Commit, m.Txns
+	}
+	return se
 }
 
 // Txn is an open transaction. It borrows its session's scratch state
@@ -115,6 +126,7 @@ type Txn struct {
 
 // Begin starts a transaction.
 func (se *Session) Begin() (*Txn, error) {
+	t0 := se.p.Now()
 	raw, err := se.p.Call(se.s.TMF.Name(), 48, tmf.BeginReq{})
 	if err != nil {
 		return nil, err
@@ -123,6 +135,11 @@ func (se *Session) Begin() (*Txn, error) {
 	if resp.Err != nil {
 		return nil, resp.Err
 	}
+	// The txn id only exists now; attribute the pre-call timestamp
+	// retroactively so the begin RPC is part of the decomposition.
+	se.cp.Mark(uint64(resp.Txn), metrics.MarkBeginCall, t0)
+	se.cp.Mark(uint64(resp.Txn), metrics.MarkBeginDone, se.p.Now())
+	se.tx.OnBegin()
 	se.emit(resp.Txn, trace.Begin, "")
 	clear(se.involved)
 	se.pending = se.pending[:0]
@@ -220,22 +237,28 @@ func (t *Txn) Commit() error {
 	if t.done {
 		return ErrTxnDone
 	}
+	se := t.sess
+	se.cp.Mark(uint64(t.id), metrics.MarkCommitCall, se.p.Now())
 	if err := t.WaitPending(); err != nil {
 		t.Abort()
 		return err
 	}
 	t.done = true
-	se := t.sess
 	if se.tracer != nil {
 		//simlint:allow hotalloc -- only runs with a tracer attached (debugging, not benchmarks)
 		se.emit(t.id, trace.CommitStart, fmt.Sprintf("%d DP2s", len(se.involved)))
 	}
 	req := se.newCommitReq()
 	req.Txn, req.DP2s = t.id, se.setToList()
+	se.cp.Mark(uint64(t.id), metrics.MarkCommitSend, se.p.Now())
 	//simlint:allow hotalloc -- *tmf.CommitReq is pointer-shaped: no box is allocated
 	raw, err := se.p.Call(se.s.TMF.Name(), 64+16*len(se.involved), req)
 	if err != nil {
-		// The coordinator may still be using the box; abandon it.
+		// The coordinator may still be using the box; abandon it. The
+		// outcome is unknown at the client — the commit record may or may
+		// not have become durable — so the ledger files it unresolved.
+		se.tx.OnUnresolved()
+		se.cp.Drop(uint64(t.id))
 		return err
 	}
 	// Reply received: the coordinator finished with the request before
@@ -243,7 +266,16 @@ func (t *Txn) Commit() error {
 	se.names = req.DP2s[:0]
 	se.freeCommitReq(req)
 	if resp := raw.(tmf.CommitResp); resp.Err != nil {
+		se.tx.OnAbort()
+		se.cp.Drop(uint64(t.id))
 		return resp.Err
+	}
+	se.cp.Mark(uint64(t.id), metrics.MarkCommitDone, se.p.Now())
+	ph, folded := se.cp.Complete(uint64(t.id))
+	se.tx.OnCommit()
+	if se.tracer != nil && folded {
+		//simlint:allow hotalloc -- only runs with a tracer attached (debugging, not benchmarks)
+		se.emit(t.id, trace.CommitPhases, metrics.FormatPhases(&ph))
 	}
 	se.emit(t.id, trace.CommitDone, "")
 	return nil
@@ -256,15 +288,23 @@ func (t *Txn) Abort() error {
 	}
 	t.WaitPending() // drain; outcomes no longer matter
 	t.done = true
-	raw, err := t.sess.p.Call(t.sess.s.TMF.Name(), 64+16*len(t.sess.involved),
-		tmf.AbortReq{Txn: t.id, DP2s: t.sess.setToList()})
+	se := t.sess
+	se.cp.Drop(uint64(t.id))
+	raw, err := se.p.Call(se.s.TMF.Name(), 64+16*len(se.involved),
+		tmf.AbortReq{Txn: t.id, DP2s: se.setToList()})
 	if err != nil {
+		// The abort call itself failed; the monitor will eventually time
+		// the transaction out, but the client never saw the outcome.
+		se.tx.OnUnresolved()
 		return err
 	}
+	// Even a monitor-side abort error (e.g. the transaction was already
+	// resolved by a timeout) is a known not-committed outcome here.
+	se.tx.OnAbort()
 	if resp := raw.(tmf.AbortResp); resp.Err != nil {
 		return resp.Err
 	}
-	t.sess.emit(t.id, trace.AbortDone, "")
+	se.emit(t.id, trace.AbortDone, "")
 	return nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"persistmem/internal/cluster"
+	"persistmem/internal/metrics"
 	"persistmem/internal/pmm"
 	"persistmem/internal/servernet"
 )
@@ -118,6 +119,22 @@ type Region struct {
 	DegradedWrites      int64 // writes that reached only one mirror
 	RetriedTransfers    int64 // CRC-failed transfers that were retried
 	PrimaryReadFailures int64 // reads that fell over to the mirror
+
+	// Instrument pointers, nil when unmetered (Record/Inc/Add nil-short-
+	// circuit).
+	mWrite  *metrics.LatencyHist
+	mWrites *metrics.Counter
+	mBytes  *metrics.Counter
+}
+
+// SetMetrics attaches PM write-span instruments to this region handle
+// (nil detaches).
+func (r *Region) SetMetrics(pm *metrics.PMSpans) {
+	if pm == nil {
+		r.mWrite, r.mWrites, r.mBytes = nil, nil, nil
+		return
+	}
+	r.mWrite, r.mWrites, r.mBytes = pm.Write, pm.Writes, pm.Bytes
 }
 
 // Info returns the region's access description.
@@ -163,6 +180,7 @@ func (r *Region) Write(p *cluster.Process, off int64, data []byte) error {
 	if err := r.check(off, len(data)); err != nil {
 		return err
 	}
+	wstart := p.Now()
 	errPrim := r.writeOne(p, r.info.Primary, off, data)
 	errMirr := errPrim
 	if r.info.Mirror != r.info.Primary {
@@ -177,6 +195,9 @@ func (r *Region) Write(p *cluster.Process, off int64, data []byte) error {
 	}
 	r.Writes++
 	r.BytesWritten += int64(len(data))
+	r.mWrite.Record(p.Now() - wstart)
+	r.mWrites.Inc()
+	r.mBytes.Add(int64(len(data)))
 	return nil
 }
 

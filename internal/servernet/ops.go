@@ -75,6 +75,7 @@ func (f *Fabric) rdma(p *sim.Proc, from, to EndpointID, nva uint32, data, buf []
 	if n == 0 {
 		return ErrZeroLength
 	}
+	ostart := f.eng.Now()
 
 	// Initiator software cost (user-mode verbs; no kernel transition).
 	p.Wait(f.cfg.SoftwareLatency)
@@ -145,6 +146,9 @@ func (f *Fabric) rdma(p *sim.Proc, from, to EndpointID, nva uint32, data, buf []
 		src.BytesIn += int64(n)
 	}
 	dst.OpsServed++
+	f.mTransfer.Record(f.eng.Now() - ostart)
+	f.mOps.Inc()
+	f.mBytes.Add(int64(n))
 	return nil
 }
 
@@ -174,6 +178,7 @@ func (f *Fabric) Send(p *sim.Proc, from, to EndpointID, sz int, payload interfac
 	if sz <= 0 {
 		sz = 64 // minimum control packet
 	}
+	ostart := f.eng.Now()
 	p.Wait(f.cfg.SoftwareLatency)
 	if !src.up {
 		return ErrEndpointDown
@@ -208,6 +213,9 @@ func (f *Fabric) Send(p *sim.Proc, from, to EndpointID, sz int, payload interfac
 	src.BytesOut += int64(sz)
 	dst.BytesIn += int64(sz)
 	dst.MsgsSeen++
+	f.mTransfer.Record(f.eng.Now() - ostart)
+	f.mOps.Inc()
+	f.mBytes.Add(int64(sz))
 	m := f.newMessage()
 	m.From = from
 	m.Payload = payload

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"persistmem/internal/metrics"
 	"persistmem/internal/sim"
 )
 
@@ -178,6 +179,21 @@ type Fabric struct {
 
 	// msgfree recycles Message boxes delivered to endpoint inboxes.
 	msgfree []*Message
+
+	// Instrument pointers, nil when unmetered (Record/Inc/Add nil-short-
+	// circuit): completed transfer durations, op and byte counts.
+	mTransfer *metrics.LatencyHist
+	mOps      *metrics.Counter
+	mBytes    *metrics.Counter
+}
+
+// SetMetrics attaches fabric transfer instruments (nil detaches).
+func (f *Fabric) SetMetrics(ns *metrics.NetSpans) {
+	if ns == nil {
+		f.mTransfer, f.mOps, f.mBytes = nil, nil, nil
+		return
+	}
+	f.mTransfer, f.mOps, f.mBytes = ns.Transfer, ns.Ops, ns.Bytes
 }
 
 // newMessage takes a Message box from the free list.

@@ -10,6 +10,20 @@ type Resource struct {
 	total int
 	inUse int
 	queue wqueue
+
+	stats ResourceStats
+}
+
+// ResourceStats aggregates a resource's contention counters: every
+// Acquire, how many of those had to queue, the virtual time spent
+// queued, and the deepest queue observed. Waits and WaitTime count
+// acquires that were actually granted after queueing; a process killed
+// while parked never resumes, so its wait is not folded in.
+type ResourceStats struct {
+	Acquires int64
+	Waits    int64
+	WaitTime Time
+	MaxQueue int
 }
 
 // NewResource returns a resource with the given number of units.
@@ -25,24 +39,35 @@ func (e *Engine) NewResource(name string, units int) *Resource {
 //simlint:hotpath
 func (r *Resource) Acquire(p *Proc) {
 	p.assertRunning("Resource.Acquire")
+	r.stats.Acquires++
 	if r.inUse < r.total {
 		r.inUse++
 		return
 	}
 	id := p.newBlockID()
 	r.queue.push(waiter{p: p, id: id})
+	if q := r.queue.len(); q > r.stats.MaxQueue {
+		r.stats.MaxQueue = q
+	}
+	start := r.eng.now
 	p.park()
 	// The releaser transferred its unit to us; inUse is already counted.
+	r.stats.Waits++
+	r.stats.WaitTime += r.eng.now - start
 }
 
 // TryAcquire takes a unit without blocking, reporting success.
 func (r *Resource) TryAcquire() bool {
 	if r.inUse < r.total {
+		r.stats.Acquires++
 		r.inUse++
 		return true
 	}
 	return false
 }
+
+// WaitStats returns a snapshot of the resource's contention counters.
+func (r *Resource) WaitStats() ResourceStats { return r.stats }
 
 // Release returns one unit. If a process is waiting, the unit passes
 // directly to it (inUse stays constant); otherwise the unit becomes free.

@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+func TestResourceWaitStats(t *testing.T) {
+	e := NewEngine(1)
+	r := e.NewResource("unit", 1)
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p) // uncontended: no wait
+		p.Wait(100)
+		r.Release()
+	})
+	e.Spawn("w1", func(p *Proc) {
+		p.Wait(10)
+		r.Acquire(p) // queued at 10, granted at 100
+		p.Wait(50)
+		r.Release()
+	})
+	e.Spawn("w2", func(p *Proc) {
+		p.Wait(20)
+		r.Acquire(p) // queued at 20, granted at 150
+		r.Release()
+	})
+	e.Run()
+
+	s := r.WaitStats()
+	if s.Acquires != 3 {
+		t.Errorf("Acquires = %d, want 3", s.Acquires)
+	}
+	if s.Waits != 2 {
+		t.Errorf("Waits = %d, want 2", s.Waits)
+	}
+	if want := Time(90 + 130); s.WaitTime != want {
+		t.Errorf("WaitTime = %v, want %v", s.WaitTime, want)
+	}
+	if s.MaxQueue != 2 {
+		t.Errorf("MaxQueue = %d, want 2", s.MaxQueue)
+	}
+}
+
+func TestResourceTryAcquireCountsOnlySuccess(t *testing.T) {
+	e := NewEngine(1)
+	r := e.NewResource("unit", 1)
+	if !r.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded on an exhausted resource")
+	}
+	s := r.WaitStats()
+	if s.Acquires != 1 || s.Waits != 0 || s.WaitTime != 0 || s.MaxQueue != 0 {
+		t.Errorf("stats = %+v, want exactly one uncontended acquire", s)
+	}
+}

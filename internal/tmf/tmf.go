@@ -37,6 +37,7 @@ import (
 	"persistmem/internal/audit"
 	"persistmem/internal/cluster"
 	"persistmem/internal/dp2"
+	"persistmem/internal/metrics"
 	"persistmem/internal/pmclient"
 	"persistmem/internal/sim"
 )
@@ -65,6 +66,11 @@ type Config struct {
 
 	// RequestCPU is the monitor's CPU cost per request.
 	RequestCPU sim.Time
+
+	// Metrics optionally wires commit-path marks (and PM write spans for
+	// the TCB region) into a store-wide registry. Nil disables all
+	// recording at the cost of nil tests.
+	Metrics *metrics.Registry
 }
 
 // TCB entry layout: see EncodeTCB.
@@ -160,6 +166,9 @@ type TMF struct {
 	// Spawn-name scratch (the serve loop is one process) and prefixes.
 	namebuf                   []byte
 	commitPrefix, abortPrefix string
+
+	// cp records commit critical-path marks (nil when unmetered).
+	cp *metrics.CommitPath
 }
 
 // Pre-boxed success replies (read-only after init).
@@ -294,6 +303,9 @@ func Start(cl *cluster.Cluster, cfg Config) *TMF {
 		cfg.TCBRegionSize = 64 << 10
 	}
 	t := &TMF{cl: cl, cfg: cfg}
+	if cfg.Metrics != nil {
+		t.cp = cfg.Metrics.Commit
+	}
 	t.commitPrefix = cfg.Name + "-commit-"
 	t.abortPrefix = cfg.Name + "-abort-"
 	t.pair = cl.StartPairAbsorb(cfg.Name, cfg.PrimaryCPU, cfg.BackupCPU, t.serve, t.absorb)
@@ -394,6 +406,7 @@ func (t *TMF) handleCommit(ctx *cluster.PairCtx, st *tmfState, tcb *pmclient.Reg
 		return
 	}
 	delete(st.active, req.Txn)
+	t.cp.Mark(uint64(req.Txn), metrics.MarkMonitorRecv, ctx.Process.Now())
 	ctx.CPU().Spawn(t.spawnName(t.commitPrefix, req.Txn), func(p *cluster.Process) {
 		sc := t.takeScratch()
 		err := t.coordinateCommit(p, tcb, sc, req)
@@ -437,12 +450,14 @@ func (t *TMF) handleAbort(ctx *cluster.PairCtx, st *tmfState, tcb *pmclient.Regi
 //
 //simlint:hotpath
 func (t *TMF) coordinateCommit(p *cluster.Process, tcb *pmclient.Region, sc *commitScratch, req CommitReq) error {
+	t.cp.Mark(uint64(req.Txn), metrics.MarkCoordStart, p.Now())
 	// Phase 1: gather and flush every involved audit stream.
 	if err := t.flushDataAudit(p, sc, req.Txn, req.DP2s); err != nil {
 		t.rollback(p, sc, req.Txn, req.DP2s)
 		//simlint:allow hotalloc -- commit-failure path, cold
 		return fmt.Errorf("%w: %v", ErrCommitFailed, err)
 	}
+	t.cp.Mark(uint64(req.Txn), metrics.MarkDataFlushed, p.Now())
 
 	// Phase 2: commit record in the master log.
 	adps := sc.sortedADPs()
@@ -463,14 +478,17 @@ func (t *TMF) coordinateCommit(p *cluster.Process, tcb *pmclient.Region, sc *com
 			return fmt.Errorf("%w: master log: %v", ErrCommitFailed, resp.Err)
 		}
 	}
+	t.cp.Mark(uint64(req.Txn), metrics.MarkCommitDurable, p.Now())
 
 	// Fine-grained outcome in PM, before externalizing the commit.
 	if tcb != nil {
 		t.writeTCB(p, tcb, req.Txn, TCBCommitted)
 	}
+	t.cp.Mark(uint64(req.Txn), metrics.MarkTCBWritten, p.Now())
 
 	// Release locks and retire the transaction at the DP2s.
 	t.endAll(p, sc, req.Txn, req.DP2s, true)
+	t.cp.Mark(uint64(req.Txn), metrics.MarkLocksReleased, p.Now())
 	return nil
 }
 
@@ -618,6 +636,9 @@ func (t *TMF) openTCB(ctx *cluster.PairCtx) *pmclient.Region {
 	for attempt := 0; attempt < 3; attempt++ {
 		r, err := vol.Open(ctx.Process, TCBRegionName)
 		if err == nil {
+			if t.cfg.Metrics != nil {
+				r.SetMetrics(t.cfg.Metrics.PM)
+			}
 			return r
 		}
 		if cerr := vol.Create(ctx.Process, TCBRegionName, t.cfg.TCBRegionSize); cerr != nil {

@@ -27,6 +27,12 @@ const (
 	CommitStart Kind = "commit-start"
 	CommitDone  Kind = "commit-done"
 	AbortDone   Kind = "abort"
+	// CommitPhases carries a commit's span decomposition (one event per
+	// committed transaction, emitted by the session when both a tracer
+	// and a metrics registry are attached). Its Detail lists each
+	// non-zero commit-path phase, so timelines show where commit time
+	// went, not just how long it took.
+	CommitPhases Kind = "commit-phases"
 )
 
 // Event is one timeline entry.

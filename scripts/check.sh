@@ -12,7 +12,12 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go run ./cmd/simlint ./...
-go test ./...
+# The main test pass doubles as the coverage gate: covcheck fails when
+# any package drops below its committed per-package floor (COVERAGE.json;
+# re-baseline deliberately with `go run ./cmd/covcheck -update`).
+go test -coverprofile=/tmp/persistmem-cover.out ./...
+go run ./cmd/covcheck -profile /tmp/persistmem-cover.out
+rm -f /tmp/persistmem-cover.out
 go test -race ./...
 
 # Kernel perf gate: re-measure scheduler ns/event and data-plane
