@@ -20,6 +20,7 @@ import (
 	"persistmem/internal/ods"
 	"persistmem/internal/recovery"
 	"persistmem/internal/sim"
+	simparallel "persistmem/internal/sim/parallel"
 )
 
 // cell is one matrix entry: a durability mode, a named fault, and the
@@ -104,10 +105,16 @@ func main() {
 		paceMs   = flag.Int("pace", 20, "milliseconds of think time before each transaction")
 		chaos    = flag.Int("chaos", 2, "random chaos plans appended to the matrix (0 disables)")
 		parallel = flag.Int("parallel", 0, "cells simulated concurrently (0 = one per CPU, 1 = sequential); output is identical at any setting")
+		engine   = flag.String("engine", "sequential", "cell execution engine: sequential (pool workers) or parallel (conservative LP cluster); output is identical on either")
 		nines    = flag.Int("nines", 5, "availability class the MTTR budget is derived from")
 		mtbfDays = flag.Int("mtbf-days", 30, "assumed mean time between failures, in days")
 	)
 	flag.Parse()
+	eng, err := bench.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	pace := sim.Time(*paceMs) * sim.Millisecond
 	mtbf := sim.Time(*mtbfDays) * 24 * sim.Time(time.Hour)
 	budget := avail.MTTRBudget(mtbf, *nines)
@@ -149,15 +156,19 @@ func main() {
 		})
 	}
 
-	bench.ForEach(*parallel, len(cells), func(i int) {
-		c := cells[i]
-		res := faultinject.Run(faultinject.ScenarioConfig{
+	scenario := func(c *cell) faultinject.ScenarioConfig {
+		return faultinject.ScenarioConfig{
 			Durability: c.durability,
 			Txns:       *txns,
 			Seed:       *seed,
 			Plan:       c.plan,
 			Pace:       pace,
-		})
+		}
+	}
+	// judge recovers a crashed scenario and grades the cell. Each cell
+	// writes only its own fields, so verdicts assemble identically at any
+	// parallelism and on either engine.
+	judge := func(c *cell, res *faultinject.Result) {
 		rep, rb, err := res.Recover(recovery.Options{})
 		if err != nil {
 			c.fails = append(c.fails, fmt.Sprintf("recovery failed: %v", err))
@@ -173,7 +184,24 @@ func main() {
 		c.mttr = rep.MTTR
 		c.bytesRead = rep.BytesRead
 		res.Store.Eng.Shutdown()
-	})
+	}
+	if eng == bench.EngineParallel {
+		// Crash every scenario in one conservative cluster run — the cells
+		// never interact, so the cluster's single Unbounded window drains
+		// them all — then recover and grade each on the pool.
+		pends := make([]*faultinject.Pending, len(cells))
+		for i, c := range cells {
+			pends[i] = faultinject.Start(scenario(c))
+		}
+		cl := simparallel.New(simparallel.Unbounded)
+		for _, pd := range pends {
+			cl.AddLP(pd.Engine(), nil)
+		}
+		cl.Run(bench.EffectiveParallelism(*parallel))
+		bench.ForEach(*parallel, len(cells), func(i int) { judge(cells[i], pends[i].Result()) })
+	} else {
+		bench.ForEach(*parallel, len(cells), func(i int) { judge(cells[i], faultinject.Run(scenario(cells[i]))) })
+	}
 
 	fmt.Printf("fault matrix: %d cells, %d txns/cell, seed %d\n", len(cells), *txns, *seed)
 	fmt.Printf("MTTR budget: %v (%d nines at %d-day MTBF)\n\n", budget, *nines, *mtbfDays)

@@ -30,9 +30,15 @@ func main() {
 		check    = flag.Bool("check", false, "run shape checks and exit non-zero on failure")
 		breakdn  = flag.Bool("breakdown", false, "emit the commit-latency decomposition (per-phase p50/p99 per durability config)")
 		parallel = flag.Int("parallel", 0, "sweep cells simulated concurrently (0 = one per CPU, 1 = sequential); output is identical at any setting")
+		engine   = flag.String("engine", "sequential", "cell execution engine: sequential (pool workers) or parallel (conservative LP cluster); output is identical on either")
 	)
 	flag.Parse()
-	runner := bench.Runner{Parallelism: *parallel}
+	eng, err := bench.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	runner := bench.Runner{Parallelism: *parallel, Engine: eng}
 
 	var sc bench.Scale
 	switch *scale {

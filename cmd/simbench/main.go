@@ -6,8 +6,10 @@
 // events/sec for a Schedule+dispatch cycle), the transaction data plane's
 // allocation behavior (allocs/txn overall and per subsystem, measured
 // with an exact memory profile over a steady-state hot-stock run), a
-// hot-stock run's event throughput, and the wall-clock time of the
-// Figure 1 + Figure 2 sweeps at the chosen scale and parallelism.
+// hot-stock run's event throughput, the wall-clock time of the Figure 1 +
+// Figure 2 sweeps at the chosen scale and parallelism, and the parallel
+// LP engine on a linked message workload (window count, average LP
+// occupancy, and speedup against its own sequential reference).
 //
 // Usage:
 //
@@ -16,9 +18,10 @@
 //	simbench -compare BENCH_kernel.json
 //
 // The -compare mode re-measures the machine-independent-ish gate metrics
-// (kernel ns/event and allocs/event, data-plane allocs/txn and bytes/txn)
-// and exits non-zero if any regressed more than 20% against the baseline
-// file. Allocation counts are deterministic; ns/event is wall-clock and
+// (kernel ns/event and allocs/event, data-plane allocs/txn and bytes/txn,
+// plus the parallel engine's wall time against its own sequential
+// reference) and exits non-zero if any regressed more than 20% against
+// the baseline file. Allocation counts are deterministic; ns/event is wall-clock and
 // the 20% margin absorbs benchmark jitter, but comparing a baseline
 // recorded on a very different machine can still misfire — regenerate the
 // baseline where the gate runs.
@@ -37,7 +40,9 @@ import (
 	"persistmem/internal/bench"
 	"persistmem/internal/hotstock"
 	"persistmem/internal/ods"
+	"persistmem/internal/servernet"
 	"persistmem/internal/sim"
+	"persistmem/internal/sim/parallel"
 )
 
 // report is the JSON document simbench writes.
@@ -69,6 +74,28 @@ type report struct {
 		Figure2WallS float64 `json:"figure2_wall_s"`
 		TotalWallS   float64 `json:"total_wall_s"`
 	} `json:"sweep"`
+
+	// Parallel measures the conservative LP cluster on a linked message
+	// workload: the same cluster run with no concurrency and with one
+	// worker per CPU.
+	Parallel parallelStats `json:"parallel"`
+}
+
+// parallelStats records one sequential-vs-parallel cluster comparison.
+type parallelStats struct {
+	Workers int `json:"workers"`
+	// Windows and AvgLPOccupancy describe the safe-window protocol's
+	// behavior on the workload: how many barrier rounds the run took and
+	// how many LPs executed at least one event per round.
+	Windows        uint64  `json:"windows"`
+	AvgLPOccupancy float64 `json:"avg_lp_occupancy"`
+	Messages       uint64  `json:"messages"`
+	// Wall times are the min of three runs each; Speedup is
+	// sequential/parallel (< 1 means the cluster machinery slowed the
+	// run down — the -compare gate fails below 1/1.2).
+	SequentialWallS float64 `json:"sequential_wall_s"`
+	ParallelWallS   float64 `json:"parallel_wall_s"`
+	Speedup         float64 `json:"speedup"`
 }
 
 type kernelStats struct {
@@ -122,6 +149,7 @@ func main() {
 	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
 	rep.Kernel = measureKernel()
 	rep.Txn = measureTxn(*seed)
+	rep.Parallel = measureParallel(*seed)
 
 	// Full-stack event throughput: one smoke hot-stock run, disk mode.
 	opts := ods.DefaultOptions()
@@ -164,9 +192,86 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: kernel %.1f ns/event (%.0f allocs), %.1f allocs/txn, %s sweep %.2fs at parallel=%d\n",
+	fmt.Printf("wrote %s: kernel %.1f ns/event (%.0f allocs), %.1f allocs/txn, %s sweep %.2fs at parallel=%d, LP cluster %.2fx at %d workers (%d windows, %.1f LPs/window)\n",
 		*out, rep.Kernel.NsPerEvent, rep.Kernel.AllocsPerEvent, rep.Txn.AllocsPerTxn,
-		sc.Name, rep.Sweep.TotalWallS, rep.Sweep.Parallelism)
+		sc.Name, rep.Sweep.TotalWallS, rep.Sweep.Parallelism,
+		rep.Parallel.Speedup, rep.Parallel.Workers, rep.Parallel.Windows, rep.Parallel.AvgLPOccupancy)
+}
+
+// buildLinkedCluster wires nLPs engines into a messaging mesh with
+// ServerNet's minimum fabric latency as the lookahead: each LP runs
+// several processes that think for random spells and fire 3-hop message
+// chains at random peers. The workload is deterministic for a seed, so
+// the sequential and parallel runs must agree on every statistic.
+func buildLinkedCluster(seed int64) *parallel.Cluster {
+	look := servernet.DefaultConfig().MinLatency()
+	const nLPs, procs, iters = 8, 3, 500
+	c := parallel.New(look)
+	for i := 0; i < nLPs; i++ {
+		eng := sim.NewEngine(seed + int64(i)*101)
+		var lp *parallel.LP
+		lp = c.AddLP(eng, func(e *sim.Engine, m parallel.Message) {
+			if hops := m.Val.(int); hops > 0 {
+				lp.Send((m.Src+1)%nLPs, look, hops-1)
+			}
+		})
+		for p := 0; p < procs; p++ {
+			p := p
+			eng.Spawn(fmt.Sprintf("gen%d", p), func(pr *sim.Proc) {
+				r := pr.Engine().DeriveRand(fmt.Sprintf("gen/%d", p))
+				for it := 0; it < iters; it++ {
+					pr.Wait(sim.Time(r.Intn(50)) * sim.Microsecond)
+					if r.Intn(3) == 0 {
+						lp.Send(r.Intn(nLPs), look+sim.Time(r.Intn(3))*look/2, 3)
+					}
+				}
+			})
+		}
+	}
+	return c
+}
+
+// measureParallel compares the LP cluster's sequential reference against
+// the multi-worker run on the linked workload, checking on the way that
+// the two executed the same schedule.
+func measureParallel(seed int64) parallelStats {
+	const reps = 3
+	var seqWall, parWall float64
+	var seqStats, parStats parallel.Stats
+	workers := bench.EffectiveParallelism(0)
+	for rep := 0; rep < reps; rep++ {
+		c := buildLinkedCluster(seed)
+		t0 := time.Now()
+		ss := c.RunSequential()
+		if w := time.Since(t0).Seconds(); rep == 0 || w < seqWall {
+			seqWall = w
+		}
+		c = buildLinkedCluster(seed)
+		t1 := time.Now()
+		ps := c.Run(workers)
+		if w := time.Since(t1).Seconds(); rep == 0 || w < parWall {
+			parWall = w
+		}
+		seqStats, parStats = ss, ps
+	}
+	if parStats.Windows != seqStats.Windows || parStats.Events != seqStats.Events ||
+		parStats.Messages != seqStats.Messages {
+		fmt.Fprintf(os.Stderr, "simbench: parallel engine diverged from its sequential reference: %+v vs %+v\n",
+			parStats, seqStats)
+		os.Exit(1)
+	}
+	out := parallelStats{
+		Workers:         parStats.Workers,
+		Windows:         parStats.Windows,
+		AvgLPOccupancy:  parStats.AvgOccupancy(),
+		Messages:        parStats.Messages,
+		SequentialWallS: seqWall,
+		ParallelWallS:   parWall,
+	}
+	if parWall > 0 {
+		out.Speedup = seqWall / parWall
+	}
+	return out
 }
 
 // measureKernel times the bare Schedule+dispatch cycle — the same loop as
@@ -310,10 +415,15 @@ func runCompare(path string, seed int64) int {
 
 	kernel := measureKernel()
 	txn := measureTxn(seed)
+	par := measureParallel(seed)
 
 	metrics := []gateMetric{
 		{"kernel.ns_per_event", base.Kernel.NsPerEvent, kernel.NsPerEvent, 0},
 		{"kernel.allocs_per_event", base.Kernel.AllocsPerEvent, kernel.AllocsPerEvent, 0.5},
+		// The parallel-engine gate is self-contained: both sides are
+		// measured now, so it fails exactly when the LP cluster runs >20%
+		// slower than its own sequential reference on this machine.
+		{"parallel.wall_ms_vs_seq", par.SequentialWallS * 1e3, par.ParallelWallS * 1e3, 5},
 	}
 	if base.Txn.Txns > 0 {
 		metrics = append(metrics,

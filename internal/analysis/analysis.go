@@ -34,6 +34,11 @@
 //	                             rand sources (Engine.DeriveRand)
 //	//simlint:allow <analyzer>   suppress the named analyzer on this or the
 //	                             next line
+//	//simlint:parallel-engine    on a package clause: the package is a
+//	                             sanctioned parallel-simulation runtime —
+//	                             goroutine permits go statements, sync, and
+//	                             real channels, but still forbids select
+//	                             and sync/atomic
 package analysis
 
 import (
@@ -85,6 +90,12 @@ type Target struct {
 	SimCritical bool
 	RealConcOK  bool
 
+	// ParallelEngine is set by a //simlint:parallel-engine directive on a
+	// package clause: the package is a sanctioned parallel-simulation
+	// runtime, so the goroutine analyzer permits go statements, sync, and
+	// real channels while still forbidding select and sync/atomic.
+	ParallelEngine bool
+
 	dirs map[dirKey][]directive
 }
 
@@ -123,6 +134,12 @@ func NewTarget(importPath string, fset *token.FileSet, files []*ast.File, pkg *t
 				k := dirKey{pos.Filename, pos.Line}
 				t.dirs[k] = append(t.dirs[k], d)
 			}
+		}
+	}
+	for _, f := range files {
+		if t.DirectiveAt(f.Package, "parallel-engine", "") {
+			t.ParallelEngine = true
+			break
 		}
 	}
 	return t

@@ -1,0 +1,41 @@
+// Package parallelengine exercises the sanctioned-concurrency mode: the
+// //simlint:parallel-engine package directive permits go statements, the
+// sync package, and real channels (the LP runtime's barrier machinery),
+// while select and sync/atomic remain forbidden.
+//
+//simlint:parallel-engine -- fixture: stands in for internal/sim/parallel
+package parallelengine
+
+import (
+	"sync"
+	"sync/atomic" // want `import of "sync/atomic": atomics order by the memory system, not the window barrier`
+)
+
+var seqno atomic.Uint64
+
+// barrier fans window work across workers — all of this is allowed under
+// the directive.
+func barrier(work []func()) {
+	var wg sync.WaitGroup
+	done := make(chan struct{}, len(work))
+	for i := range work {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+			done <- struct{}{}
+		}(work[i])
+	}
+	wg.Wait()
+}
+
+// raceOnReadiness picks whichever channel the OS scheduler makes ready
+// first — still nondeterministic, still flagged.
+func raceOnReadiness(a, b chan int) int {
+	select { // want `select resolves by real channel readiness — OS-scheduler order`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

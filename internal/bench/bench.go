@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"strings"
 
-	"persistmem/internal/hotstock"
 	"persistmem/internal/ods"
 	"persistmem/internal/sim"
 )
@@ -35,24 +34,6 @@ var txnSizes = []int{8, 16, 32}
 // sizeLabel names a boxcar degree the way the paper's x-axis does.
 func sizeLabel(inserts int) string { return fmt.Sprintf("%dk", inserts*4) }
 
-// runOne executes one hot-stock configuration.
-func runOne(seed int64, d ods.Durability, drivers, inserts, records int) hotstock.Result {
-	opts := ods.DefaultOptions()
-	opts.Seed = seed
-	opts.Durability = d
-	// Round the record count to a whole number of transactions.
-	records = (records / inserts) * inserts
-	if records == 0 {
-		records = inserts
-	}
-	return hotstock.Run(opts, hotstock.Params{
-		Drivers:          drivers,
-		RecordsPerDriver: records,
-		InsertsPerTxn:    inserts,
-		RecordBytes:      4096,
-	})
-}
-
 // Figure1 reproduces "PM improves response time drastically": response-
 // time speedup with PM vs transaction size, one series per driver count.
 type Figure1 struct {
@@ -70,27 +51,30 @@ func RunFigure1(seed int64, scale Scale) Figure1 {
 	return Runner{}.Figure1(seed, scale)
 }
 
-// Figure1 executes the Figure 1 sweep with the Runner's parallelism. The
-// 24 cells run independently; results land in index-addressed slots, so
-// the assembled figure is identical at every parallelism.
+// Figure1 executes the Figure 1 sweep with the Runner's engine and
+// parallelism. The 24 cells run independently; results land in index-
+// addressed slots, so the assembled figure is identical at every
+// parallelism and on either engine.
 func (r Runner) Figure1(seed int64, scale Scale) Figure1 {
 	f := Figure1{Scale: scale}
 	const drvN, modeN = 4, 2 // 1–4 drivers × {disk, pm}
-	cells := make([]sim.Time, len(txnSizes)*drvN*modeN)
-	r.forEach(len(cells), func(i int) {
+	specs := make([]cellSpec, len(txnSizes)*drvN*modeN)
+	for i := range specs {
 		si, di, mode := i/(drvN*modeN), (i/modeN)%drvN, i%modeN
 		d := ods.DiskDurability
 		if mode == 1 {
 			d = ods.PMDurability
 		}
-		cells[i] = runOne(seed, d, di+1, txnSizes[si], scale.RecordsPerDriver).MeanResp()
-	})
+		specs[i] = cellSpec{seed: seed, d: d, drivers: di + 1,
+			inserts: txnSizes[si], records: scale.RecordsPerDriver}
+	}
+	cells := r.runCells(specs)
 	for si := range txnSizes {
 		var speed []float64
 		var dr, pr []sim.Time
 		for di := 0; di < drvN; di++ {
-			dRT := cells[(si*drvN+di)*modeN]
-			pRT := cells[(si*drvN+di)*modeN+1]
+			dRT := cells[(si*drvN+di)*modeN].MeanResp()
+			pRT := cells[(si*drvN+di)*modeN+1].MeanResp()
 			dr = append(dr, dRT)
 			pr = append(pr, pRT)
 			speed = append(speed, float64(dRT)/float64(pRT))
@@ -182,7 +166,7 @@ func RunFigure2(seed int64, scale Scale) Figure2 {
 }
 
 // Figure2 executes the Figure 2 sweep (12 cells) with the Runner's
-// parallelism.
+// engine and parallelism.
 func (r Runner) Figure2(seed int64, scale Scale) Figure2 {
 	f := Figure2{Scale: scale}
 	// The four series per size: {1drv disk, 2drv disk, 1drv PM, 2drv PM}.
@@ -193,12 +177,17 @@ func (r Runner) Figure2(seed int64, scale Scale) Figure2 {
 		{ods.DiskDurability, 1}, {ods.DiskDurability, 2},
 		{ods.PMDurability, 1}, {ods.PMDurability, 2},
 	}
-	f.Elapsed = make([][4]sim.Time, len(txnSizes))
-	r.forEach(len(txnSizes)*len(series), func(i int) {
+	specs := make([]cellSpec, len(txnSizes)*len(series))
+	for i := range specs {
 		si, c := i/len(series), i%len(series)
-		f.Elapsed[si][c] = runOne(seed, series[c].d, series[c].drivers,
-			txnSizes[si], scale.RecordsPerDriver).Elapsed
-	})
+		specs[i] = cellSpec{seed: seed, d: series[c].d, drivers: series[c].drivers,
+			inserts: txnSizes[si], records: scale.RecordsPerDriver}
+	}
+	cells := r.runCells(specs)
+	f.Elapsed = make([][4]sim.Time, len(txnSizes))
+	for i := range cells {
+		f.Elapsed[i/len(series)][i%len(series)] = cells[i].Elapsed
+	}
 	return f
 }
 

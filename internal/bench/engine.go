@@ -1,0 +1,113 @@
+// Engine selection for sweep cells. Every sweep decomposes into
+// independent hot-stock cells; the Runner can execute them two ways:
+//
+//   - EngineSequential: each cell's engine is driven directly on a pool
+//     worker (pool.go) — the historical path.
+//   - EngineParallel: every cell is registered as a logical process of
+//     one conservative parallel cluster (internal/sim/parallel) and the
+//     cluster is drained under the safe-window protocol. The cells never
+//     exchange messages, so the cluster runs with Unbounded lookahead
+//     and the whole sweep completes in a single window.
+//
+// Either way each cell's engine executes exactly the same schedule, so
+// every table and CSV byte is identical across engines and worker
+// counts — the cross-engine differential tests in engine_test.go hold
+// the two paths to that.
+package bench
+
+import (
+	"fmt"
+
+	"persistmem/internal/hotstock"
+	"persistmem/internal/ods"
+	"persistmem/internal/sim/parallel"
+)
+
+// Engine kinds a Runner can execute sweep cells on.
+const (
+	EngineSequential = "sequential"
+	EngineParallel   = "parallel"
+)
+
+// ParseEngine validates an -engine flag value; "" means sequential.
+func ParseEngine(s string) (string, error) {
+	switch s {
+	case "", EngineSequential:
+		return EngineSequential, nil
+	case EngineParallel:
+		return EngineParallel, nil
+	}
+	return "", fmt.Errorf("unknown engine %q (want %q or %q)", s, EngineSequential, EngineParallel)
+}
+
+// cellSpec is one hot-stock sweep cell: a seed, a durability mode and
+// the workload shape.
+type cellSpec struct {
+	seed    int64
+	d       ods.Durability
+	drivers int
+	inserts int
+	records int
+}
+
+func (c cellSpec) opts() ods.Options {
+	opts := ods.DefaultOptions()
+	opts.Seed = c.seed
+	opts.Durability = c.d
+	if c.d == ods.PMDirectDurability {
+		opts.PMRegionBytes = 8 << 20 // 16 per-DP2 regions must fit the NPMU
+	}
+	return opts
+}
+
+func (c cellSpec) params() hotstock.Params {
+	// Round the record count to a whole number of transactions.
+	records := (c.records / c.inserts) * c.inserts
+	if records == 0 {
+		records = c.inserts
+	}
+	return hotstock.Params{
+		Drivers:          c.drivers,
+		RecordsPerDriver: records,
+		InsertsPerTxn:    c.inserts,
+		RecordBytes:      4096,
+	}
+}
+
+// run executes the cell on its own freshly built store.
+func (c cellSpec) run() hotstock.Result {
+	return hotstock.Run(c.opts(), c.params())
+}
+
+// runCells executes a sweep's independent cells under the Runner's
+// engine and returns their results in cell order.
+func (r Runner) runCells(specs []cellSpec) []hotstock.Result {
+	out := make([]hotstock.Result, len(specs))
+	if r.Engine == EngineParallel {
+		stores := make([]*ods.Store, len(specs))
+		pends := make([]*hotstock.Pending, len(specs))
+		for i, sp := range specs {
+			stores[i] = ods.Build(sp.opts())
+			pends[i] = hotstock.Start(stores[i], sp.params())
+		}
+		cl := parallel.New(parallel.Unbounded)
+		for _, s := range stores {
+			cl.AddLP(s.Eng, nil)
+		}
+		stats := cl.Run(EffectiveParallelism(r.Parallelism))
+		if r.ClusterStats != nil {
+			r.ClusterStats.Workers = stats.Workers
+			r.ClusterStats.Windows += stats.Windows
+			r.ClusterStats.Occupied += stats.Occupied
+			r.ClusterStats.Events += stats.Events
+			r.ClusterStats.Messages += stats.Messages
+		}
+		for i := range pends {
+			out[i] = pends[i].Collect()
+			stores[i].Eng.Shutdown()
+		}
+		return out
+	}
+	r.forEach(len(specs), func(i int) { out[i] = specs[i].run() })
+	return out
+}

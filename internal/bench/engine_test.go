@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"persistmem/internal/ods"
+	"persistmem/internal/sim/parallel"
+)
+
+// TestEngineDifferentialCells runs a seeds × durability matrix of
+// hot-stock cells on both engines and requires identical results: the
+// virtual clock, the engine's event count, and every per-driver
+// statistic must not depend on the engine or its worker count.
+func TestEngineDifferentialCells(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		for _, d := range []ods.Durability{ods.DiskDurability, ods.PMDurability, ods.PMDirectDurability} {
+			specs := []cellSpec{
+				{seed: seed, d: d, drivers: 2, inserts: 8, records: Smoke.RecordsPerDriver},
+				{seed: seed, d: d, drivers: 1, inserts: 32, records: Smoke.RecordsPerDriver},
+			}
+			ref := Runner{Parallelism: 1}.runCells(specs)
+			for _, workers := range []int{1, 4} {
+				got := Runner{Engine: EngineParallel, Parallelism: workers}.runCells(specs)
+				for i := range ref {
+					if !reflect.DeepEqual(ref[i], got[i]) {
+						t.Errorf("seed %d %v cell %d: parallel engine (workers=%d) diverged:\n%+v\nvs sequential\n%+v",
+							seed, d, i, workers, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialFigures regenerates the quick-scale Figure 1 and
+// Figure 2 sweeps on the parallel engine and requires the CSV bytes to
+// match the sequential engine's exactly — the same property the
+// committed full-scale artifacts are held to.
+func TestEngineDifferentialFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale sweep")
+	}
+	const seed = 1
+	seq := Runner{Parallelism: 1}
+	f1 := seq.Figure1(seed, Quick).CSV()
+	f2 := seq.Figure2(seed, Quick).CSV()
+
+	var stats parallel.Stats
+	par := Runner{Engine: EngineParallel, Parallelism: 4, ClusterStats: &stats}
+	if got := par.Figure1(seed, Quick).CSV(); got != f1 {
+		t.Errorf("figure 1 CSV diverged across engines:\n%s\nvs\n%s", got, f1)
+	}
+	if got := par.Figure2(seed, Quick).CSV(); got != f2 {
+		t.Errorf("figure 2 CSV diverged across engines:\n%s\nvs\n%s", got, f2)
+	}
+	// Sweep cells never message each other, so each sweep is one
+	// Unbounded window with every LP occupied.
+	if stats.Windows != 2 {
+		t.Errorf("two unlinked sweeps took %d windows, want 2", stats.Windows)
+	}
+	if stats.Occupied != 24+12 {
+		t.Errorf("occupied LP-windows = %d, want every cell (36)", stats.Occupied)
+	}
+	if stats.Events == 0 {
+		t.Error("cluster stats recorded no events")
+	}
+}

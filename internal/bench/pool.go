@@ -10,16 +10,28 @@ package bench
 import (
 	"runtime"
 	"sync"
+
+	"persistmem/internal/sim/parallel"
 )
 
 // Runner executes the package's sweeps with a configurable degree of
 // cell-level parallelism. The zero Runner is valid and uses one worker
-// per available CPU.
+// per available CPU on the sequential engine.
 type Runner struct {
 	// Parallelism is the maximum number of sweep cells simulated
-	// concurrently. 0 (or negative) means runtime.GOMAXPROCS(0);
-	// 1 reproduces the historical strictly-sequential execution.
+	// concurrently — pool workers on the sequential engine, cluster
+	// workers on the parallel one. 0 (or negative) means
+	// runtime.GOMAXPROCS(0); 1 reproduces the historical strictly-
+	// sequential execution.
 	Parallelism int
+	// Engine selects how sweep cells execute: EngineSequential (or "")
+	// drives each cell's engine directly on a pool worker; EngineParallel
+	// drains all cells as logical processes of one conservative parallel
+	// cluster. Output is byte-identical either way.
+	Engine string
+	// ClusterStats, when non-nil, accumulates the parallel engine's
+	// window statistics across the Runner's cluster runs.
+	ClusterStats *parallel.Stats
 }
 
 // EffectiveParallelism resolves a requested parallelism to the worker

@@ -115,6 +115,26 @@ func Run(opts ods.Options, params Params) Result {
 // RunOn executes the benchmark against an existing store (which must be
 // otherwise idle).
 func RunOn(s *ods.Store, params Params) Result {
+	pend := Start(s, params)
+	s.Eng.Run()
+	return pend.Collect()
+}
+
+// Pending is a benchmark whose driver processes have been spawned but
+// whose engine has not been driven yet. It lets a caller interleave the
+// run with other work on the same engine — or hand the engine to the
+// parallel LP scheduler — before collecting results.
+type Pending struct {
+	s       *ods.Store
+	params  Params
+	results []DriverResult
+	doneAt  []sim.Time
+}
+
+// Start spawns the benchmark's driver processes on s without running the
+// engine. Drive the engine to completion (s.Eng.Run, or a parallel
+// cluster run), then call Collect.
+func Start(s *ods.Store, params Params) *Pending {
 	files := make([]string, len(s.Opts.Files))
 	for i, f := range s.Opts.Files {
 		files[i] = f.Name
@@ -169,11 +189,15 @@ func RunOn(s *ods.Store, params Params) Result {
 		})
 	}
 
-	s.Eng.Run()
+	return &Pending{s: s, params: params, results: results, doneAt: doneAt}
+}
 
-	r := Result{Params: params, Durability: s.Opts.Durability, Drivers: results,
+// Collect assembles the result after the engine has been drained.
+func (pd *Pending) Collect() Result {
+	s := pd.s
+	r := Result{Params: pd.params, Durability: s.Opts.Durability, Drivers: pd.results,
 		Events: s.Eng.EventsExecuted()}
-	for _, t := range doneAt {
+	for _, t := range pd.doneAt {
 		if t > r.Elapsed {
 			r.Elapsed = t
 		}

@@ -81,6 +81,17 @@ func DefaultConfig() Config {
 	}
 }
 
+// MinLatency returns a lower bound on the virtual time between an
+// operation being initiated on this fabric and any effect becoming
+// visible at another endpoint: software latency plus one wire hop plus
+// one packet's fixed overhead (payload serialization only adds to this).
+// It is the conservative-parallel lookahead the LP scheduler builds its
+// safe windows from — the paper's 10–20 µs minimum fabric latency floor,
+// 16.3 µs under DefaultConfig.
+func (c Config) MinLatency() sim.Time {
+	return c.SoftwareLatency + c.WireLatency + c.PerPacketOverhead
+}
+
 // Message is a unit of the fabric's messaging service (the NSK message
 // system rides on this). Endpoint inboxes carry *Message boxes drawn
 // from the fabric's free list; the consumer copies the fields out and

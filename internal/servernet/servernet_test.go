@@ -518,3 +518,18 @@ func TestTranslationRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMinLatencyIsTheFabricFloor pins the conservative-parallel
+// lookahead to the fabric's hard latency floor: the paper's 10–20 µs
+// range under the calibrated defaults, and never more than a measured
+// minimal one-way operation.
+func TestMinLatencyIsTheFabricFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	min := cfg.MinLatency()
+	if want := cfg.SoftwareLatency + cfg.WireLatency + cfg.PerPacketOverhead; min != want {
+		t.Fatalf("MinLatency = %v, want %v", min, want)
+	}
+	if min < 10*sim.Microsecond || min > 20*sim.Microsecond {
+		t.Fatalf("MinLatency %v outside the paper's 10-20us fabric floor", min)
+	}
+}

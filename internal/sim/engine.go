@@ -53,6 +53,13 @@ type TraceFunc func(at Time, format string, args ...interface{})
 // single thread of control. Distinct Engine instances share no state, so
 // independent simulations may run on concurrent OS threads (one engine per
 // goroutine), which is what the bench harness's worker pool does.
+//
+// Scheduling is direct-handoff: the dispatch loop (advance) is a baton that
+// migrates across goroutines. A process that parks runs the loop itself, so
+// a self-wake (Wait with nothing interleaved) costs zero goroutine switches
+// and a cross-process handoff costs one instead of the two a central
+// dispatcher pays. Exactly one goroutine is ever runnable, so the schedule
+// stays deterministic and data-race-free.
 type Engine struct {
 	now    Time
 	seq    uint64
@@ -72,6 +79,18 @@ type Engine struct {
 	cur *Proc
 	// stopped is set by Stop; Run returns at the next event boundary.
 	stopped bool
+
+	// baton returns dispatch control to the run-loop caller when a
+	// goroutine holding the loop finds the run is over (queue drained,
+	// deadline or event budget reached, or Stop called).
+	baton chan struct{}
+	// deadline and limit bound the current run: advance dispatches no
+	// event beyond the deadline and no more than limit events total.
+	deadline Time
+	limit    uint64
+	// running guards against re-entering Run/RunUntil/Step from inside a
+	// dispatched event, which the migrating-loop protocol cannot support.
+	running bool
 }
 
 // NewEngine returns a fresh engine whose derived random sources are seeded
@@ -81,6 +100,7 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{
 		procs: make(map[*Proc]struct{}),
 		seed:  seed,
+		baton: make(chan struct{}), //simlint:allow goroutine -- coroutine machinery: loop-to-caller rendezvous
 	}
 }
 
@@ -196,34 +216,90 @@ func (e *Engine) scheduleWake(at Time, p *Proc, id uint64, val interface{}, ok, 
 	e.push(event{at: at, seq: e.seq, p: p, id: id, val: val, ok: ok, indirect: indirect})
 }
 
-// dispatch executes one popped event.
+// advance runs the dispatch loop on the calling goroutine — the heart of
+// the direct-handoff scheduler. Events pop in exact (at, seq) order and
+// execute until the deadline, the event budget, a Stop, or queue
+// exhaustion ends the run, or until an event resumes a process other than
+// the caller. The return value is where control must go next: self means
+// the calling process was woken and simply continues inline (zero
+// switches); any other process must be handed the baton; nil means the run
+// is over and the baton goes back to the run-loop caller.
 //
 //simlint:hotpath
-func (e *Engine) dispatch(ev event) {
-	e.events++
-	if ev.fn != nil {
-		ev.fn()
+func (e *Engine) advance(self *Proc) *Proc {
+	e.cur = nil
+	for !e.stopped && e.events < e.limit {
+		at, ok := e.next()
+		if !ok || at > e.deadline {
+			break
+		}
+		ev := e.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.events++
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		p := ev.p
+		if ev.id == startEventID {
+			if !e.startProc(p) {
+				continue
+			}
+			return p
+		}
+		if p.blockID != ev.id || p.state != procBlocked {
+			continue // stale wake-up
+		}
+		if ev.indirect {
+			// Requeue as a direct wake at the current time so the resume
+			// lands behind events already queued for this instant.
+			e.scheduleWake(e.now, p, ev.id, ev.val, ev.ok, false)
+			continue
+		}
+		p.rxVal, p.rxOK = ev.val, ev.ok
+		p.state = procRunning
+		e.cur = p
+		return p
+	}
+	return nil
+}
+
+// handoff transfers the dispatch baton to process next's goroutine, or
+// back to the run-loop caller when next is nil.
+//
+//simlint:hotpath
+func (e *Engine) handoff(next *Proc) {
+	if next != nil {
+		next.resume <- struct{}{} //simlint:allow goroutine -- coroutine machinery: baton handoff
 		return
 	}
-	p := ev.p
-	if ev.id == startEventID {
-		e.startProc(p)
-		return
+	e.baton <- struct{}{} //simlint:allow goroutine -- coroutine machinery: baton handoff
+}
+
+// runLoop drives one run: it dispatches inline until control must enter a
+// process goroutine, hands the baton over, and waits for it to come back
+// when the run is over. Re-entry from inside a dispatched event is a
+// protocol violation (the nested loop could try to resume the process
+// whose goroutine it is borrowing) and panics.
+func (e *Engine) runLoop(deadline Time, limit uint64) {
+	if e.running {
+		panic("sim: Run/RunUntil/Step re-entered from inside a dispatched event")
 	}
-	if p.blockID != ev.id || p.state != procBlocked {
-		return // stale wake-up
+	e.running = true
+	e.stopped = false
+	e.deadline = deadline
+	e.limit = limit
+	for {
+		next := e.advance(nil)
+		if next == nil {
+			break
+		}
+		next.resume <- struct{}{} //simlint:allow goroutine -- coroutine machinery: baton handoff
+		<-e.baton                 //simlint:allow goroutine -- coroutine machinery: baton return
 	}
-	if ev.indirect {
-		// Requeue as a direct wake at the current time so the resume
-		// lands behind events already queued for this instant.
-		e.scheduleWake(e.now, p, ev.id, ev.val, ev.ok, false)
-		return
-	}
-	p.rxVal, p.rxOK = ev.val, ev.ok
-	e.step(p)
-	if p.state == procDone {
-		e.retire(p)
-	}
+	e.running = false
 }
 
 // After runs fn after duration d of virtual time.
@@ -245,34 +321,24 @@ func (e *Engine) Run() Time { return e.RunUntil(maxTime) }
 //
 //simlint:hotpath
 func (e *Engine) RunUntil(deadline Time) Time {
-	e.stopped = false
-	for !e.stopped {
-		at, ok := e.next()
-		if !ok || at > deadline {
-			break
-		}
-		ev := e.pop()
-		if ev.at > e.now {
-			e.now = ev.at
-		}
-		e.dispatch(ev)
-	}
+	e.runLoop(deadline, math.MaxUint64)
 	return e.now
 }
 
 // Step executes exactly one pending event, if any, and reports whether one
-// was executed. Mostly useful in kernel tests.
+// was executed. The event's synchronous continuation runs to its next park,
+// exactly as it would under Run. Mostly useful in kernel tests.
 func (e *Engine) Step() bool {
-	if _, ok := e.next(); !ok {
-		return false
-	}
-	ev := e.pop()
-	if ev.at > e.now {
-		e.now = ev.at
-	}
-	e.dispatch(ev)
-	return true
+	before := e.events
+	e.runLoop(maxTime, before+1)
+	return e.events > before
 }
+
+// NextEventTime returns the timestamp of the earliest pending event
+// without consuming it; ok is false when the queue is empty. Conservative
+// parallel scheduling (internal/sim/parallel) computes its safe-window
+// bounds from it.
+func (e *Engine) NextEventTime() (Time, bool) { return e.next() }
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int {

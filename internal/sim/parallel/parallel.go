@@ -1,0 +1,296 @@
+// Package parallel is the conservative parallel discrete-event scheduler:
+// it executes several sim.Engines — logical processes, LPs — under a
+// synchronized safe-window protocol and produces schedules byte-identical
+// to running each engine alone, at any worker count.
+//
+// The protocol is classic conservative PDES (Chandy/Misra/Bryant) with
+// synchronized windows instead of null messages. Every cross-LP
+// interaction travels through Cluster links with latency at least the
+// cluster lookahead — for the simulated ServerNet fabric that bound is
+// Config.MinLatency, the paper's 10–20 µs minimum fabric latency. Each
+// round the cluster computes
+//
+//	end = min over LPs of next-event time + lookahead
+//
+// and every LP may execute all its events strictly before end without
+// seeing any message generated this round: an event executing at t ≥
+// min-next sends with arrival t + latency ≥ end. Windows therefore depend
+// only on event timestamps, never on worker interleaving, and messages
+// are exchanged only at the barrier, merged in deterministic
+// (arrival, source LP, source sequence) order.
+//
+// LP engines share no state; within a window each runs on at most one OS
+// thread, and barrier exchanges are ordered by the WaitGroup. The package
+// is the repository's one sanctioned parallel-simulation runtime — the
+// directive below switches the goroutine analyzer into its
+// parallel-engine mode (go/sync/chan allowed; select and sync/atomic
+// still forbidden).
+//
+//simlint:parallel-engine -- sanctioned LP runtime: real goroutines between deterministic barriers
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"persistmem/internal/sim"
+)
+
+// Unbounded is the lookahead of a cluster whose LPs never exchange
+// messages (independent simulations batched for parallel execution): the
+// first window covers the whole time horizon, so every LP runs to
+// completion in a single round.
+const Unbounded = sim.Time(1) << 62
+
+// Message is one cross-LP delivery.
+type Message struct {
+	// At is the arrival time at the destination LP (send time + delay).
+	At sim.Time
+	// Src is the sending LP's index.
+	Src int
+	// Val is the payload.
+	Val interface{}
+}
+
+// Handler consumes a message on the destination LP's engine at the
+// message's arrival time. It runs as an ordinary scheduled event: it may
+// spawn processes, trigger signals, or send further messages.
+type Handler func(eng *sim.Engine, m Message)
+
+// routed is an outbox entry: a message plus its routing key. sendSeq is
+// the source-local send counter, the deterministic tie-break when two LPs
+// deliver to the same destination at the same instant.
+type routed struct {
+	dst     int
+	sendSeq uint64
+	m       Message
+}
+
+// LP is one logical process: a whole sim.Engine plus its barrier mailbox.
+type LP struct {
+	idx     int
+	eng     *sim.Engine
+	cl      *Cluster
+	handler Handler
+
+	// outbox collects this window's cross-LP sends. It is written only
+	// from the LP's own engine (single-threaded) and drained only at the
+	// barrier, after the window's WaitGroup has ordered all writes.
+	outbox  []routed
+	sendSeq uint64
+
+	// evMark snapshots EventsExecuted at the window start for the
+	// occupancy statistic.
+	evMark uint64
+}
+
+// Engine returns the LP's engine.
+func (lp *LP) Engine() *sim.Engine { return lp.eng }
+
+// Index returns the LP's position in the cluster (0-based).
+func (lp *LP) Index() int { return lp.idx }
+
+// Send schedules val for delivery to LP dst after delay — which must be
+// at least the cluster lookahead; anything shorter could land inside the
+// current safe window and break the conservative bound, so it panics.
+// Send must be called from code running on the LP's own engine.
+func (lp *LP) Send(dst int, delay sim.Time, val interface{}) {
+	if delay < lp.cl.lookahead {
+		panic(fmt.Sprintf("parallel: Send delay %v below cluster lookahead %v", delay, lp.cl.lookahead))
+	}
+	if dst < 0 || dst >= len(lp.cl.lps) {
+		panic(fmt.Sprintf("parallel: Send to unknown LP %d", dst))
+	}
+	lp.sendSeq++
+	lp.outbox = append(lp.outbox, routed{
+		dst:     dst,
+		sendSeq: lp.sendSeq,
+		m:       Message{At: lp.eng.Now() + delay, Src: lp.idx, Val: val},
+	})
+}
+
+// Stats describes one cluster run.
+type Stats struct {
+	// Workers is the worker count the run used (0 = sequential reference).
+	Workers int
+	// Windows is the number of safe-time windows the run took.
+	Windows uint64
+	// Occupied sums, over all windows, the LPs that executed at least one
+	// event in that window; Occupied/Windows is the average parallelism
+	// the barrier exposed.
+	Occupied uint64
+	// Events is the total events executed across all LPs.
+	Events uint64
+	// Messages is the number of cross-LP messages delivered.
+	Messages uint64
+}
+
+// AvgOccupancy returns the mean number of LPs active per window.
+func (s Stats) AvgOccupancy() float64 {
+	if s.Windows == 0 {
+		return 0
+	}
+	return float64(s.Occupied) / float64(s.Windows)
+}
+
+// Cluster is a set of LPs advancing in lockstep safe-time windows.
+type Cluster struct {
+	lookahead sim.Time
+	lps       []*LP
+	inflight  []routed // messages collected at the current barrier
+}
+
+// New returns an empty cluster with the given lookahead (> 0). Use the
+// fabric's Config.MinLatency for linked simulations, or Unbounded for
+// independent ones.
+func New(lookahead sim.Time) *Cluster {
+	if lookahead <= 0 {
+		panic("parallel: lookahead must be positive")
+	}
+	return &Cluster{lookahead: lookahead}
+}
+
+// Lookahead returns the cluster's lookahead.
+func (c *Cluster) Lookahead() sim.Time { return c.lookahead }
+
+// AddLP registers eng as the next logical process. handler consumes
+// messages sent to this LP; it may be nil for an LP that only sends.
+// All LPs must be added before the first Run.
+func (c *Cluster) AddLP(eng *sim.Engine, handler Handler) *LP {
+	lp := &LP{idx: len(c.lps), eng: eng, cl: c, handler: handler}
+	c.lps = append(c.lps, lp)
+	return lp
+}
+
+// windowEnd computes the inclusive deadline of the next safe window, or
+// ok=false when every LP's queue is drained (the run is over).
+func (c *Cluster) windowEnd() (sim.Time, bool) {
+	var minNext sim.Time
+	found := false
+	for _, lp := range c.lps {
+		if t, ok := lp.eng.NextEventTime(); ok && (!found || t < minNext) {
+			minNext, found = t, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	// Events strictly before minNext+lookahead cannot be affected by any
+	// message generated this window, so the inclusive RunUntil deadline is
+	// one tick short of that bound (saturating near the horizon).
+	end := minNext + c.lookahead - 1
+	if end < minNext {
+		end = sim.Time(math.MaxInt64) // saturate: the whole horizon is safe
+	}
+	return end, true
+}
+
+// barrier merges every LP's outbox and delivers the messages into their
+// destination engines in (arrival, source LP, source sequence) order —
+// the order, not the OS schedule, assigns destination-engine sequence
+// numbers, which is what keeps multi-worker runs byte-identical.
+func (c *Cluster) barrier() uint64 {
+	msgs := c.inflight[:0]
+	for _, lp := range c.lps {
+		msgs = append(msgs, lp.outbox...)
+		for i := range lp.outbox {
+			lp.outbox[i] = routed{}
+		}
+		lp.outbox = lp.outbox[:0]
+	}
+	// Insertion sort by (At, Src, sendSeq): outboxes are per-source
+	// ordered already, so this is nearly a merge.
+	for i := 1; i < len(msgs); i++ {
+		for j := i; j > 0 && routedLess(&msgs[j], &msgs[j-1]); j-- {
+			msgs[j], msgs[j-1] = msgs[j-1], msgs[j]
+		}
+	}
+	for i := range msgs {
+		r := msgs[i]
+		lp := c.lps[r.dst]
+		if lp.handler == nil {
+			panic(fmt.Sprintf("parallel: LP %d received a message but has no handler", r.dst))
+		}
+		h, eng, m := lp.handler, lp.eng, r.m
+		eng.Schedule(m.At, func() { h(eng, m) })
+	}
+	c.inflight = msgs
+	return uint64(len(msgs))
+}
+
+func routedLess(a, b *routed) bool {
+	if a.m.At != b.m.At {
+		return a.m.At < b.m.At
+	}
+	if a.m.Src != b.m.Src {
+		return a.m.Src < b.m.Src
+	}
+	return a.sendSeq < b.sendSeq
+}
+
+// RunSequential drains the cluster under the window protocol with no real
+// concurrency at all — the reference schedule the parallel path is
+// differentially tested against.
+func (c *Cluster) RunSequential() Stats {
+	return c.run(0)
+}
+
+// Run drains the cluster, executing each window's LPs on min(workers,
+// len(lps)) OS threads. The resulting schedule — every engine's event
+// order, clock, and statistics — is byte-identical to RunSequential at
+// any worker count. workers < 1 is clamped to 1.
+func (c *Cluster) Run(workers int) Stats {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(c.lps) {
+		workers = len(c.lps)
+	}
+	return c.run(workers)
+}
+
+// run is the window loop. workers == 0 runs LPs inline (the sequential
+// reference); otherwise each window stripes LPs across worker goroutines,
+// with a WaitGroup barrier ordering all engine and outbox writes before
+// the merge.
+func (c *Cluster) run(workers int) Stats {
+	stats := Stats{Workers: workers}
+	for {
+		end, ok := c.windowEnd()
+		if !ok {
+			break
+		}
+		if workers <= 1 {
+			for _, lp := range c.lps {
+				lp.evMark = lp.eng.EventsExecuted()
+				lp.eng.RunUntil(end)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(c.lps); i += workers {
+						lp := c.lps[i]
+						lp.evMark = lp.eng.EventsExecuted()
+						lp.eng.RunUntil(end)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		stats.Windows++
+		for _, lp := range c.lps {
+			if lp.eng.EventsExecuted() > lp.evMark {
+				stats.Occupied++
+			}
+		}
+		stats.Messages += c.barrier()
+	}
+	for _, lp := range c.lps {
+		stats.Events += lp.eng.EventsExecuted()
+	}
+	return stats
+}

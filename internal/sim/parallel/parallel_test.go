@@ -1,0 +1,216 @@
+package parallel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"persistmem/internal/sim"
+)
+
+// storm builds a seeded random cross-LP workload: nLPs engines, each with
+// several processes that compute, wait random durations, and fire
+// messages at other LPs with delays at or above the lookahead. Handlers
+// log every arrival and forward messages while their hop count lasts, so
+// the schedule is dense with same-timestamp collisions, barrier-crossing
+// chains, and multi-source fan-in — everything the deterministic merge
+// must order identically at any worker count.
+type storm struct {
+	cl   *Cluster
+	logs []*strings.Builder
+}
+
+const stormLookahead = 16300 * sim.Nanosecond // the fabric MinLatency scale
+
+type hop struct {
+	Hops int
+	V    uint64
+}
+
+func buildStorm(seed int64, nLPs, procs, iters int) *storm {
+	st := &storm{cl: New(stormLookahead)}
+	for i := 0; i < nLPs; i++ {
+		eng := sim.NewEngine(seed + int64(i)*1000)
+		log := &strings.Builder{}
+		st.logs = append(st.logs, log)
+		lp := st.cl.AddLP(eng, nil)
+		lp.handler = func(e *sim.Engine, m Message) {
+			h := m.Val.(hop)
+			fmt.Fprintf(log, "rx t=%d src=%d hops=%d v=%d\n", e.Now(), m.Src, h.Hops, h.V)
+			if h.Hops > 0 {
+				// Forward to the next LP with a deterministic delay riff.
+				dst := int(h.V+uint64(m.Src)) % nLPs
+				delay := stormLookahead + sim.Time(h.V%3)*stormLookahead/2
+				lp.Send(dst, delay, hop{Hops: h.Hops - 1, V: h.V * 31})
+			}
+		}
+		for pr := 0; pr < procs; pr++ {
+			pr := pr
+			eng.Spawn(fmt.Sprintf("storm%d", pr), func(p *sim.Proc) {
+				r := p.Engine().DeriveRand(fmt.Sprintf("storm/%d", pr))
+				for it := 0; it < iters; it++ {
+					// Random local think time, including zero waits that
+					// contend on same-timestamp ordering.
+					p.Wait(sim.Time(r.Intn(40)) * sim.Microsecond / 4)
+					v := r.Uint64()
+					fmt.Fprintf(log, "p%d t=%d it=%d v=%d\n", pr, p.Now(), it, v)
+					if v%4 == 0 {
+						dst := int(v>>8) % nLPs
+						// Delays start at exactly the lookahead — the
+						// adversarial minimum the safe window must survive.
+						delay := stormLookahead + sim.Time(v%5)*stormLookahead/4
+						lp.Send(dst, delay, hop{Hops: int(v % 4), V: v})
+					}
+				}
+			})
+		}
+	}
+	return st
+}
+
+func TestStormByteIdenticalAcrossWorkers(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	for _, seed := range seeds {
+		ref := buildStorm(seed, 5, 4, 60)
+		refStats := ref.cl.RunSequential()
+		want := stormPrint(ref)
+		if refStats.Events == 0 || refStats.Messages == 0 {
+			t.Fatalf("seed %d: degenerate storm (events=%d messages=%d)", seed, refStats.Events, refStats.Messages)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			st := buildStorm(seed, 5, 4, 60)
+			stats := st.cl.Run(workers)
+			if got := stormPrint(st); got != want {
+				t.Fatalf("seed %d workers %d: schedule diverged from sequential reference", seed, workers)
+			}
+			if stats.Windows != refStats.Windows || stats.Events != refStats.Events || stats.Messages != refStats.Messages {
+				t.Fatalf("seed %d workers %d: stats diverged: %+v vs %+v", seed, workers, stats, refStats)
+			}
+		}
+	}
+}
+
+// TestSameInstantFanIn aims three LPs at one destination with arrivals at
+// the same virtual instant: the merge must order them by (src, sendSeq),
+// not by which worker finished first.
+func TestSameInstantFanIn(t *testing.T) {
+	build := func() (*Cluster, *strings.Builder) {
+		c := New(stormLookahead)
+		log := &strings.Builder{}
+		sink := c.AddLP(sim.NewEngine(1), nil)
+		sink.handler = func(e *sim.Engine, m Message) {
+			fmt.Fprintf(log, "t=%d src=%d v=%v\n", e.Now(), m.Src, m.Val)
+		}
+		for i := 1; i <= 3; i++ {
+			i := i
+			lp := c.AddLP(sim.NewEngine(int64(i)), nil)
+			lp.Engine().Spawn("tx", func(p *sim.Proc) {
+				for k := 0; k < 8; k++ {
+					// All LPs send with identical timing: every arrival
+					// collides with two others at the same instant.
+					lp.Send(0, stormLookahead, fmt.Sprintf("lp%d/%d", i, k))
+					p.Wait(10 * sim.Microsecond)
+				}
+			})
+		}
+		return c, log
+	}
+
+	refC, refLog := build()
+	refC.RunSequential()
+	for _, workers := range []int{1, 4} {
+		c, log := build()
+		c.Run(workers)
+		if log.String() != refLog.String() {
+			t.Fatalf("workers %d: fan-in order diverged:\n%s\nvs\n%s", workers, log.String(), refLog.String())
+		}
+	}
+	if !strings.Contains(refLog.String(), "src=1") || !strings.Contains(refLog.String(), "src=3") {
+		t.Fatalf("fan-in log missing sources:\n%s", refLog.String())
+	}
+}
+
+func TestSendBelowLookaheadPanics(t *testing.T) {
+	c := New(stormLookahead)
+	lp := c.AddLP(sim.NewEngine(1), nil)
+	c.AddLP(sim.NewEngine(2), func(*sim.Engine, Message) {})
+	lp.Engine().Spawn("tx", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send below lookahead did not panic")
+			}
+		}()
+		lp.Send(1, stormLookahead-1, "too soon")
+	})
+	c.RunSequential()
+}
+
+// TestUnboundedSingleWindow checks the degenerate unlinked case: with
+// Unbounded lookahead, independent LPs drain in exactly one window.
+func TestUnboundedSingleWindow(t *testing.T) {
+	c := New(Unbounded)
+	for i := 0; i < 4; i++ {
+		eng := sim.NewEngine(int64(i))
+		eng.Spawn("w", func(p *sim.Proc) {
+			for k := 0; k < 50; k++ {
+				p.Wait(sim.Time(k) * sim.Millisecond)
+			}
+		})
+		c.AddLP(eng, nil)
+	}
+	stats := c.Run(4)
+	if stats.Windows != 1 {
+		t.Fatalf("unlinked cluster took %d windows, want 1", stats.Windows)
+	}
+	if stats.Occupied != 4 {
+		t.Fatalf("occupancy %d, want 4", stats.Occupied)
+	}
+	for _, lp := range c.lps {
+		if n := lp.eng.Pending(); n != 0 {
+			t.Fatalf("lp%d still has %d pending events", lp.idx, n)
+		}
+	}
+}
+
+// TestWindowAdvancesOnlyBySafeBound checks the conservative property
+// directly: no LP's clock may pass min(next-event)+lookahead within a
+// window, so a message can never arrive in an LP's past.
+func TestWindowAdvancesOnlyBySafeBound(t *testing.T) {
+	c := New(stormLookahead)
+	var violated bool
+	a := c.AddLP(sim.NewEngine(1), nil)
+	b := c.AddLP(sim.NewEngine(2), nil)
+	b.handler = func(e *sim.Engine, m Message) {
+		if m.At < e.Now() {
+			violated = true
+		}
+	}
+	a.handler = func(e *sim.Engine, m Message) {}
+	a.Engine().Spawn("tx", func(p *sim.Proc) {
+		r := p.Engine().DeriveRand("tx")
+		for k := 0; k < 200; k++ {
+			p.Wait(sim.Time(r.Intn(1000)))
+			a.Send(1, stormLookahead, k)
+		}
+	})
+	b.Engine().Spawn("busy", func(p *sim.Proc) {
+		// Dense local events try to race ahead of the window bound.
+		for k := 0; k < 20000; k++ {
+			p.Wait(100 * sim.Nanosecond)
+		}
+	})
+	c.Run(2)
+	if violated {
+		t.Fatal("a message arrived in its destination's past: safe window violated")
+	}
+}
+
+// stormPrint renders a finished storm's observable state.
+func stormPrint(st *storm) string {
+	var b strings.Builder
+	for i, lp := range st.cl.lps {
+		fmt.Fprintf(&b, "== lp%d now=%d events=%d\n", i, lp.eng.Now(), lp.eng.EventsExecuted())
+		b.WriteString(st.logs[i].String())
+	}
+	return b.String()
+}

@@ -26,8 +26,11 @@ type Proc struct {
 	name string
 	id   uint64
 
-	resume chan struct{} // engine -> proc: run until you park
-	yield  chan struct{} // proc -> engine: parked or finished
+	// resume delivers the dispatch baton to the process goroutine. The
+	// reverse direction needs no per-process channel: a parking process
+	// hands the baton straight to the next runnable process (or back to
+	// the run-loop caller via Engine.baton).
+	resume chan struct{}
 
 	state   procState
 	killed  bool
@@ -61,8 +64,7 @@ func (e *Engine) SpawnAt(at Time, name string, body func(p *Proc)) *Proc {
 		eng:    e,
 		name:   name,
 		id:     e.nprocs,
-		resume: make(chan struct{}), //simlint:allow goroutine -- coroutine machinery: engine->proc rendezvous
-		yield:  make(chan struct{}), //simlint:allow goroutine -- coroutine machinery: proc->engine rendezvous
+		resume: make(chan struct{}), //simlint:allow goroutine -- coroutine machinery: baton delivery
 		body:   body,
 	}
 	e.procs[p] = struct{}{}
@@ -97,55 +99,60 @@ func (p *Proc) Done() bool { return p.state == procDone }
 // OnExit registers fn to run when the process finishes or is killed.
 func (p *Proc) OnExit(fn func()) { p.onExit = append(p.onExit, fn) }
 
-// startProc launches the goroutine for p and performs its first step.
-func (e *Engine) startProc(p *Proc) {
+// startProc handles a start event: it launches p's goroutine primed to
+// receive the baton and reports true (the dispatcher must transfer control
+// to p), or retires a process killed before it ever ran and reports false.
+func (e *Engine) startProc(p *Proc) bool {
 	if p.killed || p.started {
 		// Killed before it ever ran: just retire it.
 		if !p.started {
 			p.state = procDone
 			e.retire(p)
 		}
-		return
+		return false
 	}
 	if e.traceEnabled() {
 		e.tracef("start %s", p.name)
 	}
 	p.started = true
-	// The process body runs on its own goroutine, but the park/resume
-	// rendezvous keeps exactly one side runnable at a time, so scheduling
-	// stays deterministic.
+	p.state = procRunning
+	e.cur = p
+	e.launch(p)
+	return true
+}
+
+// launch starts the goroutine backing p. The goroutine waits for the
+// dispatch baton, runs the body, and keeps the dispatch loop going when
+// the body finishes: retirement is followed directly by advance, so a
+// process exit costs one goroutine switch instead of two. The park/resume
+// rendezvous keeps exactly one goroutine runnable at a time, so scheduling
+// stays deterministic.
+func (e *Engine) launch(p *Proc) {
 	//simlint:allow goroutine -- coroutine machinery: see comment above
 	go func() {
-		<-p.resume
+		<-p.resume //simlint:allow goroutine -- coroutine machinery: baton delivery
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killSentinel); !ok {
+					if p.state == procBlocked {
+						// The panic unwound out of the dispatch loop run
+						// inside park(), not out of the body: some other
+						// event's code panicked while borrowing this
+						// goroutine. Re-raise it untouched.
+						panic(r)
+					}
 					// Real panic from simulation code: surface it with
 					// process identity, then crash the test/program.
 					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
 				}
 			}
 			p.state = procDone
-			p.yield <- struct{}{}
+			e.cur = nil
+			e.retire(p)
+			e.handoff(e.advance(nil))
 		}()
 		p.body(p)
 	}()
-	e.step(p)
-	if p.state == procDone {
-		e.retire(p)
-	}
-}
-
-// step hands control to p's goroutine and waits until it parks or finishes.
-func (e *Engine) step(p *Proc) {
-	prev := e.cur
-	e.cur = p
-	if p.state != procDone {
-		p.state = procRunning
-	}
-	p.resume <- struct{}{}
-	<-p.yield
-	e.cur = prev
 }
 
 // retire removes a finished process from the live set and fires exit hooks.
@@ -161,14 +168,20 @@ func (e *Engine) retire(p *Proc) {
 }
 
 // park blocks the calling process until a wake-up with the current blockID
-// arrives. It must be called from within the process goroutine.
+// arrives. It must be called from within the process goroutine. The
+// parking goroutine runs the dispatch loop itself: if the very next
+// runnable event is its own wake-up it continues with zero goroutine
+// switches, otherwise it hands the baton to the next runnable process (or
+// the run-loop caller) and sleeps until resumed.
 //
 //simlint:hotpath
 func (p *Proc) park() {
 	p.state = procBlocked
-	p.yield <- struct{}{}
-	<-p.resume
-	p.state = procRunning
+	e := p.eng
+	if next := e.advance(p); next != p {
+		e.handoff(next)
+		<-p.resume //simlint:allow goroutine -- coroutine machinery: baton delivery
+	}
 	if p.killed {
 		panic(killSentinel{p.name})
 	}

@@ -18,6 +18,13 @@ import "math/bits"
 // than the top span go to an overflow min-heap and migrate into the wheel
 // when the cursor comes within range.
 //
+// Storage is structure-of-arrays: buckets hold 24-byte pointer-free
+// entries — the (at, seq) ordering key plus a handle into the event pool —
+// while the 64-byte event payload (with its pointer fields) is written
+// once at insert and read once at pop. Cascades and sorts move only
+// entries, so redistribution copies a third of the bytes and triggers no
+// GC write barriers.
+//
 // Ordering contract: popReady yields events in exactly (at, seq) order —
 // the same total order as the reference heap — because (a) the cursor only
 // ever advances to a lower bound of every pending event's timestamp, so no
@@ -37,6 +44,25 @@ const (
 	spanTop = Time(1) << (slotBits * numLevels)
 )
 
+// entry is a wheel bucket element: the (at, seq) ordering key plus the
+// pool index of the event payload. Entries are pointer-free by design —
+// see the structure-of-arrays note above.
+type entry struct {
+	at  Time
+	seq uint64
+	idx int32
+}
+
+// entryLess orders entries by (time, sequence), mirroring eventLess.
+//
+//simlint:hotpath
+func entryLess(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
 // wheel is the hierarchical timing wheel. The zero value is ready to use.
 type wheel struct {
 	// cur is the scheduler cursor: no pending event is earlier. It can run
@@ -44,23 +70,53 @@ type wheel struct {
 	// before it rewinds the cursor (rare, and only between runs).
 	cur Time
 
-	levels [numLevels][numSlots][]event
+	levels [numLevels][numSlots][]entry
 	occ    [numLevels][numSlots / 64]uint64
 
-	// ready holds the events due at exactly cur, consumed from readyHead.
-	ready       []event
+	// pool holds event payloads addressed by entry.idx; free lists the
+	// vacant slots. A slot is written at insert, zeroed at pop (so the
+	// pool does not pin callbacks or delivered values) and recycled.
+	pool []event
+	free []int32
+
+	// ready holds the entries due at exactly cur, consumed from readyHead.
+	ready       []entry
 	readyHead   int
 	readySorted bool
 
-	// ovf is a min-heap (by eventLess) of events at least spanTop out.
-	ovf []event
+	// ovf is a min-heap (by entryLess) of entries at least spanTop out.
+	ovf []entry
 
 	// scratch is the spare bucket backing rotated through cascades so
 	// steady-state redistribution allocates nothing.
-	scratch []event
+	scratch []entry
 
 	count  int // all pending events
 	wcount int // events resident in level buckets
+}
+
+// alloc stores ev in the pool and returns its handle.
+//
+//simlint:hotpath
+func (w *wheel) alloc(ev event) int32 {
+	if n := len(w.free); n > 0 {
+		idx := w.free[n-1]
+		w.free = w.free[:n-1]
+		w.pool[idx] = ev
+		return idx
+	}
+	w.pool = append(w.pool, ev)
+	return int32(len(w.pool) - 1)
+}
+
+// take reads and vacates the pool slot behind a popped entry.
+//
+//simlint:hotpath
+func (w *wheel) take(idx int32) event {
+	ev := w.pool[idx]
+	w.pool[idx] = event{}
+	w.free = append(w.free, idx)
+	return ev
 }
 
 // levelOf picks the level whose span covers delta (0 < delta < spanTop).
@@ -77,36 +133,36 @@ func (w *wheel) insert(ev event) {
 	if ev.at < w.cur {
 		w.rewind(ev.at)
 	}
-	w.place(ev)
+	w.place(entry{at: ev.at, seq: ev.seq, idx: w.alloc(ev)})
 	w.count++
 }
 
-// place routes an event (with at >= cur) to the ready bucket, a level slot,
+// place routes an entry (with at >= cur) to the ready bucket, a level slot,
 // or the overflow heap. It does not touch count.
 //
 //simlint:hotpath
-func (w *wheel) place(ev event) {
-	delta := ev.at - w.cur
+func (w *wheel) place(en entry) {
+	delta := en.at - w.cur
 	switch {
 	case delta == 0:
-		if n := len(w.ready); n > w.readyHead && ev.seq < w.ready[n-1].seq {
+		if n := len(w.ready); n > w.readyHead && en.seq < w.ready[n-1].seq {
 			w.readySorted = false
 		}
-		w.ready = append(w.ready, ev)
+		w.ready = append(w.ready, en)
 	case delta < spanTop:
 		lvl := levelOf(delta)
-		slot := int(uint64(ev.at)>>(uint(lvl)*slotBits)) & slotMask
-		w.levels[lvl][slot] = append(w.levels[lvl][slot], ev)
+		slot := int(uint64(en.at)>>(uint(lvl)*slotBits)) & slotMask
+		w.levels[lvl][slot] = append(w.levels[lvl][slot], en)
 		w.occ[lvl][slot>>6] |= 1 << uint(slot&63)
 		w.wcount++
 	default:
-		w.ovfPush(ev)
+		w.ovfPush(en)
 	}
 }
 
 // rewind moves the cursor back to at (engine code inserted an event before
 // the cursor, which can only happen after a deadline-limited run stopped
-// short of the next event). Ready events are no longer current and are
+// short of the next event). Ready entries are no longer current and are
 // re-placed against the earlier cursor; level buckets keep their absolute
 // slots and self-correct at expiry.
 func (w *wheel) rewind(at Time) {
@@ -118,9 +174,6 @@ func (w *wheel) rewind(at Time) {
 		return
 	}
 	pend := append(w.scratch[:0], w.ready[w.readyHead:]...)
-	for i := range w.ready {
-		w.ready[i] = event{}
-	}
 	w.ready = w.ready[:0]
 	w.readyHead = 0
 	w.readySorted = true
@@ -174,7 +227,7 @@ func (w *wheel) nextTime() (Time, bool) {
 			panic("sim: timing wheel lost an event")
 		}
 		w.advanceTo(best)
-		// Pull overflow events that are now within the wheel horizon.
+		// Pull overflow entries that are now within the wheel horizon.
 		for len(w.ovf) > 0 && w.ovf[0].at-w.cur < spanTop {
 			w.place(w.ovfPop())
 		}
@@ -186,8 +239,7 @@ func (w *wheel) nextTime() (Time, bool) {
 //
 //simlint:hotpath
 func (w *wheel) popReady() event {
-	ev := w.ready[w.readyHead]
-	w.ready[w.readyHead] = event{}
+	en := w.ready[w.readyHead]
 	w.readyHead++
 	if w.readyHead == len(w.ready) {
 		w.ready = w.ready[:0]
@@ -195,7 +247,7 @@ func (w *wheel) popReady() event {
 		w.readySorted = true
 	}
 	w.count--
-	return ev
+	return w.take(en.idx)
 }
 
 // sortReady insertion-sorts the live portion of the ready bucket by seq.
@@ -313,22 +365,21 @@ func (w *wheel) advanceTo(t Time) {
 		for i := range b {
 			w.place(b[i])
 		}
-		// No per-element zeroing: the vacated entries are overwritten by
-		// the next cascade that borrows this backing, and everything they
-		// pin is alive in its new bucket anyway.
+		// Entries are pointer-free, so the vacated backing needs no
+		// zeroing at all; the next cascade that borrows it overwrites.
 		w.scratch = b[:0]
 	}
 }
 
-// ovfPush inserts ev into the overflow min-heap.
+// ovfPush inserts en into the overflow min-heap.
 //
 //simlint:hotpath
-func (w *wheel) ovfPush(ev event) {
-	q := append(w.ovf, ev)
+func (w *wheel) ovfPush(en entry) {
+	q := append(w.ovf, en)
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !eventLess(&q[i], &q[parent]) {
+		if !entryLess(&q[i], &q[parent]) {
 			break
 		}
 		q[i], q[parent] = q[parent], q[i]
@@ -340,12 +391,11 @@ func (w *wheel) ovfPush(ev event) {
 // ovfPop removes and returns the overflow heap's minimum.
 //
 //simlint:hotpath
-func (w *wheel) ovfPop() event {
+func (w *wheel) ovfPop() entry {
 	q := w.ovf
-	ev := q[0]
+	en := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
-	q[n] = event{}
 	q = q[:n]
 	i := 0
 	for {
@@ -354,15 +404,15 @@ func (w *wheel) ovfPop() event {
 			break
 		}
 		child := l
-		if r < n && eventLess(&q[r], &q[l]) {
+		if r < n && entryLess(&q[r], &q[l]) {
 			child = r
 		}
-		if !eventLess(&q[child], &q[i]) {
+		if !entryLess(&q[child], &q[i]) {
 			break
 		}
 		q[i], q[child] = q[child], q[i]
 		i = child
 	}
 	w.ovf = q
-	return ev
+	return en
 }

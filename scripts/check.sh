@@ -24,13 +24,38 @@ go test -race ./...
 # allocs/txn and fail on >20% regression against the committed baseline.
 go run ./cmd/simbench -compare BENCH_kernel.json
 
+# Parallel-engine differential gates: the conservative LP cluster must
+# produce byte-identical schedules at any worker count, verified under
+# the race detector with GOMAXPROCS>1 so the worker goroutines genuinely
+# interleave.
+GOMAXPROCS=4 go test -race -count=1 ./internal/sim/parallel
+GOMAXPROCS=4 go test -race -count=1 -run 'EngineDifferential' ./internal/bench
+
 # Fault-injection smoke matrix: every (durability x fault x phase) cell
 # must pass its invariants, and the whole sweep must be deterministic —
-# two same-seed runs (one sequential) print byte-identical tables.
+# three same-seed runs (default pool, sequential, and the parallel LP
+# engine) print byte-identical tables.
 go run ./cmd/faults -txns 8 -chaos 1 > /tmp/faults-a.txt
 go run ./cmd/faults -txns 8 -chaos 1 -parallel 1 > /tmp/faults-b.txt
 cmp /tmp/faults-a.txt /tmp/faults-b.txt
-rm -f /tmp/faults-a.txt /tmp/faults-b.txt
+go run ./cmd/faults -txns 8 -chaos 1 -engine parallel > /tmp/faults-c.txt
+cmp /tmp/faults-a.txt /tmp/faults-c.txt
+rm -f /tmp/faults-a.txt /tmp/faults-b.txt /tmp/faults-c.txt
+
+# Figure-artifact staleness gate: regenerate every table at quick scale
+# and compare its format skeleton (numbers, durations and the scale name
+# masked out) against the committed full-scale summary. A mismatch means
+# a table changed shape since figures_full.txt was generated — rerun
+# cmd/figures at -scale full and commit the refreshed artifacts.
+go run ./cmd/figures -fig all -scale quick -seed 1 > /tmp/figures-quick.txt
+skel() {
+	sed -E -e 's/scale=[a-z]+/scale=S/' -e 's/[0-9]+(\.[0-9]+)?(ns|us|µs|ms|m?s)?/N/g' \
+		-e 's/  +/ /g' -e 's/ +$//' "$1"
+}
+skel figures_full.txt > /tmp/figures-skel-full.txt
+skel /tmp/figures-quick.txt > /tmp/figures-skel-quick.txt
+cmp /tmp/figures-skel-full.txt /tmp/figures-skel-quick.txt
+rm -f /tmp/figures-quick.txt /tmp/figures-skel-full.txt /tmp/figures-skel-quick.txt
 
 if command -v govulncheck >/dev/null 2>&1; then
 	govulncheck ./...
