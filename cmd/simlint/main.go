@@ -1,5 +1,8 @@
-// Command simlint runs the repository's determinism and hot-path
-// static-analysis suite (internal/analysis) over Go packages.
+// Command simlint runs the repository's static-analysis suite
+// (internal/analysis) over Go packages: six analyzers covering
+// determinism (nodeterm, seedflow), hot-path allocation (hotalloc),
+// real-concurrency leaks (goroutine), pooled-box lifecycles (boxcheck),
+// and logical-process isolation (lpboundary).
 //
 // Standalone:
 //
@@ -29,7 +32,7 @@ import (
 	"persistmem/internal/analysis"
 )
 
-const version = "v0.1.0"
+const version = "v0.2.0"
 
 func main() {
 	if len(os.Args) == 2 {

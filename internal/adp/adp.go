@@ -197,7 +197,7 @@ type ADP struct {
 
 	// ckfree recycles ckDelta boxes (absorbed synchronously, so a box is
 	// reusable as soon as Checkpoint returns).
-	ckfree []*ckDelta
+	ckfree []*ckDelta //simlint:box -- checkpoint-delta pool
 
 	// Instrument pointers, nil when unmetered (methods on m nil-short-
 	// circuit; mFlush is copied out so no field access touches a nil

@@ -11,15 +11,21 @@
 // encodes those invariants as analyzers so they are machine-checked on
 // every change (scripts/check.sh and CI run the suite over ./...).
 //
-// The four analyzers:
+// The six analyzers:
 //
-//   - nodeterm:  wall-clock calls, process-global math/rand, and map range
+//   - nodeterm:   wall-clock calls, process-global math/rand, and map range
 //     statements in sim-critical packages.
-//   - seedflow:  *rand.Rand construction outside Engine.DeriveRand.
-//   - hotalloc:  per-event allocation (fmt, varargs, interface boxing,
+//   - seedflow:   *rand.Rand construction outside Engine.DeriveRand.
+//   - hotalloc:   per-event allocation (fmt, varargs, interface boxing,
 //     capturing closures) inside //simlint:hotpath functions.
-//   - goroutine: real concurrency (go, select, sync, make(chan)) inside
+//   - goroutine:  real concurrency (go, select, sync, make(chan)) inside
 //     virtual-time kernel and model code.
+//   - boxcheck:   lifecycle tracking for pooled boxes declared with
+//     //simlint:box — use-after-put, double-put, put-of-nil, escapes
+//     into fields without //simlint:boxowner, early-return leaks.
+//   - lpboundary: state crossing logical-process boundaries without
+//     parallel.LP.Send — foreign LP/engine captures in AddLP handlers,
+//     direct calls on LP.Engine() results, handler-shared variables.
 //
 // Directives (line comments) tune the analyzers where the rules need
 // human-reviewed exceptions; each should carry a `-- reason` suffix:
@@ -34,11 +40,18 @@
 //	                             rand sources (Engine.DeriveRand)
 //	//simlint:allow <analyzer>   suppress the named analyzer on this or the
 //	                             next line
+//	//simlint:box                on a struct field: the field is a free list
+//	                             whose element type is a pooled box; boxcheck
+//	                             derives Get/Put functions from the code and
+//	                             enforces the box lifecycle
+//	//simlint:boxowner           on a struct field: storing a pooled box here
+//	                             is a sanctioned ownership transfer (the
+//	                             structure now owns the box's lifecycle)
 //	//simlint:parallel-engine    on a package clause: the package is a
 //	                             sanctioned parallel-simulation runtime —
 //	                             goroutine permits go statements, sync, and
 //	                             real channels, but still forbids select
-//	                             and sync/atomic
+//	                             and sync/atomic; lpboundary exempts it
 package analysis
 
 import (
@@ -61,7 +74,7 @@ type Analyzer struct {
 
 // Analyzers returns the full simlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nodeterm, Seedflow, Hotalloc, Goroutine}
+	return []*Analyzer{Nodeterm, Seedflow, Hotalloc, Goroutine, Boxcheck, Lpboundary}
 }
 
 // Diagnostic is one finding, already resolved to a file position.
@@ -154,6 +167,9 @@ func parseDirective(text string) (directive, bool) {
 	body := text[len(prefix):]
 	if i := strings.Index(body, "--"); i >= 0 {
 		body = body[:i] // strip the justification
+	}
+	if i := strings.Index(body, "//"); i >= 0 {
+		body = body[:i] // strip a nested comment (fixture // want expectations)
 	}
 	fields := strings.Fields(body)
 	if len(fields) == 0 {

@@ -1,0 +1,47 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"persistmem/internal/analysis"
+)
+
+// Self-benchmarks for the simlint pipeline itself: the `go list -export`
+// load plus typecheck of the whole repository, and a pure analyzer pass
+// over the loaded targets. CI runs both once per build so a pathological
+// slowdown in an analyzer (they walk every function of every package)
+// surfaces as a visible time regression rather than a slower gate.
+
+func BenchmarkLoadRepository(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		targets, err := analysis.Load(".", []string{"persistmem/..."})
+		if err != nil {
+			b.Fatalf("loading packages: %v", err)
+		}
+		if len(targets) == 0 {
+			b.Fatal("loaded no packages")
+		}
+	}
+}
+
+func BenchmarkRunAnalyzers(b *testing.B) {
+	targets, err := analysis.Load(".", []string{"persistmem/..."})
+	if err != nil {
+		b.Fatalf("loading packages: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		for _, target := range targets {
+			err := analysis.RunAnalyzers(target, analysis.Analyzers(), func(d analysis.Diagnostic) {
+				n++
+			})
+			if err != nil {
+				b.Fatalf("%s: %v", target.ImportPath, err)
+			}
+		}
+		if n != 0 {
+			b.Fatalf("repository not clean: %d findings", n)
+		}
+	}
+}

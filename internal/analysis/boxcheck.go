@@ -1,0 +1,997 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Boxcheck enforces the box-ownership lifecycle rules of the zero-alloc
+// data plane. A pooled "box" is an object recycled through a per-instance
+// free list; the free-list field is declared with //simlint:box and the
+// analyzer derives everything else from the code:
+//
+//   - a method whose body pops the annotated slice and whose single result
+//     is the element type is a Get; an index read of the free list inside
+//     any other function is an inline Get site
+//   - a method that appends one of its parameters to the free list is a
+//     Put; append(recv.freelist, x) inline is an inline Put site
+//
+// Within each function the analyzer tracks box values intra-procedurally
+// through assignments, field stores, calls, and returns, and reports:
+//
+//   - use-after-put: any read of a box after it was returned to the pool
+//   - double-put: returning the same box to a pool twice
+//   - put-of-nil: passing a literal nil to a Put
+//   - cross-pool put: returning a box to a different pool than it came from
+//   - unannotated escape: storing a box into a struct field that does not
+//     carry //simlint:boxowner (ownership transfers must be declared)
+//   - leak: a box still owned when a return path (or the end of a void
+//     function) is reached — the early-return error leaks the free lists
+//     are meant to prevent
+//
+// Ownership-transfer conventions that are legal by design are expressed in
+// the model: passing a box to an ordinary call or returning it moves the
+// box out of the function (the reply-recycle and abandon-to-GC patterns),
+// a deferred Put disposes the box at exit, and //simlint:allow boxcheck
+// suppresses a justified abandon. Malformed //simlint:box / boxowner
+// directives (arguments, non-slice box fields, comments not attached to a
+// struct field) are themselves diagnosed rather than silently ignored.
+var Boxcheck = &Analyzer{
+	Name: "boxcheck",
+	Doc: "track pooled-box lifecycles declared by //simlint:box free lists; " +
+		"flag use-after-put, double-put, put-of-nil, unannotated escapes, " +
+		"and boxes leaked on early returns",
+	Run: runBoxcheck,
+}
+
+// boxPool is one //simlint:box free list.
+type boxPool struct {
+	field *types.Var // the annotated slice field
+	elem  types.Type // the pooled box type (slice element)
+	label string     // "Struct.field" for messages
+}
+
+// boxPutter records that calling a function returns the parameter at index
+// arg to pool.
+type boxPutter struct {
+	pool *boxPool
+	arg  int
+}
+
+// boxWorld is the per-package model boxcheck builds before walking bodies.
+type boxWorld struct {
+	p       *Pass
+	pools   map[*types.Var]*boxPool // free-list field → pool
+	owners  map[*types.Var]bool     // //simlint:boxowner fields
+	getters map[*types.Func]*boxPool
+	putters map[*types.Func]boxPutter
+}
+
+func runBoxcheck(p *Pass) error {
+	w := &boxWorld{
+		p:       p,
+		pools:   make(map[*types.Var]*boxPool),
+		owners:  make(map[*types.Var]bool),
+		getters: make(map[*types.Func]*boxPool),
+		putters: make(map[*types.Func]boxPutter),
+	}
+	w.collectDirectives()
+	if len(w.pools) == 0 {
+		return nil
+	}
+	w.classifyFuncs()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fw := &boxFuncWalker{w: w}
+			st := make(boxScope)
+			if term := fw.walkStmts(fd.Body.List, st); !term {
+				fw.leakCheck(st, fd.Body.Rbrace)
+			}
+		}
+	}
+	return nil
+}
+
+// collectDirectives binds //simlint:box and //simlint:boxowner comments to
+// the struct fields they annotate, reporting malformed directives: an
+// argument, a non-slice box field, or a comment with no field on its line
+// or the line below.
+func (w *boxWorld) collectDirectives() {
+	p := w.p
+
+	// Index every named-struct field by (file, line) so a directive can be
+	// matched the same way DirectiveAt matches: same line or line above.
+	type fieldRec struct {
+		name       *ast.Ident
+		structName string
+	}
+	fieldsAt := make(map[dirKey][]fieldRec)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					pos := p.Fset.Position(name.Pos())
+					k := dirKey{pos.Filename, pos.Line}
+					fieldsAt[k] = append(fieldsAt[k], fieldRec{name, ts.Name.Name})
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok || (d.verb != "box" && d.verb != "boxowner") {
+					continue
+				}
+				if d.arg != "" {
+					p.Reportf(c.Pos(), "//simlint:%s takes no argument (got %q)", d.verb, d.arg)
+					continue
+				}
+				// A trailing directive annotates the field on its own line;
+				// only a standalone comment annotates the line below.
+				pos := p.Fset.Position(c.Pos())
+				recs := fieldsAt[dirKey{pos.Filename, pos.Line}]
+				if len(recs) == 0 {
+					recs = fieldsAt[dirKey{pos.Filename, pos.Line + 1}]
+				}
+				if len(recs) == 0 {
+					p.Reportf(c.Pos(), "//simlint:%s is not attached to a struct field declaration", d.verb)
+					continue
+				}
+				for _, rec := range recs {
+					obj, ok := p.Info.Defs[rec.name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if d.verb == "boxowner" {
+						w.owners[obj] = true
+						continue
+					}
+					sl, ok := obj.Type().Underlying().(*types.Slice)
+					if !ok {
+						p.Reportf(c.Pos(), "//simlint:box must annotate a slice-typed free list; %s.%s is %s",
+							rec.structName, rec.name.Name, obj.Type())
+						continue
+					}
+					w.pools[obj] = &boxPool{
+						field: obj,
+						elem:  sl.Elem(),
+						label: rec.structName + "." + rec.name.Name,
+					}
+				}
+			}
+		}
+	}
+}
+
+// classifyFuncs derives each pool's Get and Put functions from the code:
+// Get pops the annotated free list and returns its element type; Put
+// appends a parameter to the free list.
+func (w *boxWorld) classifyFuncs() {
+	for _, f := range w.p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := w.p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.IndexExpr:
+					pool := w.poolOf(n.X)
+					if pool == nil {
+						return true
+					}
+					if sig.Results().Len() == 1 && types.Identical(sig.Results().At(0).Type(), pool.elem) {
+						w.getters[fn] = pool
+					}
+				case *ast.CallExpr:
+					if !isAppendCall(w.p.Info, n) || n.Ellipsis != 0 || len(n.Args) != 2 {
+						return true
+					}
+					pool := w.poolOf(n.Args[0])
+					if pool == nil {
+						return true
+					}
+					id, ok := ast.Unparen(n.Args[1]).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pv, ok := w.p.Info.Uses[id].(*types.Var)
+					if !ok {
+						return true
+					}
+					for i := 0; i < sig.Params().Len(); i++ {
+						if sig.Params().At(i) == pv {
+							w.putters[fn] = boxPutter{pool: pool, arg: i}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// poolOf resolves an expression like recv.freelist to its pool, or nil.
+func (w *boxWorld) poolOf(e ast.Expr) *boxPool {
+	fld := fieldOf(w.p.Info, e)
+	if fld == nil {
+		return nil
+	}
+	return w.pools[fld]
+}
+
+// fieldOf resolves a selector expression to the struct field it names.
+func fieldOf(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// boxState is where a tracked box currently is.
+type boxState int
+
+const (
+	boxLive    boxState = iota // owned by this function, must be disposed
+	boxEscaped                 // ownership moved out (call, store, return, defer)
+	boxDead                    // returned to its pool
+)
+
+// boxVal is one tracked box binding.
+type boxVal struct {
+	pool     *boxPool
+	state    boxState
+	reported bool // one report per binding per path keeps cascades quiet
+}
+
+// boxScope maps local variables to their tracked boxes. Branch walks clone
+// it (deeply — boxVal is mutable) and merge afterwards.
+type boxScope map[*types.Var]*boxVal
+
+func (st boxScope) clone() boxScope {
+	out := make(boxScope, len(st))
+	for k, v := range st { //simlint:ordered -- map copy, no report order depends on it
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// boxFuncWalker runs the lifecycle walk over one function body.
+type boxFuncWalker struct {
+	w *boxWorld
+}
+
+func (fw *boxFuncWalker) reportf(pos token.Pos, format string, args ...interface{}) {
+	fw.w.p.Reportf(pos, format, args...)
+}
+
+// walkStmts processes stmts in order, returning true when control cannot
+// fall off the end (the list ends in return or panic on every path).
+func (fw *boxFuncWalker) walkStmts(stmts []ast.Stmt, st boxScope) bool {
+	for _, s := range stmts {
+		if fw.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (fw *boxFuncWalker) walkStmt(s ast.Stmt, st boxScope) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		fw.walkAssign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Names) == len(vs.Values) {
+					for i := range vs.Names {
+						fw.assignOne(vs.Names[i], vs.Values[i], st)
+					}
+				} else {
+					for _, v := range vs.Values {
+						fw.evalExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if isPanicCall(fw.w.p.Info, call) {
+				for _, a := range call.Args {
+					fw.evalExpr(a, st)
+				}
+				return true
+			}
+			fw.evalCall(call, st)
+		} else {
+			fw.evalExpr(s.X, st)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			fw.escapeAll(r, st)
+		}
+		fw.leakCheck(st, s.Pos())
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			fw.walkStmt(s.Init, st)
+		}
+		fw.evalExpr(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := fw.walkStmts(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = fw.walkStmt(s.Else, elseSt)
+		}
+		mergeScopes(st, []boxScope{thenSt, elseSt}, []bool{thenTerm, elseTerm})
+		return thenTerm && elseTerm
+	case *ast.BlockStmt:
+		return fw.walkStmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fw.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			fw.evalExpr(s.Cond, st)
+		}
+		bodySt := st.clone()
+		term := fw.walkStmts(s.Body.List, bodySt)
+		if !term && s.Post != nil {
+			fw.walkStmt(s.Post, bodySt)
+		}
+		// One-iteration approximation: the loop may run zero times (base
+		// state) or at least once (body-end state); deaths dominate so a
+		// put inside the loop is visible after it.
+		mergeScopes(st, []boxScope{bodySt}, []bool{term})
+	case *ast.RangeStmt:
+		fw.evalExpr(s.X, st)
+		bodySt := st.clone()
+		term := fw.walkStmts(s.Body.List, bodySt)
+		mergeScopes(st, []boxScope{bodySt}, []bool{term})
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			fw.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			fw.evalExpr(s.Tag, st)
+		}
+		return fw.walkCases(s.Body, st, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			fw.walkStmt(s.Init, st)
+		}
+		fw.walkStmt(s.Assign, st)
+		return fw.walkCases(s.Body, st, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		return fw.walkCases(s.Body, st, false)
+	case *ast.DeferStmt, *ast.GoStmt:
+		var call *ast.CallExpr
+		if d, ok := s.(*ast.DeferStmt); ok {
+			call = d.Call
+		} else {
+			call = s.(*ast.GoStmt).Call
+		}
+		// A deferred Put disposes the box at function exit: the box is no
+		// longer this path's responsibility but later uses stay legal, so
+		// it escapes rather than dies.
+		if fn := calleeFunc(fw.w.p.Info, call); fn != nil {
+			if pi, ok := fw.w.putters[fn]; ok && pi.arg < len(call.Args) {
+				for i, a := range call.Args {
+					if i == pi.arg {
+						fw.escapeAll(a, st)
+					} else {
+						fw.evalExpr(a, st)
+					}
+				}
+				break
+			}
+		}
+		fw.evalCall(call, st)
+	case *ast.LabeledStmt:
+		return fw.walkStmt(s.Stmt, st)
+	case *ast.IncDecStmt:
+		fw.evalExpr(s.X, st)
+	case *ast.SendStmt:
+		fw.evalExpr(s.Chan, st)
+		fw.escapeAll(s.Value, st)
+	case *ast.BranchStmt:
+		// break/continue/goto: treated as falling through so deaths inside
+		// "if found { put(b); break }" merge out of the loop.
+	}
+	return false
+}
+
+// walkCases runs each case clause from a clone of the entry state and
+// merges the non-terminating ones (plus the implicit skip path when there
+// is no default clause).
+func (fw *boxFuncWalker) walkCases(body *ast.BlockStmt, st boxScope, hasDefault bool) bool {
+	var scopes []boxScope
+	var terms []bool
+	for _, cs := range body.List {
+		var caseExprs []ast.Expr
+		var caseBody []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			caseExprs, caseBody = cs.List, cs.Body
+		case *ast.CommClause:
+			if cs.Comm != nil {
+				fw.walkStmt(cs.Comm, st)
+			}
+			caseBody = cs.Body
+		default:
+			continue
+		}
+		for _, e := range caseExprs {
+			fw.evalExpr(e, st)
+		}
+		caseSt := st.clone()
+		term := fw.walkStmts(caseBody, caseSt)
+		scopes = append(scopes, caseSt)
+		terms = append(terms, term)
+	}
+	if !hasDefault {
+		scopes = append(scopes, st.clone())
+		terms = append(terms, false)
+	}
+	mergeScopes(st, scopes, terms)
+	for _, t := range terms {
+		if !t {
+			return false
+		}
+	}
+	return len(terms) > 0
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeScopes folds the non-terminating branch scopes back into st. Death
+// dominates escape dominates live, so a box put on one branch is treated
+// as gone afterwards (a later use is a use-after-put on some path).
+func mergeScopes(st boxScope, branches []boxScope, terms []bool) {
+	live := branches[:0]
+	for i, b := range branches {
+		if !terms[i] {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		// Every branch terminated; the statement itself terminates and the
+		// merged state is unreachable. Leave st as-is for the caller.
+		return
+	}
+	seen := make(map[*types.Var]bool)
+	for _, b := range live {
+		for obj, bv := range b { //simlint:ordered -- merged per-var; no reports are emitted here
+			if seen[obj] {
+				continue
+			}
+			seen[obj] = true
+			merged := *bv
+			for _, other := range live[1:] {
+				if ov, ok := other[obj]; ok {
+					if ov.state > merged.state {
+						merged.state = ov.state
+					}
+					merged.reported = merged.reported || ov.reported
+				}
+			}
+			st[obj] = &merged
+		}
+	}
+	for obj := range st { //simlint:ordered -- pure set intersection
+		if !seen[obj] {
+			delete(st, obj)
+		}
+	}
+}
+
+// walkAssign handles gets, stores, and generic assignments.
+func (fw *boxFuncWalker) walkAssign(as *ast.AssignStmt, st boxScope) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Rhs {
+			fw.assignOne(as.Lhs[i], as.Rhs[i], st)
+		}
+		return
+	}
+	// Tuple assignment: no box sources have multi-value results.
+	for _, r := range as.Rhs {
+		fw.evalExpr(r, st)
+	}
+	for _, l := range as.Lhs {
+		fw.assignTarget(l, st)
+	}
+}
+
+func (fw *boxFuncWalker) assignOne(lhs, rhs ast.Expr, st boxScope) {
+	// Get: a getter call or an inline pop of the free list.
+	if pool := fw.getSource(rhs, st); pool != nil {
+		if id, obj := fw.plainVar(lhs); id != nil {
+			st[obj] = &boxVal{pool: pool, state: boxLive}
+			return
+		}
+		// Box born directly into a field: an immediate ownership transfer.
+		if fld := fieldOf(fw.w.p.Info, lhs); fld != nil {
+			if !fw.w.owners[fld] && fw.w.pools[fld] == nil {
+				fw.reportf(rhs.Pos(), "pooled box from %s stored into field %s, which is not marked //simlint:boxowner", pool.label, fld.Name())
+			}
+			return
+		}
+		fw.assignTarget(lhs, st)
+		return
+	}
+
+	// dst = append(box, ...): for slice-shaped boxes the append result IS
+	// the box (possibly regrown), so the assignment moves it into dst.
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok &&
+		isAppendCall(fw.w.p.Info, call) && len(call.Args) >= 1 {
+		if id, obj := fw.trackedVar(call.Args[0], st); id != nil {
+			bv := st[obj]
+			fw.useIdent(id, st)
+			for _, a := range call.Args[1:] {
+				fw.escapeAll(a, st)
+			}
+			if lid, lobj := fw.plainVar(lhs); lid != nil && lobj == obj {
+				return // b = append(b, ...): still the same live box
+			}
+			if fld := fieldTargetOf(fw.w.p.Info, lhs); fld != nil {
+				fw.storeIntoField(id.Name, bv, fld, rhs.Pos())
+			} else if bv.state == boxLive {
+				bv.state = boxEscaped
+			}
+			fw.assignTarget(lhs, st)
+			return
+		}
+	}
+
+	// A tracked box on the right-hand side: a store or an alias.
+	if id, obj := fw.trackedVar(rhs, st); id != nil {
+		bv := st[obj]
+		fw.useIdent(id, st)
+		if fld := fieldTargetOf(fw.w.p.Info, lhs); fld != nil {
+			fw.storeIntoField(id.Name, bv, fld, rhs.Pos())
+		} else if bv.state == boxLive {
+			// Alias or aggregate store: ownership becomes untrackable.
+			bv.state = boxEscaped
+		}
+		fw.assignTarget(lhs, st)
+		return
+	}
+
+	fw.evalExpr(rhs, st)
+	fw.assignTarget(lhs, st)
+}
+
+// assignTarget processes an assignment destination: a reassigned local
+// stops being tracked; selector/index destinations get their bases
+// use-checked.
+func (fw *boxFuncWalker) assignTarget(lhs ast.Expr, st boxScope) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := varOf(fw.w.p.Info, lhs); obj != nil {
+			delete(st, obj)
+		}
+	case *ast.SelectorExpr:
+		fw.evalExpr(lhs.X, st)
+	case *ast.IndexExpr:
+		fw.evalExpr(lhs.X, st)
+		fw.evalExpr(lhs.Index, st)
+	case *ast.StarExpr:
+		fw.evalExpr(lhs.X, st)
+	}
+}
+
+// fieldTargetOf resolves the field an assignment writes to: x.f = box, or
+// x.f[i] = box / x.f[k] = box (a store into a field-held aggregate).
+func fieldTargetOf(info *types.Info, lhs ast.Expr) *types.Var {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return fieldOf(info, lhs)
+	case *ast.IndexExpr:
+		return fieldOf(info, lhs.X)
+	}
+	return nil
+}
+
+// getSource reports the pool an expression takes a box from: a getter call
+// or an index read of the annotated free list.
+func (fw *boxFuncWalker) getSource(rhs ast.Expr, st boxScope) *boxPool {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if fn := calleeFunc(fw.w.p.Info, rhs); fn != nil {
+			if pool, ok := fw.w.getters[fn]; ok {
+				fw.evalExpr(rhs.Fun, st)
+				for _, a := range rhs.Args {
+					fw.evalExpr(a, st)
+				}
+				return pool
+			}
+		}
+	case *ast.IndexExpr:
+		if pool := fw.w.poolOf(rhs.X); pool != nil {
+			fw.evalExpr(rhs.Index, st)
+			return pool
+		}
+	}
+	return nil
+}
+
+// evalExpr walks an expression with no assignment context: it use-checks
+// dead boxes and escapes boxes whose ownership leaves through calls,
+// address-taking, composite literals, or closure captures.
+func (fw *boxFuncWalker) evalExpr(e ast.Expr, st boxScope) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		fw.useIdent(e, st)
+	case *ast.CallExpr:
+		fw.evalCall(e, st)
+	case *ast.SelectorExpr:
+		fw.evalExpr(e.X, st)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			fw.escapeAll(e.X, st)
+			return
+		}
+		fw.evalExpr(e.X, st)
+	case *ast.StarExpr:
+		fw.evalExpr(e.X, st)
+	case *ast.ParenExpr:
+		fw.evalExpr(e.X, st)
+	case *ast.BinaryExpr:
+		fw.evalExpr(e.X, st)
+		fw.evalExpr(e.Y, st)
+	case *ast.IndexExpr:
+		fw.evalExpr(e.X, st)
+		fw.evalExpr(e.Index, st)
+	case *ast.SliceExpr:
+		fw.evalExpr(e.X, st)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				fw.evalExpr(idx, st)
+			}
+		}
+	case *ast.TypeAssertExpr:
+		fw.evalExpr(e.X, st)
+	case *ast.KeyValueExpr:
+		fw.evalExpr(e.Value, st)
+	case *ast.CompositeLit:
+		fw.evalComposite(e, st)
+	case *ast.FuncLit:
+		fw.evalFuncLit(e, st)
+	}
+}
+
+// evalCall processes a call: pool appends are puts, owner-field appends
+// are checked transfers, putter calls are puts, and every other call
+// escapes its tracked arguments (the loan/reply-recycle pattern).
+func (fw *boxFuncWalker) evalCall(call *ast.CallExpr, st boxScope) {
+	if isAppendCall(fw.w.p.Info, call) && len(call.Args) >= 1 {
+		if pool := fw.w.poolOf(call.Args[0]); pool != nil {
+			fw.evalExpr(call.Args[0], st)
+			if call.Ellipsis != 0 {
+				return // append(pool, batch...) recycles a batch wholesale
+			}
+			for _, a := range call.Args[1:] {
+				fw.putExpr(a, pool, st)
+			}
+			return
+		}
+		if fld := fieldOf(fw.w.p.Info, call.Args[0]); fld != nil {
+			fw.evalExpr(call.Args[0], st)
+			for _, a := range call.Args[1:] {
+				if id, obj := fw.trackedVar(a, st); id != nil {
+					fw.useIdent(id, st)
+					fw.storeIntoField(id.Name, st[obj], fld, a.Pos())
+				} else {
+					fw.evalExpr(a, st)
+				}
+			}
+			return
+		}
+		// append into a local aggregate: the box escapes untracked.
+		for i, a := range call.Args {
+			if i == 0 {
+				fw.evalExpr(a, st)
+			} else {
+				fw.escapeAll(a, st)
+			}
+		}
+		return
+	}
+
+	if fn := calleeFunc(fw.w.p.Info, call); fn != nil {
+		if pi, ok := fw.w.putters[fn]; ok && pi.arg < len(call.Args) {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				fw.evalExpr(sel.X, st)
+			}
+			for i, a := range call.Args {
+				if i == pi.arg {
+					fw.putExpr(a, pi.pool, st)
+				} else {
+					fw.escapeAll(a, st)
+				}
+			}
+			return
+		}
+	}
+
+	fw.evalExpr(call.Fun, st)
+	for _, a := range call.Args {
+		fw.escapeAll(a, st)
+	}
+}
+
+// putExpr applies a Put of expr into pool.
+func (fw *boxFuncWalker) putExpr(expr ast.Expr, pool *boxPool, st boxScope) {
+	if isNilExpr(fw.w.p.Info, expr) {
+		fw.reportf(expr.Pos(), "nil returned to pool %s (put-of-nil poisons the free list)", pool.label)
+		return
+	}
+	id, obj := fw.trackedVar(expr, st)
+	if id == nil {
+		fw.evalExpr(expr, st)
+		return
+	}
+	bv := st[obj]
+	switch {
+	case bv.state == boxDead:
+		fw.reportf(expr.Pos(), "box %s returned to pool %s twice (double-put)", id.Name, pool.label)
+	case bv.pool != pool:
+		fw.reportf(expr.Pos(), "box %s from pool %s returned to pool %s (cross-pool put)", id.Name, bv.pool.label, pool.label)
+	}
+	bv.state = boxDead
+}
+
+// storeIntoField checks an ownership transfer into a struct field: legal
+// only into the pool itself or a //simlint:boxowner field.
+func (fw *boxFuncWalker) storeIntoField(name string, bv *boxVal, fld *types.Var, pos token.Pos) {
+	if fw.w.owners[fld] || fw.w.pools[fld] != nil {
+		bv.state = boxEscaped
+		return
+	}
+	if bv.state != boxDead && !bv.reported {
+		fw.reportf(pos, "pooled box %s (from %s) stored into field %s, which is not marked //simlint:boxowner", name, bv.pool.label, fld.Name())
+		bv.reported = true
+	}
+	bv.state = boxEscaped
+}
+
+// evalComposite checks box values placed in composite literals: struct
+// fields require //simlint:boxowner; other aggregates escape silently.
+func (fw *boxFuncWalker) evalComposite(lit *ast.CompositeLit, st boxScope) {
+	var structType *types.Struct
+	if t := fw.w.p.Info.TypeOf(lit); t != nil {
+		structType, _ = t.Underlying().(*types.Struct)
+	}
+	for i, elt := range lit.Elts {
+		var fld *types.Var
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+			if structType != nil {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					fld, _ = fw.w.p.Info.Uses[id].(*types.Var)
+				}
+			} else {
+				fw.evalExpr(kv.Key, st)
+			}
+		} else if structType != nil && i < structType.NumFields() {
+			fld = structType.Field(i)
+		}
+		if fld != nil {
+			if id, obj := fw.trackedVar(val, st); id != nil {
+				fw.useIdent(id, st)
+				fw.storeIntoField(id.Name, st[obj], fld, val.Pos())
+				continue
+			}
+		}
+		fw.escapeAll(val, st)
+	}
+}
+
+// evalFuncLit escapes captured boxes (the closure may dispose of them
+// later) and lifecycle-checks boxes created inside the literal itself.
+func (fw *boxFuncWalker) evalFuncLit(fl *ast.FuncLit, st boxScope) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := varOf(fw.w.p.Info, id); obj != nil {
+			if bv, tracked := st[obj]; tracked && obj.Pos() < fl.Pos() {
+				fw.useIdent(id, st)
+				if bv.state == boxLive {
+					bv.state = boxEscaped
+				}
+			}
+		}
+		return true
+	})
+	inner := make(boxScope)
+	if term := fw.walkStmts(fl.Body.List, inner); !term {
+		fw.leakCheck(inner, fl.Body.Rbrace)
+	}
+}
+
+// escapeAll use-checks and escapes every tracked box referenced anywhere
+// in e — the treatment of return values and call arguments, where
+// ownership conventionally moves out of the function.
+func (fw *boxFuncWalker) escapeAll(e ast.Expr, st boxScope) {
+	if e == nil {
+		return
+	}
+	if fl, ok := e.(*ast.FuncLit); ok {
+		fw.evalFuncLit(fl, st)
+		return
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			fw.evalFuncLit(n, st)
+			return false
+		case *ast.CompositeLit:
+			fw.evalComposite(n, st)
+			return false
+		case *ast.Ident:
+			if obj := varOf(fw.w.p.Info, n); obj != nil {
+				if bv, ok := st[obj]; ok {
+					found = true
+					fw.useIdent(n, st)
+					if bv.state == boxLive {
+						bv.state = boxEscaped
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !found {
+		fw.evalExpr(e, st)
+	}
+}
+
+// useIdent reports a read of a box that was already returned to its pool.
+func (fw *boxFuncWalker) useIdent(id *ast.Ident, st boxScope) {
+	obj := varOf(fw.w.p.Info, id)
+	if obj == nil {
+		return
+	}
+	bv, ok := st[obj]
+	if !ok {
+		return
+	}
+	if bv.state == boxDead && !bv.reported {
+		fw.reportf(id.Pos(), "use of %s after it was returned to pool %s (use-after-put corrupts the free list)", id.Name, bv.pool.label)
+		bv.reported = true
+	}
+}
+
+// leakCheck reports boxes still owned when a return path ends.
+func (fw *boxFuncWalker) leakCheck(st boxScope, pos token.Pos) {
+	var leaked []*boxVal
+	var names []string
+	for obj, bv := range st { //simlint:ordered -- leaks collected then reported in name order
+		if bv.state == boxLive && !bv.reported {
+			leaked = append(leaked, bv)
+			names = append(names, obj.Name())
+		}
+	}
+	for i := len(names) - 1; i > 0; i-- { // insertion sort: deterministic report order
+		for j := 0; j < i; j++ {
+			if names[j] > names[j+1] {
+				names[j], names[j+1] = names[j+1], names[j]
+				leaked[j], leaked[j+1] = leaked[j+1], leaked[j]
+			}
+		}
+	}
+	for i, bv := range leaked {
+		fw.reportf(pos, "pooled box %s (from %s) is still owned on this return path: free it, hand it to a //simlint:boxowner field, or annotate an intentional abandon with //simlint:allow boxcheck", names[i], bv.pool.label)
+		bv.reported = true
+	}
+}
+
+// plainVar resolves lhs to a plain (non-blank) local identifier.
+func (fw *boxFuncWalker) plainVar(lhs ast.Expr) (*ast.Ident, *types.Var) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	obj := varOf(fw.w.p.Info, id)
+	if obj == nil {
+		return nil, nil
+	}
+	return id, obj
+}
+
+// trackedVar resolves e to an identifier currently tracked in st.
+func (fw *boxFuncWalker) trackedVar(e ast.Expr, st boxScope) (*ast.Ident, *types.Var) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj := varOf(fw.w.p.Info, id)
+	if obj == nil {
+		return nil, nil
+	}
+	if _, tracked := st[obj]; !tracked {
+		return nil, nil
+	}
+	return id, obj
+}
+
+// varOf resolves an identifier to the variable it uses or defines.
+func varOf(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}

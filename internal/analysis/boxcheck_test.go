@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"persistmem/internal/analysis"
+	"persistmem/internal/analysis/analysistest"
+)
+
+func TestBoxcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/boxcheck/box", analysis.Boxcheck,
+		analysistest.Config{SimCritical: true})
+}
+
+func TestBoxcheckDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata/boxcheck/directives", analysis.Boxcheck,
+		analysistest.Config{SimCritical: true})
+}

@@ -13,6 +13,12 @@ func TestParseDirective(t *testing.T) {
 		{"//simlint:allow goroutine -- coroutine machinery", true, "allow", "goroutine"},
 		{"//simlint:hotpath", true, "hotpath", ""},
 		{"//simlint:seedsource -- blessed", true, "seedsource", ""},
+		{"//simlint:box", true, "box", ""},
+		{"//simlint:box -- per-volume delta pool", true, "box", ""},
+		{"//simlint:box free", true, "box", "free"}, // malformed arg survives for boxcheck to diagnose
+		{"//simlint:boxowner", true, "boxowner", ""},
+		{"//simlint:box // want `diagnostic`", true, "box", ""}, // nested fixture comments are not arguments
+		{"//simlint:allow boxcheck -- timeout abandon", true, "allow", "boxcheck"},
 		{"// simlint:ordered", false, "", ""}, // directives admit no space, like //go:
 		{"//simlint:", false, "", ""},
 		{"// ordinary comment", false, "", ""},

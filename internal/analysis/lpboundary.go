@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Lpboundary polices the logical-process boundary of the conservative
+// parallel runtime (internal/sim/parallel). Under the safe-window protocol
+// each LP's engine runs on its own OS thread within a window, so LPs must
+// share no state: every cross-LP interaction has to travel through
+// parallel.LP.Send (whose delay is bounded below by the cluster lookahead)
+// or stay on the servernet message layer above it. The analyzer flags the
+// three ways code smuggles state across that boundary:
+//
+//   - an AddLP handler closure capturing another LP (or engine, or a
+//     collection of them) — the handler runs on its own LP's thread, so a
+//     captured foreign LP is a data race in waiting. Capturing the
+//     cluster, the handler's own engine argument, or the LP returned by
+//     the same AddLP call is the sanctioned self-reference pattern.
+//   - a mutating method call on an engine reached through LP.Engine() —
+//     Schedule/Spawn/RunUntil on a foreign engine bypasses the lookahead
+//     bound entirely. Read-only probes (Now, NextEventTime,
+//     EventsExecuted) are allowed.
+//   - one variable captured by the handlers of two different LPs — shared
+//     mutable state between threads, the aliasing the protocol forbids.
+//
+// The parallel runtime itself (marked //simlint:parallel-engine) is
+// exempt: it owns the barrier and may touch every LP. Types are matched
+// by shape (a named LP with Send+Engine, a named Engine with
+// Schedule+RunUntil, a named Cluster with AddLP+Lookahead) so the rules
+// follow the runtime through refactors and the fixtures need no imports.
+var Lpboundary = &Analyzer{
+	Name: "lpboundary",
+	Doc: "flag state crossing LP boundaries without parallel.LP.Send: " +
+		"foreign LP/engine captures in AddLP handlers, direct calls on " +
+		"LP.Engine() results, and variables shared between handlers",
+	Run: runLpboundary,
+}
+
+// engineReadonly lists engine methods that only observe — safe to call on
+// a foreign engine at a barrier.
+var engineReadonly = map[string]bool{
+	"Now":            true,
+	"NextEventTime":  true,
+	"EventsExecuted": true,
+}
+
+func runLpboundary(p *Pass) error {
+	if p.ParallelEngine {
+		return nil // the runtime itself owns the barrier
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLPFunc(p, fd)
+		}
+	}
+	return nil
+}
+
+func checkLPFunc(p *Pass, fd *ast.FuncDecl) {
+	// Pre-pass: which variable receives each call's result (for the
+	// lp := cl.AddLP(...) self-reference pattern), and which locals hold
+	// an LP.Engine() result.
+	resultOf := make(map[*ast.CallExpr]*types.Var)
+	engineVars := make(map[*types.Var]bool)
+	recordAssign := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := varOf(p.Info, id)
+		if obj == nil {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		resultOf[call] = obj
+		if isLPEngineCall(p.Info, call) {
+			engineVars[obj] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					recordAssign(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					recordAssign(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+
+	// sharedCaptures tracks, per captured variable, one position per
+	// handler literal that captures it (rule 3).
+	sharedCaptures := make(map[*types.Var][]token.Pos)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(p.Info, call); fn != nil && fn.Name() == "AddLP" &&
+			isClusterShaped(recvType(fn)) && len(call.Args) == 2 {
+			if lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit); ok {
+				checkHandlerCaptures(p, lit, call, resultOf[call], sharedCaptures)
+			}
+		}
+		checkForeignEngineCall(p, call, engineVars)
+		return true
+	})
+
+	type sharedHit struct {
+		obj *types.Var
+		pos token.Pos
+	}
+	var hits []sharedHit
+	//simlint:ordered -- collected into a slice and sorted below
+	for obj, sites := range sharedCaptures {
+		if len(sites) >= 2 {
+			hits = append(hits, sharedHit{obj, sites[1]})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].pos < hits[j].pos })
+	for _, h := range hits {
+		p.Reportf(h.pos, "%s is captured by the handlers of more than one LP — LPs share no state; pass data through LP.Send", h.obj.Name())
+	}
+}
+
+// checkHandlerCaptures applies rules 1 and 3 to one AddLP handler literal.
+// engArg (the engine passed to this AddLP) and selfLP (the variable the
+// call's result is assigned to) are the sanctioned self-references.
+func checkHandlerCaptures(p *Pass, lit *ast.FuncLit, call *ast.CallExpr, selfLP *types.Var, shared map[*types.Var][]token.Pos) {
+	allowed := make(map[*types.Var]bool)
+	if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+		if obj := varOf(p.Info, id); obj != nil {
+			allowed[obj] = true
+		}
+	}
+	if selfLP != nil {
+		allowed[selfLP] = true
+	}
+
+	reported := make(map[*types.Var]bool)
+	counted := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || allowed[obj] {
+			return true
+		}
+		if obj.Pkg() != p.Pkg || obj.Parent() == p.Pkg.Scope() {
+			return true // package-level state is not a closure capture
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the handler
+		}
+		switch kind := lpCaptureKind(obj.Type()); {
+		case kind != "":
+			if !reported[obj] {
+				reported[obj] = true
+				p.Reportf(id.Pos(), "handler closure captures %s %s from outside its LP — cross-LP state must arrive via LP.Send messages", kind, obj.Name())
+			}
+		case isClusterShaped(obj.Type()):
+			// The cluster is the shared coordinator; capturing it is fine.
+		default:
+			if !counted[obj] {
+				counted[obj] = true
+				shared[obj] = append(shared[obj], id.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// checkForeignEngineCall applies rule 2: a mutating method call whose
+// receiver is an LP.Engine() result (chained or via a tracked local).
+func checkForeignEngineCall(p *Pass, call *ast.CallExpr, engineVars map[*types.Var]bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !isEngineShaped(recvType(fn)) || engineReadonly[fn.Name()] {
+		return
+	}
+	recv := ast.Unparen(sel.X)
+	if inner, ok := recv.(*ast.CallExpr); ok && isLPEngineCall(p.Info, inner) {
+		p.Reportf(call.Pos(), "%s called directly on an LP.Engine() result crosses the LP boundary; route the interaction through LP.Send", fn.Name())
+		return
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		if obj := varOf(p.Info, id); obj != nil && engineVars[obj] {
+			p.Reportf(call.Pos(), "%s called on %s, an engine obtained from LP.Engine(), crosses the LP boundary; route the interaction through LP.Send", fn.Name(), id.Name)
+		}
+	}
+}
+
+// isLPEngineCall reports whether e is a call of the Engine method on an
+// LP-shaped receiver.
+func isLPEngineCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == "Engine" && isLPShaped(recvType(fn))
+}
+
+// recvType returns the receiver type of a method, or nil.
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// lpCaptureKind classifies a captured variable's type, looking through
+// pointers, slices, arrays, and maps: "LP", "engine", or "".
+func lpCaptureKind(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		case *types.Slice:
+			t = tt.Elem()
+			continue
+		case *types.Array:
+			t = tt.Elem()
+			continue
+		case *types.Map:
+			t = tt.Elem()
+			continue
+		}
+		break
+	}
+	switch {
+	case isLPShaped(t):
+		return "LP"
+	case isEngineShaped(t):
+		return "engine"
+	}
+	return ""
+}
+
+// Shape predicates: the runtime's types are recognized structurally so the
+// analyzer keeps working across refactors and fixtures need no imports.
+
+func isLPShaped(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Name() == "LP" && hasShapeMethod(n, "Send") && hasShapeMethod(n, "Engine")
+}
+
+func isEngineShaped(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Name() == "Engine" && hasShapeMethod(n, "Schedule") && hasShapeMethod(n, "RunUntil")
+}
+
+func isClusterShaped(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Name() == "Cluster" && hasShapeMethod(n, "AddLP") && hasShapeMethod(n, "Lookahead")
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+func hasShapeMethod(n *types.Named, name string) bool {
+	for i := 0; i < n.NumMethods(); i++ {
+		if n.Method(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}

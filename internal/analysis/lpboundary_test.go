@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"persistmem/internal/analysis"
+	"persistmem/internal/analysis/analysistest"
+)
+
+func TestLpboundary(t *testing.T) {
+	analysistest.Run(t, "testdata/lpboundary/lp", analysis.Lpboundary,
+		analysistest.Config{SimCritical: true})
+}

@@ -1,0 +1,189 @@
+// Package box exercises the boxcheck lifecycle rules: the free list is
+// declared with //simlint:box, Get/Put are derived from the code, and the
+// analyzer tracks boxes through assignments, stores, calls, and returns.
+package box
+
+import "errors"
+
+var errFull = errors.New("full")
+
+// box is the pooled object.
+type box struct {
+	n    int
+	data []byte
+}
+
+// pool recycles boxes through its annotated free list.
+type pool struct {
+	free  []*box //simlint:box
+	owned []*box //simlint:boxowner -- long-lived parking list with its own discipline
+	head  *box   //simlint:boxowner -- single-slot ownership transfer
+	loose []*box
+	byKey map[int]*box
+}
+
+// get is classified as the pool's Get: it pops the free list and returns
+// the element type.
+func (p *pool) get() *box {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return &box{}
+}
+
+// put is classified as the pool's Put: it appends a parameter to the
+// free list.
+func (p *pool) put(b *box) {
+	b.n = 0
+	p.free = append(p.free, b)
+}
+
+func useAfterPut(p *pool) int {
+	b := p.get()
+	p.put(b)
+	return b.n // want `use of b after it was returned to pool pool\.free`
+}
+
+func doublePut(p *pool) {
+	b := p.get()
+	p.put(b)
+	p.put(b) // want `box b returned to pool pool\.free twice \(double-put\)`
+}
+
+func putNil(p *pool) {
+	p.put(nil) // want `nil returned to pool pool\.free \(put-of-nil`
+}
+
+func escapeUnowned(p *pool) {
+	b := p.get()
+	p.loose = append(p.loose, b) // want `stored into field loose, which is not marked //simlint:boxowner`
+}
+
+func escapeMap(p *pool, k int) {
+	b := p.get()
+	p.byKey[k] = b // want `stored into field byKey, which is not marked //simlint:boxowner`
+}
+
+func leakOnError(p *pool, fail bool) error {
+	b := p.get()
+	if fail {
+		return errFull // want `pooled box b \(from pool\.free\) is still owned on this return path`
+	}
+	p.put(b)
+	return nil
+}
+
+func leakAtEnd(p *pool) {
+	b := p.get()
+	b.n++
+} // want `pooled box b \(from pool\.free\) is still owned on this return path`
+
+// inlineLifecycle pops and pushes the free list without the helpers: the
+// index read and append are inline Get/Put sites.
+func inlineLifecycle(p *pool) {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		b.n++
+		p.free = append(p.free, b)
+		b.n++ // want `use of b after it was returned to pool pool\.free`
+	}
+}
+
+type pool2 struct {
+	free []*box //simlint:box
+}
+
+func (q *pool2) put2(b *box) {
+	q.free = append(q.free, b)
+}
+
+func crossPool(p *pool, q *pool2) {
+	b := p.get()
+	q.put2(b) // want `box b from pool pool\.free returned to pool pool2\.free \(cross-pool put\)`
+}
+
+// ---- negative cases: the sanctioned ownership patterns ----
+
+func sink(b *box) {}
+
+// loanThenPut models the reply-recycle pattern: passing the box to a call
+// loans it out; the put after the reply is legal.
+func loanThenPut(p *pool) {
+	b := p.get()
+	sink(b)
+	p.put(b)
+}
+
+// transfer models abandon-by-call: ownership moves into the callee.
+func transfer(p *pool) {
+	b := p.get()
+	sink(b)
+}
+
+// deferPut disposes the box at exit; uses before the deferred put run are
+// legal.
+func deferPut(p *pool) {
+	b := p.get()
+	defer p.put(b)
+	b.n++
+}
+
+// escapeOwned and escapeHead transfer ownership into annotated fields.
+func escapeOwned(p *pool) {
+	b := p.get()
+	p.owned = append(p.owned, b)
+}
+
+func escapeHead(p *pool) {
+	b := p.get()
+	p.head = b
+}
+
+// bornOwned moves a fresh box straight into an owner field.
+func bornOwned(p *pool) {
+	p.head = p.get()
+}
+
+// captureEscapes hands the box to a closure that outlives the frame.
+func captureEscapes(p *pool) func() {
+	b := p.get()
+	return func() { p.put(b) }
+}
+
+// closureLeak checks that literals get their own lifecycle walk.
+func closureLeak(p *pool) {
+	work := func(fail bool) {
+		b := p.get()
+		if fail {
+			return // want `pooled box b \(from pool\.free\) is still owned on this return path`
+		}
+		p.put(b)
+	}
+	work(true)
+}
+
+// timeoutAbandon is the justified-suppression case: the timeout path
+// deliberately abandons the box to the GC.
+func timeoutAbandon(p *pool, timedOut bool) {
+	b := p.get()
+	if timedOut {
+		//simlint:allow boxcheck -- timeout abandons the box to the GC by design
+		return
+	}
+	p.put(b)
+}
+
+// putBranches only releases on one arm; the other arm's use is flagged at
+// the merge (a use-after-put on some path).
+func putBranches(p *pool, release bool) int {
+	b := p.get()
+	if release {
+		p.put(b)
+	} else {
+		sink(b)
+	}
+	return b.n // want `use of b after it was returned to pool pool\.free`
+}

@@ -1,0 +1,179 @@
+// Syntax-coverage cases for the boxcheck walker: declaration statements,
+// switches, selects, labels, batch puts, non-leading putter arguments,
+// slice-shaped boxes, and composite-literal escapes.
+package box
+
+// putN is a putter whose box parameter is not the first argument.
+func (p *pool) putN(tag int, b *box) {
+	_ = tag
+	p.free = append(p.free, b)
+}
+
+func twoInts() (int, int) { return 1, 2 }
+
+func consume(b *box) {}
+
+func run(f func()) { f() }
+
+// declForms: boxes born in declaration statements are tracked like any
+// other assignment.
+func declForms(p *pool) {
+	type scratch struct{ n int }
+	var b = p.get()
+	p.put(b)
+	var c *box
+	c = p.get()
+	var x, y = twoInts()
+	_ = scratch{n: x + y}
+	p.put(c)
+}
+
+// switchForms: a put on every arm (including default) merges to dead.
+func switchForms(p *pool, k int, v interface{}) {
+	b := p.get()
+	switch n := k; n {
+	case 0:
+		p.put(b)
+	default:
+		p.put(b)
+	}
+	c := p.get()
+	switch v.(type) {
+	case int:
+		p.put(c)
+	default:
+		p.put(c)
+	}
+	_, _ = v.(int)
+}
+
+// selectForms: comm clauses walk like switch cases; select never has the
+// all-paths guarantee, so the entry state merges back in.
+func selectForms(p *pool, ch chan int) {
+	b := p.get()
+	select {
+	case <-ch:
+		p.put(b)
+	default:
+		p.put(b)
+	}
+}
+
+// labeledBreak: labeled statements delegate to the wrapped statement, and
+// bare blocks walk their bodies in the same scope.
+func labeledBreak(p *pool) {
+	b := p.get()
+loop:
+	for i := 0; i < 3; i++ {
+		break loop
+	}
+	{
+		p.put(b)
+	}
+}
+
+// holder2 has no //simlint:boxowner annotations.
+type holder2 struct {
+	slot *box
+}
+
+// bornUnowned: a box taken straight into an unannotated field is flagged
+// at birth — nothing would ever own its recycle obligation.
+func bornUnowned(p *pool, h *holder2) {
+	h.slot = p.get() // want `pooled box from pool\.free stored into field slot, which is not marked //simlint:boxowner`
+}
+
+// bornIntoIndex: a box born into a local aggregate is untracked from here
+// on (the analysis is intra-procedural and name-based).
+func bornIntoIndex(p *pool, arr []*box) {
+	arr[0] = p.get()
+}
+
+// pool4 holds slice-shaped boxes (per-transaction scratch slices, like
+// dp2's undo pool).
+type pool4 struct {
+	free [][]uint64       //simlint:box
+	undo map[int][]uint64 //simlint:boxowner -- live owners of checked-out scratch
+}
+
+func (p *pool4) get() []uint64 {
+	if n := len(p.free); n > 0 {
+		u := p.free[n-1]
+		p.free = p.free[:n-1]
+		return u
+	}
+	return nil
+}
+
+func (p *pool4) put(u []uint64) {
+	p.free = append(p.free, u)
+}
+
+// appendGrow: appending to a slice-shaped box yields the same (possibly
+// regrown) box. Assigning the result to the same name keeps tracking,
+// into an owner field is a sanctioned transfer, into another name is an
+// alias that ends tracking.
+func appendGrow(p *pool4, k int) {
+	u := p.get()
+	u = append(u, 1)
+	p.undo[k] = append(u, 2)
+
+	v := p.get()
+	w := append(v, 3)
+	_ = w
+}
+
+// putBatchWholesale: appending a batch with ... recycles wholesale and is
+// neither a getter/putter classification site nor a single-box put.
+func putBatchWholesale(p *pool, batch []*box) {
+	p.free = append(p.free, batch...)
+}
+
+// putViaPutN: the box argument position is discovered by classification,
+// and a deferred putter counts as an escape (the put happens at exit).
+func putViaPutN(p *pool) {
+	b := p.get()
+	p.putN(7, b)
+	c := p.get()
+	defer p.putN(8, c)
+	c.n++
+}
+
+// compositeEscapes: boxes referenced from composite literals, calls, and
+// captured by function literals escape (ownership moves out).
+func compositeEscapes(p *pool) {
+	b := p.get()
+	m := map[string]*box{"k": b}
+	_ = m
+	c := p.get()
+	consume(c)
+	d := p.get()
+	run(func() { d.n++ })
+}
+
+// branchUpgrade: an escape on either arm upgrades the merged state, and a
+// put afterwards is legal on both.
+func branchUpgrade(p *pool, k bool) {
+	b := p.get()
+	if k {
+		consume(b)
+	} else {
+		b.n++
+	}
+	p.put(b)
+
+	c := p.get()
+	if k {
+		c.n++
+	} else {
+		consume(c)
+	}
+	p.put(c)
+}
+
+// leakPair: multiple leaks on one path report in name order.
+func leakPair(p *pool) {
+	z := p.get()
+	a := p.get()
+	z.n, a.n = 1, 2
+} // want `pooled box a \(from pool\.free\) is still owned` `pooled box z \(from pool\.free\) is still owned`

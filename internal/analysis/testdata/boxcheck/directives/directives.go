@@ -1,0 +1,20 @@
+// Package directives exercises boxcheck's directive validation: malformed
+// //simlint:box and //simlint:boxowner comments produce diagnostics
+// instead of being silently ignored.
+package directives
+
+type box struct{ n int }
+
+type pool struct {
+	free []*box //simlint:box
+	n    int    //simlint:box // want `//simlint:box must annotate a slice-typed free list; pool\.n is int`
+	bad  []*box //simlint:box free // want `//simlint:box takes no argument \(got "free"\)`
+	own  *box   //simlint:boxowner
+	oops *box   //simlint:boxowner free // want `//simlint:boxowner takes no argument \(got "free"\)`
+}
+
+//simlint:box // want `//simlint:box is not attached to a struct field declaration`
+var floating []*box
+
+//simlint:boxowner // want `//simlint:boxowner is not attached to a struct field declaration`
+func misplaced() {}

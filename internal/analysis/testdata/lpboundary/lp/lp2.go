@@ -1,0 +1,51 @@
+// Capture-kind and pre-pass corner cases for lpboundary: package-level
+// state, aggregate capture kinds, named non-shape captures, and multiple
+// shared variables.
+package lp
+
+// relay is a named type that is not LP/engine-shaped: capturing it in one
+// handler is fine (R3 would fire only if a second handler shared it).
+type relay struct{ n int }
+
+func (r *relay) bump() { r.n++ }
+
+var processWide int
+
+// packageLevelCapture: package-scope state is nodeterm/goroutine
+// territory, not a closure capture — both handlers may reference it.
+func packageLevelCapture(c *Cluster, engA, engB *Engine) {
+	c.AddLP(engA, func(e *Engine, m Message) { processWide++ })
+	c.AddLP(engB, func(e *Engine, m Message) { processWide++ })
+}
+
+// aggregateCaptures: arrays and maps of LPs/engines are looked through to
+// the element type.
+func aggregateCaptures(c *Cluster, eng *Engine, peers [2]*LP, table map[string]*Engine) {
+	alias := peers
+	_ = alias
+	c.AddLP(eng, func(e *Engine, m Message) {
+		peers[0].Send(0, 0, nil)          // want `handler closure captures LP peers from outside its LP`
+		table["x"].Schedule(0, func() {}) // want `handler closure captures engine table from outside its LP`
+	})
+}
+
+// namedCapture: a single handler owning a non-shape object is legal.
+func namedCapture(c *Cluster, eng *Engine) {
+	r := &relay{}
+	c.AddLP(eng, func(e *Engine, m Message) { r.bump() })
+}
+
+// sharedPair: two distinct variables shared across handlers are reported
+// in position order at their second capture site.
+func sharedPair(c *Cluster, engA, engB *Engine) {
+	hits := 0
+	miss := 0
+	c.AddLP(engA, func(e *Engine, m Message) {
+		hits++
+		miss++
+	})
+	c.AddLP(engB, func(e *Engine, m Message) {
+		hits++ // want `hits is captured by the handlers of more than one LP`
+		miss++ // want `miss is captured by the handlers of more than one LP`
+	})
+}

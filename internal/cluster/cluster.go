@@ -71,8 +71,8 @@ type Cluster struct {
 	// travel through inbox interfaces without allocating, and the single
 	// consumer of each box returns it here after copying the contents out.
 	// The simulation is single-threaded per engine, so plain slices work.
-	envfree   []*Envelope
-	framefree []*routedFrame
+	envfree   []*Envelope    //simlint:box -- message-envelope pool
+	framefree []*routedFrame //simlint:box -- routed-frame pool
 }
 
 // newEnvelope takes an Envelope box from the free list.

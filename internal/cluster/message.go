@@ -75,7 +75,7 @@ func (p *Process) send(name string, sz int, payload interface{}, reply *sim.Sign
 // plus the destination inbox resolved at send time.
 type routedFrame struct {
 	dst *sim.Chan
-	ev  *Envelope
+	ev  *Envelope //simlint:boxowner -- the in-flight frame owns the envelope until delivery
 }
 
 // Call sends a request and blocks until the reply arrives or the cluster

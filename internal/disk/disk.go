@@ -82,6 +82,11 @@ type Volume struct {
 	store *stable.Store
 	up    bool
 
+	// destageName is the spawn name for asynchronous cache destages,
+	// precomputed so the cached-write hot path does not format a string
+	// per write.
+	destageName string
+
 	lastEnd  int64 // end offset of the previous access, for seq detection
 	accessed bool  // false until the first access (which always seeks)
 
@@ -111,12 +116,13 @@ func newVolume(eng *sim.Engine, name string, cfg Config, st *stable.Store) *Volu
 		cfg.BytesPerSecond = 40 << 20
 	}
 	return &Volume{
-		eng:   eng,
-		name:  name,
-		cfg:   cfg,
-		arm:   eng.NewResource(fmt.Sprintf("disk-arm-%s", name), 1),
-		store: st,
-		up:    true,
+		eng:         eng,
+		name:        name,
+		cfg:         cfg,
+		arm:         eng.NewResource(fmt.Sprintf("disk-arm-%s", name), 1),
+		store:       st,
+		up:          true,
+		destageName: name + "-destage",
 	}
 }
 
@@ -151,6 +157,8 @@ func (v *Volume) Fail() { v.up = false }
 func (v *Volume) Restore() { v.up = true }
 
 // transfer returns the media transfer time for n bytes.
+//
+//simlint:hotpath
 func (v *Volume) transfer(n int) sim.Time {
 	return sim.Time(int64(n) * int64(sim.Second) / v.cfg.BytesPerSecond)
 }
@@ -159,6 +167,8 @@ func (v *Volume) transfer(n int) sim.Time {
 // updating sequential-detection state. Reads that continue a sequential
 // stream cost nothing; writes on a write-through volume always pay the
 // rotational latency (see Config.RotationalLatency).
+//
+//simlint:hotpath
 func (v *Volume) position(off int64, n int, write bool) sim.Time {
 	seq := v.accessed && off >= v.lastEnd && off-v.lastEnd <= v.cfg.SeqWindow
 	v.accessed = true
@@ -177,6 +187,8 @@ func (v *Volume) position(off int64, n int, write bool) sim.Time {
 // write is durable: after arm service for write-through volumes, or after
 // the controller cache copy for write-cached volumes (battery-backed cache
 // counts as durable, with the complexity cost the paper notes).
+//
+//simlint:hotpath
 func (v *Volume) Write(p *sim.Proc, off int64, data []byte) error {
 	if !v.up {
 		return ErrVolumeDown
@@ -198,7 +210,8 @@ func (v *Volume) Write(p *sim.Proc, off int64, data []byte) error {
 		// utilization accounting honest and lets saturation back up into
 		// cache (ignored here: cache is assumed deep enough).
 		service := v.position(off, len(data), true) + v.transfer(len(data))
-		v.eng.Spawn(fmt.Sprintf("%s-destage", v.name), func(d *sim.Proc) {
+		//simlint:allow hotalloc -- async destage requires a spawned process; the closure is the destage itself
+		v.eng.Spawn(v.destageName, func(d *sim.Proc) {
 			qstart := v.eng.Now()
 			v.arm.Acquire(d)
 			v.mQueue.Record(v.eng.Now() - qstart)
@@ -232,6 +245,8 @@ func (v *Volume) Write(p *sim.Proc, off int64, data []byte) error {
 }
 
 // Read fills buf from byte offset off.
+//
+//simlint:hotpath
 func (v *Volume) Read(p *sim.Proc, off int64, buf []byte) error {
 	if !v.up {
 		return ErrVolumeDown

@@ -283,10 +283,10 @@ func (q *entQueue) prepend(ents []queueEnt) {
 // absorbing deltas.
 type dpState struct {
 	tree *btree.Tree[*row]
-	undo map[audit.TxnID][]uint64
+	undo map[audit.TxnID][]uint64 //simlint:boxowner -- live txns own their undo slices
 	// undofree recycles per-transaction undo slices: one is retired every
 	// transaction end and reborn at the next transaction's first insert.
-	undofree [][]uint64
+	undofree [][]uint64 //simlint:box -- per-txn undo-slice pool
 
 	dirty      int64 // bytes not yet destaged
 	cacheBytes int64 // resident body bytes (the cache budget consumer)
@@ -372,11 +372,11 @@ type DP2 struct {
 	// PM-log encode buffers (checked out across logToPM's wait points, so
 	// concurrent continuations each hold their own). Per-instance, never
 	// global: the parallel harness runs engines on separate goroutines.
-	insfree []*insertDelta
-	endfree []*endDelta
-	lsnfree []*lsnDelta
-	appfree []*adp.AppendReq
-	encfree [][]byte
+	insfree []*insertDelta   //simlint:box -- insert-delta pool
+	endfree []*endDelta      //simlint:box -- end-delta pool
+	lsnfree []*lsnDelta      //simlint:box -- LSN-delta pool
+	appfree []*adp.AppendReq //simlint:box -- audit append-request pool
+	encfree [][]byte         //simlint:box -- PM-log encode-buffer pool
 
 	// Precomputed continuation names (string concat allocates per spawn).
 	waiterName, rwaiterName, missName string
@@ -672,6 +672,7 @@ func canGrantNow(lm *locks.Manager, key uint64, txn audit.TxnID) bool {
 // the waiting (the primary itself on the fast path, a continuation on the
 // conflict path); state mutations are safe because the simulation is
 // cooperatively scheduled.
+//
 //simlint:hotpath
 func (d *DP2) completeInsert(ctx *cluster.PairCtx, p *cluster.Process, st *dpState, auditBuf *[]byte, ev cluster.Envelope, req InsertReq) {
 	istart := p.Now()

@@ -1,0 +1,68 @@
+package dp2
+
+import (
+	"testing"
+
+	"persistmem/internal/audit"
+	"persistmem/internal/cluster"
+)
+
+// The tests below pin the checkpoint-delta and audit-request box
+// lifecycles that boxcheck (simlint) verifies statically: once the backup
+// has absorbed a delta (CheckpointFrom returned nil) or the ADP has
+// replied, the box is back in its pool, and later traffic reuses pooled
+// boxes instead of allocating.
+
+func TestDeltaBoxesRecycledAfterCheckpoint(t *testing.T) {
+	eng, cl, d := harness(t, nil)
+	runTxn := func(txn audit.TxnID, base uint64) {
+		cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+			for i := uint64(0); i < 4; i++ {
+				call(t, p, InsertReq{Txn: txn, Key: base + i, Body: []byte("x")})
+			}
+			call(t, p, EndTxnReq{Txn: txn, Commit: true})
+		})
+		eng.Run()
+	}
+	runTxn(1, 100)
+	insPool, endPool := len(d.insfree), len(d.endfree)
+	if insPool == 0 {
+		t.Fatal("insfree empty after absorbed insert checkpoints; deltas were not recycled")
+	}
+	if endPool == 0 {
+		t.Fatal("endfree empty after an absorbed end checkpoint; the delta was not recycled")
+	}
+	// Steady state: a second transaction of the same shape must run
+	// entirely on recycled boxes, leaving the pools exactly as they were.
+	runTxn(2, 200)
+	if len(d.insfree) != insPool || len(d.endfree) != endPool {
+		t.Errorf("pools grew across an identical transaction: insfree %d -> %d, endfree %d -> %d (boxes not reused)",
+			insPool, len(d.insfree), endPool, len(d.endfree))
+	}
+	eng.Shutdown()
+}
+
+func TestAppendReqBoxRecycledAfterADPReply(t *testing.T) {
+	eng, cl, d := harness(t, nil)
+	flush := func(txn audit.TxnID, key uint64) {
+		cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+			call(t, p, InsertReq{Txn: txn, Key: key, Body: make([]byte, 512)})
+			resp := call(t, p, FlushAuditReq{Txn: txn}).(FlushAuditResp)
+			if resp.Err != nil {
+				t.Fatalf("flush audit: %v", resp.Err)
+			}
+		})
+		eng.Run()
+	}
+	flush(1, 1)
+	if len(d.appfree) != 1 {
+		t.Fatalf("appfree holds %d boxes after the ADP replied, want 1", len(d.appfree))
+	}
+	recycled := d.appfree[0]
+	flush(2, 2)
+	if len(d.appfree) != 1 || d.appfree[0] != recycled {
+		t.Errorf("second flush did not reuse the recycled append-request box (pool %d, got %p want %p)",
+			len(d.appfree), d.appfree[0], recycled)
+	}
+	eng.Shutdown()
+}

@@ -47,7 +47,7 @@ func (m Mode) String() string {
 // lockState tracks one lockable resource.
 type lockState struct {
 	holders map[audit.TxnID]Mode
-	queue   []*waitReq
+	queue   []*waitReq //simlint:boxowner -- queued waiters own their request boxes
 }
 
 type waitReq struct {
@@ -62,15 +62,15 @@ type waitReq struct {
 type Manager struct {
 	eng   *sim.Engine
 	name  string
-	locks map[uint64]*lockState
+	locks map[uint64]*lockState //simlint:boxowner -- live lock table owns per-key state boxes
 
 	// Free lists. Lock entries churn once per touched row per
 	// transaction, so both the per-key state and queued wait requests are
 	// recycled. Per-manager (never global): managers on different engines
 	// run on different goroutines under the parallel harness.
-	lsfree  []*lockState
-	reqfree []*waitReq
-	relbuf  []uint64 // ReleaseAll scratch
+	lsfree  []*lockState //simlint:box -- per-key lock-state pool
+	reqfree []*waitReq   //simlint:box -- wait-queue entry pool
+	relbuf  []uint64     // ReleaseAll scratch
 
 	// Stats
 	Grants, Waits, Timeouts int64

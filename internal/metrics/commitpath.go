@@ -107,8 +107,8 @@ type PhaseStat struct {
 // marks missing or out of order — a healthy instrumented stack keeps it
 // at zero, and tests assert exactly that.
 type CommitPath struct {
-	open map[uint64]*txnMarks
-	free []*txnMarks
+	open map[uint64]*txnMarks //simlint:boxowner -- open txns own their mark tables
+	free []*txnMarks          //simlint:box -- per-txn mark-table pool
 
 	phases [NumPhases]LatencyHist
 	total  LatencyHist

@@ -75,6 +75,8 @@ func newDevice(cl *cluster.Cluster, name string, capacity int64, volatile bool, 
 }
 
 // Name returns the device name.
+//
+//simlint:hotpath
 func (d *Device) Name() string { return d.name }
 
 // Endpoint returns the device's fabric endpoint.
@@ -84,10 +86,14 @@ func (d *Device) Endpoint() *servernet.Endpoint { return d.ep }
 func (d *Device) EndpointID() servernet.EndpointID { return d.ep.ID() }
 
 // Capacity returns the device capacity in bytes.
+//
+//simlint:hotpath
 func (d *Device) Capacity() int64 { return d.store.Len() }
 
 // Store exposes the device memory. The PM Manager maps windows of it into
 // the NIC ATT; recovery code reads durable metadata from it directly.
+//
+//simlint:hotpath
 func (d *Device) Store() *stable.Store { return d.store }
 
 // Volatile reports whether this is a PMP-style volatile prototype.

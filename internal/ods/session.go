@@ -49,15 +49,15 @@ type Session struct {
 	involved map[string]bool
 	pending  []pendingIns
 	names    []string
-	insfree  []*dp2.InsertReq
-	cmtfree  []*tmf.CommitReq
+	insfree  []*dp2.InsertReq //simlint:box -- insert-request pool
+	cmtfree  []*tmf.CommitReq //simlint:box -- commit-request pool
 }
 
 // pendingIns pairs an in-flight insert's completion signal with its
 // request box so the box can be recycled when the reply arrives.
 type pendingIns struct {
 	sig *sim.Signal
-	req *dp2.InsertReq
+	req *dp2.InsertReq //simlint:boxowner -- in-flight insert owns its request box until the reply
 }
 
 //simlint:hotpath

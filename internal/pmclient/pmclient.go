@@ -146,17 +146,21 @@ func (r *Region) Size() int64 { return r.info.Size }
 // Name returns the region name.
 func (r *Region) Name() string { return r.info.Name }
 
+//simlint:hotpath
 func (r *Region) check(off int64, n int) error {
 	if r.closed {
 		return ErrClosed
 	}
 	if off < 0 || off+int64(n) > r.info.Size {
+		//simlint:allow hotalloc -- caller-bug path, cold by construction
 		return fmt.Errorf("%w: off=%d len=%d size=%d", ErrOutOfRange, off, n, r.info.Size)
 	}
 	return nil
 }
 
 // writeOne performs the RDMA write to a single device with CRC retry.
+//
+//simlint:hotpath
 func (r *Region) writeOne(p *cluster.Process, dev servernet.EndpointID, off int64, data []byte) error {
 	fab := r.vol.cl.Fabric()
 	from := p.CPU().Endpoint().ID()
@@ -176,6 +180,8 @@ func (r *Region) writeOne(p *cluster.Process, dev servernet.EndpointID, off int6
 // writing both mirrors. It succeeds if at least one mirror accepted the
 // data (the volume is then degraded until the PMM repairs it); it fails
 // with ErrBothMirrorsFailed if neither did.
+//
+//simlint:hotpath
 func (r *Region) Write(p *cluster.Process, off int64, data []byte) error {
 	if err := r.check(off, len(data)); err != nil {
 		return err
@@ -191,6 +197,7 @@ func (r *Region) Write(p *cluster.Process, off int64, data []byte) error {
 	case errPrim == nil || errMirr == nil:
 		r.DegradedWrites++
 	default:
+		//simlint:allow hotalloc -- double-mirror-failure path, cold by construction
 		return fmt.Errorf("%w: primary: %v; mirror: %v", ErrBothMirrorsFailed, errPrim, errMirr)
 	}
 	r.Writes++
@@ -203,6 +210,8 @@ func (r *Region) Write(p *cluster.Process, off int64, data []byte) error {
 
 // Read fills buf from byte offset off. It reads the primary and falls
 // over to the mirror on failure ("reads need not be replicated").
+//
+//simlint:hotpath
 func (r *Region) Read(p *cluster.Process, off int64, buf []byte) error {
 	if err := r.check(off, len(buf)); err != nil {
 		return err

@@ -189,7 +189,7 @@ type Fabric struct {
 	PathOps [2]int64
 
 	// msgfree recycles Message boxes delivered to endpoint inboxes.
-	msgfree []*Message
+	msgfree []*Message //simlint:box -- fabric message pool
 
 	// Instrument pointers, nil when unmetered (Record/Inc/Add nil-short-
 	// circuit): completed transfer durations, op and byte counts.

@@ -73,7 +73,7 @@ type Engine struct {
 
 	// sigfree recycles Signals through NewSignal/FreeSignal so the
 	// call/reply hot path stops allocating one per request.
-	sigfree []*Signal
+	sigfree []*Signal //simlint:box -- one-shot completion-signal pool
 
 	// cur is the process currently being stepped, if any.
 	cur *Proc

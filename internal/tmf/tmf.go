@@ -159,9 +159,9 @@ type TMF struct {
 	// at blocking points), so scratch is checked out per coordinator and
 	// returned when it finishes — never shared. The delta boxes are
 	// recycled once CheckpointFrom returns nil (absorbed by then).
-	scfree  []*commitScratch
-	begfree []*beginDelta
-	outfree []*outcomeDelta
+	scfree  []*commitScratch //simlint:box -- coordinator scratch pool
+	begfree []*beginDelta    //simlint:box -- begin-delta pool
+	outfree []*outcomeDelta  //simlint:box -- outcome-delta pool
 
 	// Spawn-name scratch (the serve loop is one process) and prefixes.
 	namebuf                   []byte
