@@ -47,11 +47,13 @@ func runNodeterm(p *Pass) error {
 				switch pkg := fn.Pkg().Path(); {
 				case pkg == "time" && wallClockFuncs[fn.Name()]:
 					p.Reportf(n.Pos(), "time.%s reads the wall clock; sim-critical code must use virtual time (Engine.Now / Proc.Wait)", fn.Name())
-				case isRandPkg(pkg) && fn.Name() != "New" && fn.Name() != "NewSource":
-					// New/NewSource construct private sources; those are
-					// seedflow's concern. Everything else package-level
-					// draws from the process-global source, which differs
-					// across runs and across concurrent sweep workers.
+				case isRandPkg(pkg) && fn.Name() != "New" && fn.Name() != "NewSource" && fn.Name() != "NewZipf":
+					// New/NewSource construct private sources, and NewZipf
+					// samples only through the explicit *rand.Rand it is
+					// given; those are seedflow's concern. Everything else
+					// package-level draws from the process-global source,
+					// which differs across runs and across concurrent
+					// sweep workers.
 					p.Reportf(n.Pos(), "%s.%s draws from the process-global random source; derive a private *rand.Rand via Engine.DeriveRand", pkg, fn.Name())
 				}
 			case *ast.RangeStmt:

@@ -33,6 +33,13 @@ func privateRand() int {
 	return r.Intn(10)
 }
 
+func privateZipf() uint64 {
+	// rand.NewZipf samples only through the explicit private source it
+	// is handed — a constructor over a private stream, not a global draw.
+	r := rand.New(rand.NewSource(1))
+	return rand.NewZipf(r, 1.2, 1, 100).Uint64()
+}
+
 func mapWalks(m map[string]int) int {
 	sum := 0
 	for _, v := range m { // want `map iteration order is randomized per run`

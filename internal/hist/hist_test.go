@@ -166,3 +166,58 @@ func TestBucketMappingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPercentileEdgeCases pins the boundary contract on empty, single-
+// sample and merged histograms: an empty histogram answers zero for any
+// percentile, Percentile(0) is never below Min, and Percentile(100) is
+// exactly Max — including after a Merge that widens both ends.
+func TestPercentileEdgeCases(t *testing.T) {
+	var empty H
+	for _, p := range []float64{0, 50, 100} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Errorf("empty p%.0f = %v, want 0", p, got)
+		}
+	}
+
+	var one H
+	one.Record(777)
+	if one.Percentile(0) != 777 || one.Percentile(100) != 777 {
+		t.Errorf("single-sample percentiles = %v / %v, want 777 / 777",
+			one.Percentile(0), one.Percentile(100))
+	}
+
+	// Merge into an empty histogram adopts the other's bounds exactly.
+	var a, b H
+	for i := 1; i <= 1000; i++ {
+		b.Record(sim.Time(i))
+	}
+	a.Merge(&b)
+	if a.Percentile(0) != b.Percentile(0) || a.Percentile(100) != b.Percentile(100) {
+		t.Errorf("merge-into-empty changed bounds: p0 %v vs %v, p100 %v vs %v",
+			a.Percentile(0), b.Percentile(0), a.Percentile(100), b.Percentile(100))
+	}
+
+	// A merge that widens both ends: p0 and p100 track the merged
+	// min/max, and p50 stays inside [min, max].
+	var lo H
+	lo.Record(1)
+	lo.Record(2)
+	a.Merge(&lo)
+	var hi H
+	hi.Record(5_000_000)
+	a.Merge(&hi)
+	if a.Percentile(0) != a.Min() || a.Min() != 1 {
+		t.Errorf("merged p0 = %v, min = %v, want both 1", a.Percentile(0), a.Min())
+	}
+	if a.Percentile(100) != a.Max() || a.Max() != 5_000_000 {
+		t.Errorf("merged p100 = %v, max = %v, want both 5000000", a.Percentile(100), a.Max())
+	}
+	if p50 := a.Percentile(50); p50 < a.Min() || p50 > a.Max() {
+		t.Errorf("merged p50 = %v outside [%v, %v]", p50, a.Min(), a.Max())
+	}
+
+	// Out-of-range p clamps rather than panicking.
+	if a.Percentile(-5) < a.Min() || a.Percentile(200) != a.Max() {
+		t.Errorf("clamping broken: p(-5)=%v p(200)=%v", a.Percentile(-5), a.Percentile(200))
+	}
+}

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"testing"
 
+	"persistmem/internal/faultinject"
 	"persistmem/internal/ods"
 	"persistmem/internal/sim"
 )
@@ -17,23 +18,95 @@ func smallStore(d ods.Durability, seed int64) *ods.Store {
 	return ods.Build(opts)
 }
 
+// checkTaxonomy asserts the documented identity: every transaction
+// attempt lands in exactly one bucket.
+func checkTaxonomy(t *testing.T, r Result) {
+	t.Helper()
+	if r.Txns != r.Commits+r.Aborts+r.Errors {
+		t.Errorf("Txns %d != Commits %d + Aborts %d + Errors %d", r.Txns, r.Commits, r.Aborts, r.Errors)
+	}
+}
+
 func TestRunProducesWork(t *testing.T) {
 	s := smallStore(ods.PMDurability, 1)
 	cfg := DefaultConfig()
 	cfg.Duration = 500 * sim.Millisecond
 	r := Run(s, cfg)
-	if r.Txns == 0 || r.Inserts == 0 {
+	if r.Commits == 0 || r.Inserts == 0 {
 		t.Fatalf("no work done: %+v", r)
 	}
-	if r.Errors != 0 {
-		t.Errorf("errors: %d", r.Errors)
+	if r.Errors != 0 || r.Aborts != 0 {
+		t.Errorf("faultless run had %d errors, %d aborts", r.Errors, r.Aborts)
 	}
-	if r.CommitLatency.Count() != r.Txns {
-		t.Errorf("latency samples %d != txns %d", r.CommitLatency.Count(), r.Txns)
+	checkTaxonomy(t, r)
+	if r.CommitLatency.Count() != r.Commits {
+		t.Errorf("latency samples %d != commits %d", r.CommitLatency.Count(), r.Commits)
 	}
 	if r.TxnPerSec() <= 0 {
 		t.Error("zero throughput")
 	}
+	s.Eng.Shutdown()
+}
+
+// TestElapsedIsWindowOnPreWarmedEngine pins the Elapsed bugfix: the
+// measurement window is relative to each client's start, not the
+// absolute virtual clock, so running after the engine has already
+// advanced must not inflate Elapsed (and so deflate TxnPerSec).
+func TestElapsedIsWindowOnPreWarmedEngine(t *testing.T) {
+	run := func(warm sim.Time) Result {
+		s := smallStore(ods.PMDurability, 21)
+		if warm > 0 {
+			s.Eng.RunUntil(warm)
+		}
+		cfg := DefaultConfig()
+		cfg.Duration = 500 * sim.Millisecond
+		r := Run(s, cfg)
+		s.Eng.Shutdown()
+		return r
+	}
+	cold, warmed := run(0), run(2*sim.Second)
+	if warmed.Elapsed >= 2*sim.Second {
+		t.Errorf("Elapsed %v contains the 2s warmup — absolute end time leaked into the window", warmed.Elapsed)
+	}
+	// Same store seed, same config: the warmed window must match the
+	// cold one closely, not differ by the warmup offset.
+	if warmed.Elapsed < cold.Elapsed/2 || warmed.Elapsed > cold.Elapsed*2 {
+		t.Errorf("warmed Elapsed %v far from cold Elapsed %v", warmed.Elapsed, cold.Elapsed)
+	}
+	if cold.TxnPerSec() <= 0 || warmed.TxnPerSec() < cold.TxnPerSec()/2 {
+		t.Errorf("warmed throughput %.1f/s collapsed vs cold %.1f/s", warmed.TxnPerSec(), cold.TxnPerSec())
+	}
+}
+
+// TestAbortedKeysNeverBrowsed pins the working-set bugfix: a mid-run
+// fault makes some commits fail, and the keys those transactions staged
+// must never enter the read working set — zero read errors even at a
+// high read fraction.
+func TestAbortedKeysNeverBrowsed(t *testing.T) {
+	s := smallStore(ods.DiskDurability, 23)
+	// Kill the primary of one DP2 partition mid-run: transactions that
+	// touch it during the takeover window fail their commits.
+	plan := faultinject.Plan{
+		{Kind: faultinject.ProcessKill, Service: "$DP-A-0", When: faultinject.Trigger{At: 100 * sim.Millisecond}},
+	}
+	inj := faultinject.Arm(s, plan)
+	cfg := DefaultConfig()
+	cfg.Duration = sim.Second
+	cfg.ReadFraction = 0.5
+	r := Run(s, cfg)
+	if len(inj.Firings()) != 1 {
+		t.Fatalf("fault did not fire: %v", inj.Firings())
+	}
+	if r.Aborts == 0 {
+		t.Fatal("no aborts despite a DP2 primary kill mid-run")
+	}
+	if r.ReadErrors != 0 {
+		t.Errorf("%d read errors — keys from failed transactions leaked into the working set", r.ReadErrors)
+	}
+	if r.Reads == 0 {
+		t.Error("no reads at 50% read fraction")
+	}
+	checkTaxonomy(t, r)
 	s.Eng.Shutdown()
 }
 
@@ -84,9 +157,10 @@ func TestDeterministic(t *testing.T) {
 		return r
 	}
 	a, b := run(), run()
-	if a.Txns != b.Txns || a.Inserts != b.Inserts || a.Reads != b.Reads {
+	if a.Txns != b.Txns || a.Commits != b.Commits || a.Inserts != b.Inserts || a.Reads != b.Reads {
 		t.Errorf("nondeterministic: %+v vs %+v", a, b)
 	}
+	checkTaxonomy(t, a)
 	if a.CommitLatency.Mean() != b.CommitLatency.Mean() {
 		t.Errorf("latency differs: %v vs %v", a.CommitLatency.Mean(), b.CommitLatency.Mean())
 	}

@@ -277,6 +277,7 @@ type Registry struct {
 	Net       *NetSpans
 	PM        *PMSpans
 	Commit    *CommitPath
+	Load      *LoadSpans
 }
 
 // NewRegistry returns a registry with every subsystem bundle and its
@@ -292,6 +293,7 @@ func NewRegistry() *Registry {
 	r.Net = newNetSpans(r)
 	r.PM = newPMSpans(r)
 	r.Commit = newCommitPath(r)
+	r.Load = newLoadSpans(r)
 	return r
 }
 
@@ -647,4 +649,81 @@ func newPMSpans(r *Registry) *PMSpans {
 		Writes: r.Counter("pm.writes"),
 		Bytes:  r.Counter("pm.bytes"),
 	}
+}
+
+// LoadSpans instruments the open-loop load generator's arrival plane:
+// offered arrivals, admission-queue occupancy, drops at a bounded queue,
+// and the queue wait between a transaction's arrival and the moment a
+// worker picks it up — the term that explodes past the saturation knee
+// while service time stays flat. The conservation law is
+//
+//	Arrivals == Starts + Drops + Queued
+//
+// which holds at any quiescent point because every generated arrival is
+// either dropped at admission, still queued, or picked up by a worker.
+type LoadSpans struct {
+	Wait                    *LatencyHist
+	Arrivals, Starts, Drops *Counter
+	Queued                  *Gauge
+}
+
+func newLoadSpans(r *Registry) *LoadSpans {
+	l := &LoadSpans{
+		Wait:     r.Hist("load.queue_wait"),
+		Arrivals: r.Counter("load.arrivals"),
+		Starts:   r.Counter("load.starts"),
+		Drops:    r.Counter("load.drops"),
+		Queued:   r.Gauge("load.queued"),
+	}
+	r.AddCheck("load-conservation", func() error {
+		// A negative occupancy means a start or drop that never arrived
+		// — it would otherwise keep the sum balanced and slip through.
+		if q := l.Queued.Value(); q < 0 {
+			return fmt.Errorf("load queue occupancy %d is negative", q)
+		}
+		accounted := l.Starts.Value() + l.Drops.Value() + l.Queued.Value()
+		if l.Arrivals.Value() != accounted {
+			return fmt.Errorf("arrivals %d != starts %d + drops %d + queued %d",
+				l.Arrivals.Value(), l.Starts.Value(), l.Drops.Value(), l.Queued.Value())
+		}
+		return nil
+	})
+	return l
+}
+
+// OnArrival records one generated arrival. Nil-safe.
+//
+//simlint:hotpath
+func (l *LoadSpans) OnArrival() {
+	if l == nil {
+		return
+	}
+	l.Arrivals.Inc()
+	l.Queued.Inc()
+}
+
+// OnDrop records an arrival rejected at a full admission queue (the
+// arrival was counted by OnArrival and is re-filed from queued to
+// dropped). Nil-safe.
+//
+//simlint:hotpath
+func (l *LoadSpans) OnDrop() {
+	if l == nil {
+		return
+	}
+	l.Drops.Inc()
+	l.Queued.Dec()
+}
+
+// OnStart records a worker picking an arrival up after waiting d in the
+// admission queue. Nil-safe.
+//
+//simlint:hotpath
+func (l *LoadSpans) OnStart(d sim.Time) {
+	if l == nil {
+		return
+	}
+	l.Starts.Inc()
+	l.Queued.Dec()
+	l.Wait.Record(d)
 }

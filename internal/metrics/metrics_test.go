@@ -223,3 +223,59 @@ func TestDumpSortedAndNonZeroOnly(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadSpansConservation exercises the open-loop load ledger: the
+// arrival/start/drop counters obey their conservation law while work is
+// queued and after it drains, queue-wait samples accumulate, and the
+// nil receiver is a no-op like every other instrument.
+func TestLoadSpansConservation(t *testing.T) {
+	var nilLS *LoadSpans
+	nilLS.OnArrival()
+	nilLS.OnDrop()
+	nilLS.OnStart(5)
+
+	r := NewRegistry()
+	ld := r.Load
+	if ld == nil {
+		t.Fatal("registry has no LoadSpans")
+	}
+	for i := 0; i < 10; i++ {
+		ld.OnArrival()
+	}
+	ld.OnDrop()
+	for i := 0; i < 6; i++ {
+		ld.OnStart(sim.Time(i) * sim.Millisecond)
+	}
+	// 10 arrivals = 6 started + 1 dropped + 3 still queued.
+	if errs := r.CheckConservation(); len(errs) != 0 {
+		t.Fatalf("conservation violated mid-flight: %v", errs)
+	}
+	if ld.Queued.Value() != 3 {
+		t.Errorf("queued = %d, want 3", ld.Queued.Value())
+	}
+	if ld.Wait.Count() != 6 {
+		t.Errorf("wait samples = %d, want 6", ld.Wait.Count())
+	}
+	for i := 0; i < 3; i++ {
+		ld.OnStart(sim.Millisecond)
+	}
+	if errs := r.CheckConservation(); len(errs) != 0 {
+		t.Fatalf("conservation violated after drain: %v", errs)
+	}
+	if ld.Queued.Value() != 0 {
+		t.Errorf("queued = %d after drain, want 0", ld.Queued.Value())
+	}
+
+	// A start that never arrived breaks the law and must be caught.
+	ld.OnStart(0)
+	errs := r.CheckConservation()
+	found := false
+	for _, err := range errs {
+		if strings.Contains(err.Error(), "load") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("phantom start not flagged: %v", errs)
+	}
+}

@@ -63,6 +63,25 @@ skel /tmp/figures-quick.txt > /tmp/figures-skel-quick.txt
 cmp /tmp/figures-skel-full.txt /tmp/figures-skel-quick.txt
 rm -f /tmp/figures-quick.txt /tmp/figures-skel-full.txt /tmp/figures-skel-quick.txt
 
+# Open-loop saturation sweep: the smoke-scale sweep must pass its shape
+# checks (knee present per durability, p99 strictly rising past it,
+# monotone shard/volume scaling) and print byte-identical CSV at any
+# parallelism and on the parallel LP engine — the same determinism
+# contract the committed saturation_full.csv was generated under. The
+# summary-table skeleton doubles as the staleness gate for the committed
+# full-scale artifact, like the figure tables above.
+go run ./cmd/loadgen -scale smoke -seed 1 -check -csv > /tmp/sat-a.csv
+go run ./cmd/loadgen -scale smoke -seed 1 -csv -parallel 1 > /tmp/sat-b.csv
+cmp /tmp/sat-a.csv /tmp/sat-b.csv
+go run ./cmd/loadgen -scale smoke -seed 1 -csv -engine parallel > /tmp/sat-c.csv
+cmp /tmp/sat-a.csv /tmp/sat-c.csv
+rm -f /tmp/sat-a.csv /tmp/sat-b.csv /tmp/sat-c.csv
+go run ./cmd/loadgen -scale smoke -seed 1 > /tmp/sat-smoke.txt
+skel saturation_full.txt > /tmp/sat-skel-full.txt
+skel /tmp/sat-smoke.txt > /tmp/sat-skel-smoke.txt
+cmp /tmp/sat-skel-full.txt /tmp/sat-skel-smoke.txt
+rm -f /tmp/sat-smoke.txt /tmp/sat-skel-full.txt /tmp/sat-skel-smoke.txt
+
 if command -v govulncheck >/dev/null 2>&1; then
 	govulncheck ./...
 fi
