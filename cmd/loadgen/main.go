@@ -27,6 +27,7 @@ func main() {
 		check    = flag.Bool("check", false, "run shape checks (knee present, p99 rising past it, shard/volume scaling monotone) and exit non-zero on failure")
 		parallel = flag.Int("parallel", 0, "sweep cells simulated concurrently (0 = one per CPU, 1 = sequential); output is identical at any setting")
 		engine   = flag.String("engine", "sequential", "cell execution engine: sequential (pool workers) or parallel (conservative LP cluster); output is identical on either")
+		nodeLPs  = flag.Int("node-lps", 0, "partition every cell's node topology across this many LP workers (intra-run parallelism); output is identical at 1, 2 and 4 but differs from the 0 (single-engine) build")
 	)
 	flag.Parse()
 	eng, err := bench.ParseEngine(*engine)
@@ -39,7 +40,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	runner := bench.Runner{Parallelism: *parallel, Engine: eng}
+	runner := bench.Runner{Parallelism: *parallel, Engine: eng, NodeLPs: *nodeLPs}
 
 	sat := runner.Saturation(*seed, sc)
 	if *csv {

@@ -79,6 +79,11 @@ type report struct {
 	// workload: the same cluster run with no concurrency and with one
 	// worker per CPU.
 	Parallel parallelStats `json:"parallel"`
+
+	// Partitioned measures intra-run LP partitioning: one smoke hot-stock
+	// cell built as a single partitioned simulation and drained at 1, 2
+	// and 4 node-LPs.
+	Partitioned partitionedStats `json:"partitioned"`
 }
 
 // parallelStats records one sequential-vs-parallel cluster comparison.
@@ -96,6 +101,24 @@ type parallelStats struct {
 	SequentialWallS float64 `json:"sequential_wall_s"`
 	ParallelWallS   float64 `json:"parallel_wall_s"`
 	Speedup         float64 `json:"speedup"`
+}
+
+// partitionedStats records the intra-run partitioned engine's cost per
+// node-LP count on one identical smoke hot-stock cell. Events are
+// P-invariant (the same closures dispatch at every partition count), so
+// ns/event isolates the per-event overhead of the safe-window machinery;
+// speedup is wall-clock at 1 LP over wall-clock at N LPs.
+type partitionedStats struct {
+	Cells []partitionedCell `json:"cells"`
+}
+
+type partitionedCell struct {
+	NodeLPs    int     `json:"node_lps"`
+	Events     uint64  `json:"events"`
+	Windows    uint64  `json:"windows"`
+	WallS      float64 `json:"wall_s"`
+	NsPerEvent float64 `json:"ns_per_event"`
+	SpeedupVs1 float64 `json:"speedup_vs_1lp"`
 }
 
 type kernelStats struct {
@@ -150,6 +173,7 @@ func main() {
 	rep.Kernel = measureKernel()
 	rep.Txn = measureTxn(*seed)
 	rep.Parallel = measureParallel(*seed)
+	rep.Partitioned = measurePartitioned(*seed)
 
 	// Full-stack event throughput: one smoke hot-stock run, disk mode.
 	opts := ods.DefaultOptions()
@@ -196,6 +220,10 @@ func main() {
 		*out, rep.Kernel.NsPerEvent, rep.Kernel.AllocsPerEvent, rep.Txn.AllocsPerTxn,
 		sc.Name, rep.Sweep.TotalWallS, rep.Sweep.Parallelism,
 		rep.Parallel.Speedup, rep.Parallel.Workers, rep.Parallel.Windows, rep.Parallel.AvgLPOccupancy)
+	for _, c := range rep.Partitioned.Cells {
+		fmt.Printf("  partitioned %d-LP cell: %.1f ns/event, %d windows, %.2fx vs 1 LP\n",
+			c.NodeLPs, c.NsPerEvent, c.Windows, c.SpeedupVs1)
+	}
 }
 
 // buildLinkedCluster wires nLPs engines into a messaging mesh with
@@ -272,6 +300,56 @@ func measureParallel(seed int64) parallelStats {
 		out.Speedup = seqWall / parWall
 	}
 	return out
+}
+
+// measurePartitioned drains one identical smoke hot-stock cell built as a
+// partitioned simulation at 1, 2 and 4 node-LPs, best wall of three runs
+// each. The event counts must agree across partition counts — the
+// partitioned engine's determinism contract — and the measurement exits
+// the process if they do not, so a perf baseline is never recorded over a
+// broken schedule.
+func measurePartitioned(seed int64) partitionedStats {
+	const reps = 3
+	params := hotstock.Params{
+		Drivers: 1, RecordsPerDriver: bench.Smoke.RecordsPerDriver,
+		InsertsPerTxn: 8, RecordBytes: 4096,
+	}
+	var ps partitionedStats
+	for _, lps := range []int{1, 2, 4} {
+		cell := partitionedCell{NodeLPs: lps}
+		for rep := 0; rep < reps; rep++ {
+			opts := ods.DefaultOptions()
+			opts.Seed = seed
+			opts.NodeLPs = lps
+			s := ods.Build(opts)
+			pend := hotstock.Start(s, params)
+			t0 := time.Now()
+			stats := s.Part.Run(lps)
+			w := time.Since(t0).Seconds()
+			res := pend.Collect()
+			s.Shutdown()
+			if rep == 0 || w < cell.WallS {
+				cell.WallS = w
+			}
+			cell.Events = res.Events
+			cell.Windows = stats.Windows
+		}
+		if cell.WallS > 0 {
+			cell.NsPerEvent = cell.WallS * 1e9 / float64(cell.Events)
+		}
+		if len(ps.Cells) > 0 {
+			if ref := ps.Cells[0]; cell.Events != ref.Events {
+				fmt.Fprintf(os.Stderr, "simbench: partitioned engine diverged: %d events at %d LPs vs %d at %d\n",
+					cell.Events, cell.NodeLPs, ref.Events, ref.NodeLPs)
+				os.Exit(1)
+			}
+			cell.SpeedupVs1 = ps.Cells[0].WallS / cell.WallS
+		} else {
+			cell.SpeedupVs1 = 1
+		}
+		ps.Cells = append(ps.Cells, cell)
+	}
+	return ps
 }
 
 // measureKernel times the bare Schedule+dispatch cycle — the same loop as
@@ -416,6 +494,7 @@ func runCompare(path string, seed int64) int {
 	kernel := measureKernel()
 	txn := measureTxn(seed)
 	par := measureParallel(seed)
+	part := measurePartitioned(seed)
 
 	metrics := []gateMetric{
 		{"kernel.ns_per_event", base.Kernel.NsPerEvent, kernel.NsPerEvent, 0},
@@ -432,6 +511,30 @@ func runCompare(path string, seed int64) int {
 		)
 	} else {
 		fmt.Printf("note: %s has no txn section; skipping data-plane gates\n", path)
+	}
+	if len(base.Partitioned.Cells) > 0 {
+		// Gate the partitioned engine's per-event cost at each LP count.
+		// Speedup-vs-1LP is reported but not gated: whether extra workers
+		// pay off depends on the host's CPU count, and on a saturated or
+		// single-CPU machine the barrier overhead legitimately wins.
+		baseBy := make(map[int]partitionedCell, len(base.Partitioned.Cells))
+		for _, c := range base.Partitioned.Cells {
+			baseBy[c.NodeLPs] = c
+		}
+		for _, c := range part.Cells {
+			b, ok := baseBy[c.NodeLPs]
+			if !ok {
+				continue
+			}
+			metrics = append(metrics, gateMetric{
+				fmt.Sprintf("partitioned.%dlp_ns_per_event", c.NodeLPs),
+				b.NsPerEvent, c.NsPerEvent, 50,
+			})
+			fmt.Printf("note: partitioned %d-LP speedup vs 1 LP: %.2fx (base %.2fx, not gated)\n",
+				c.NodeLPs, c.SpeedupVs1, b.SpeedupVs1)
+		}
+	} else {
+		fmt.Printf("note: %s has no partitioned section; skipping intra-run partitioning gates\n", path)
 	}
 
 	failed := 0

@@ -26,17 +26,25 @@ import (
 //     EventsExecuted) are allowed.
 //   - one variable captured by the handlers of two different LPs — shared
 //     mutable state between threads, the aliasing the protocol forbids.
+//   - a Send or TrySend directly into an endpoint's Inbox — under intra-run
+//     partitioning an endpoint may be owned by a foreign node's engine, and
+//     only Fabric.Send knows to route such traffic through the cross-LP
+//     seam with the lookahead bound. The seam's own delivery sites (which
+//     run on the owner node's engine by construction) carry
+//     //simlint:allow lpboundary directives.
 //
 // The parallel runtime itself (marked //simlint:parallel-engine) is
 // exempt: it owns the barrier and may touch every LP. Types are matched
 // by shape (a named LP with Send+Engine, a named Engine with
-// Schedule+RunUntil, a named Cluster with AddLP+Lookahead) so the rules
-// follow the runtime through refactors and the fixtures need no imports.
+// Schedule+RunUntil, a named Cluster with AddLP+Lookahead, a named
+// Endpoint struct with an Inbox field) so the rules follow the runtime
+// through refactors and the fixtures need no imports.
 var Lpboundary = &Analyzer{
 	Name: "lpboundary",
 	Doc: "flag state crossing LP boundaries without parallel.LP.Send: " +
 		"foreign LP/engine captures in AddLP handlers, direct calls on " +
-		"LP.Engine() results, and variables shared between handlers",
+		"LP.Engine() results, variables shared between handlers, and " +
+		"sends bypassing the fabric seam into an endpoint's Inbox",
 	Run: runLpboundary,
 }
 
@@ -60,8 +68,34 @@ func runLpboundary(p *Pass) error {
 			}
 			checkLPFunc(p, fd)
 		}
+		checkInboxSends(p, f)
 	}
 	return nil
+}
+
+// checkInboxSends applies rule 4: a Send/TrySend whose receiver is the
+// Inbox field of an endpoint-shaped value bypasses the fabric seam —
+// Fabric.Send is the only layer that forwards traffic for foreign-owned
+// endpoints across the LP boundary with the lookahead bound.
+func checkInboxSends(p *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Send" && sel.Sel.Name != "TrySend") {
+			return true
+		}
+		inbox, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || inbox.Sel.Name != "Inbox" {
+			return true
+		}
+		if t := p.Info.TypeOf(inbox.X); t != nil && isEndpointShaped(t) {
+			p.Reportf(call.Pos(), "%s directly into an endpoint's Inbox bypasses the fabric seam; a foreign-owned endpoint must be reached through Fabric.Send so the cross-LP forward pays the lookahead", sel.Sel.Name)
+		}
+		return true
+	})
 }
 
 func checkLPFunc(p *Pass, fd *ast.FuncDecl) {
@@ -278,6 +312,25 @@ func isLPShaped(t types.Type) bool {
 func isEngineShaped(t types.Type) bool {
 	n := namedOf(t)
 	return n != nil && n.Obj().Name() == "Engine" && hasShapeMethod(n, "Schedule") && hasShapeMethod(n, "RunUntil")
+}
+
+// isEndpointShaped matches the servernet endpoint structurally: a named
+// struct called Endpoint carrying an Inbox field.
+func isEndpointShaped(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Name() != "Endpoint" {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Inbox" {
+			return true
+		}
+	}
+	return false
 }
 
 func isClusterShaped(t types.Type) bool {

@@ -1,0 +1,54 @@
+// Rule 4 fixture: sends bypassing the fabric seam into an endpoint's
+// Inbox. Endpoint and Chan are structural mimics of the servernet types —
+// the analyzer matches a named struct called Endpoint carrying an Inbox
+// field, so no imports are needed.
+package lp
+
+// Chan mimics sim.Chan's blocking mailbox surface.
+type Chan struct{ q []Message }
+
+func (c *Chan) Send(p *Process, m Message) {}
+func (c *Chan) TrySend(m Message) bool     { return true }
+func (c *Chan) Recv(p *Process) Message    { return Message{} }
+
+// Process mimics cluster.Process just enough to type Chan's methods.
+type Process struct{}
+
+// Endpoint mimics servernet.Endpoint: the Inbox field is what makes the
+// shape match.
+type Endpoint struct {
+	name  string
+	Inbox *Chan
+}
+
+// mailbox is Endpoint-shaped in field layout but not named Endpoint, so
+// its Inbox is not matched.
+type mailbox struct {
+	Inbox *Chan
+}
+
+func directInboxSend(p *Process, dst *Endpoint, m Message) {
+	dst.Inbox.Send(p, m)   // want `Send directly into an endpoint's Inbox bypasses the fabric seam`
+	dst.Inbox.TrySend(m)   // want `TrySend directly into an endpoint's Inbox bypasses the fabric seam`
+	(dst.Inbox).TrySend(m) // want `TrySend directly into an endpoint's Inbox bypasses the fabric seam`
+}
+
+// inboxRecvOK: receiving from an inbox is always the owner's action and
+// never crosses an LP boundary.
+func inboxRecvOK(p *Process, dst *Endpoint) Message {
+	return dst.Inbox.Recv(p)
+}
+
+// otherNameOK: the rule keys on the Endpoint shape, not on any field
+// called Inbox.
+func otherNameOK(p *Process, box *mailbox, m Message) {
+	box.Inbox.Send(p, m)
+}
+
+// seamInternalSend mirrors the fabric's own delivery sites, which run on
+// the owner node's engine by construction and carry allow directives.
+func seamInternalSend(p *Process, dst *Endpoint, m Message) {
+	//simlint:allow lpboundary -- delivery on the owner node's engine
+	dst.Inbox.Send(p, m)
+	dst.Inbox.TrySend(m) //simlint:allow lpboundary -- same, trailing form
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"persistmem/internal/hotstock"
 	"persistmem/internal/ods"
 	"persistmem/internal/sim"
 )
@@ -149,6 +150,45 @@ func (f Figure1) CheckShape() []error {
 			"figure1: peak speedup at %d drivers; the paper saw the largest benefit at 1-2", bestDrv))
 	}
 	return errs
+}
+
+// Figure1Cell is one Figure-1 point measured in isolation: the disk and
+// PM hot-stock runs for a single (drivers, txn-size) pair. It exists so
+// the intra-run partitioning gates can hold one full-scale cell — run
+// across 1, 2 and 4 node-LPs — to byte-identical output without paying
+// for the whole 24-cell sweep. Events is included in the CSV because the
+// executed-event count is partition-invariant: the same model dispatches
+// the same closures at every NodeLPs value.
+type Figure1Cell struct {
+	Scale            Scale
+	Drivers, Inserts int
+	Disk, PM         hotstock.Result
+}
+
+// Figure1Cell measures one Figure-1 point under the Runner's engine
+// (partitioned when NodeLPs > 1).
+func (r Runner) Figure1Cell(seed int64, scale Scale, drivers, inserts int) Figure1Cell {
+	records := scale.RecordsPerDriver
+	specs := []cellSpec{
+		{seed: seed, d: ods.DiskDurability, drivers: drivers, inserts: inserts, records: records},
+		{seed: seed, d: ods.PMDurability, drivers: drivers, inserts: inserts, records: records},
+	}
+	cells := r.runCells(specs)
+	return Figure1Cell{Scale: scale, Drivers: drivers, Inserts: inserts,
+		Disk: cells[0], PM: cells[1]}
+}
+
+// CSV renders the cell as a one-row table in Figure 1's vocabulary.
+func (c Figure1Cell) CSV() string {
+	var b strings.Builder
+	b.WriteString("txn_size_kb,drivers,speedup,disk_resp_us,pm_resp_us,disk_elapsed_s,pm_elapsed_s,disk_events,pm_events\n")
+	fmt.Fprintf(&b, "%d,%d,%.3f,%.1f,%.1f,%.4f,%.4f,%d,%d\n",
+		c.Inserts*4, c.Drivers,
+		float64(c.Disk.MeanResp())/float64(c.PM.MeanResp()),
+		c.Disk.MeanResp().Micros(), c.PM.MeanResp().Micros(),
+		c.Disk.Elapsed.Seconds(), c.PM.Elapsed.Seconds(),
+		c.Disk.Events, c.PM.Events)
+	return b.String()
 }
 
 // Figure2 reproduces "PM eliminates the need to boxcar": total elapsed

@@ -17,6 +17,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"persistmem/internal/hotstock"
 	"persistmem/internal/ods"
@@ -79,10 +80,51 @@ func (c cellSpec) run() hotstock.Result {
 	return hotstock.Run(c.opts(), c.params())
 }
 
+// runPartitionedCell builds one cell's store as a NodeLPs-way
+// partitioned simulation and drains it with NodeLPs safe-window
+// workers — intra-run parallelism, where the inter-cell engines below
+// parallelize across cells.
+func (r Runner) runPartitionedCell(sp cellSpec) hotstock.Result {
+	opts := sp.opts()
+	opts.NodeLPs = r.NodeLPs
+	s := ods.Build(opts)
+	defer s.Shutdown()
+	pend := hotstock.Start(s, sp.params())
+	stats := s.Part.Run(r.NodeLPs)
+	r.addClusterStats(stats)
+	return pend.Collect()
+}
+
+// addClusterStats folds one cluster run's window statistics into
+// r.ClusterStats. Partitioned cells run concurrently on pool workers,
+// so the fold is locked.
+func (r Runner) addClusterStats(stats parallel.Stats) {
+	if r.ClusterStats == nil {
+		return
+	}
+	clusterStatsMu.Lock()
+	defer clusterStatsMu.Unlock()
+	r.ClusterStats.Workers = stats.Workers
+	r.ClusterStats.Windows += stats.Windows
+	r.ClusterStats.Occupied += stats.Occupied
+	r.ClusterStats.Events += stats.Events
+	r.ClusterStats.Messages += stats.Messages
+}
+
+var clusterStatsMu sync.Mutex
+
 // runCells executes a sweep's independent cells under the Runner's
 // engine and returns their results in cell order.
 func (r Runner) runCells(specs []cellSpec) []hotstock.Result {
 	out := make([]hotstock.Result, len(specs))
+	if r.NodeLPs > 0 {
+		// Intra-run partitioning takes precedence over the inter-cell
+		// engine selection: each cell is its own safe-window cluster.
+		// NodeLPs=1 still builds the partitioned model (one LP), so its
+		// output is cmp-able against 2 and 4.
+		r.forEach(len(specs), func(i int) { out[i] = r.runPartitionedCell(specs[i]) })
+		return out
+	}
 	if r.Engine == EngineParallel {
 		stores := make([]*ods.Store, len(specs))
 		pends := make([]*hotstock.Pending, len(specs))
@@ -94,14 +136,7 @@ func (r Runner) runCells(specs []cellSpec) []hotstock.Result {
 		for _, s := range stores {
 			cl.AddLP(s.Eng, nil)
 		}
-		stats := cl.Run(EffectiveParallelism(r.Parallelism))
-		if r.ClusterStats != nil {
-			r.ClusterStats.Workers = stats.Workers
-			r.ClusterStats.Windows += stats.Windows
-			r.ClusterStats.Occupied += stats.Occupied
-			r.ClusterStats.Events += stats.Events
-			r.ClusterStats.Messages += stats.Messages
-		}
+		r.addClusterStats(cl.Run(EffectiveParallelism(r.Parallelism)))
 		for i := range pends {
 			out[i] = pends[i].Collect()
 			stores[i].Eng.Shutdown()

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure1CellPartitionInvariance is the figure-path differential
+// gate: one Figure 1 cell (disk and PM durability at fixed drivers and
+// transaction size) built as a partitioned simulation must render a
+// byte-identical CSV at 1, 2 and 4 node-LPs. The Runner drains each cell
+// with NodeLPs safe-window workers, so this also exercises the
+// concurrent scheduler, not just the partitioned build.
+func TestFigure1CellPartitionInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		ref := Runner{Parallelism: 1, NodeLPs: 1}.Figure1Cell(seed, Smoke, 2, 32).CSV()
+		if !strings.Contains(ref, "\n") {
+			t.Fatalf("seed %d: reference CSV has no rows:\n%s", seed, ref)
+		}
+		for _, lps := range []int{2, 4} {
+			got := Runner{Parallelism: lps, NodeLPs: lps}.Figure1Cell(seed, Smoke, 2, 32).CSV()
+			if got != ref {
+				t.Errorf("seed %d: %d-LP CSV diverged from 1-LP:\n--- 1 LP ---\n%s\n--- %d LPs ---\n%s",
+					seed, lps, ref, lps, got)
+			}
+		}
+	}
+}

@@ -32,6 +32,15 @@ type Runner struct {
 	// ClusterStats, when non-nil, accumulates the parallel engine's
 	// window statistics across the Runner's cluster runs.
 	ClusterStats *parallel.Stats
+	// NodeLPs, when > 0, builds every cell's store as one partitioned
+	// simulation of that many node-LPs and drains each cell with NodeLPs
+	// safe-window workers (intra-run parallelism) instead of registering
+	// it on the inter-cell engines above. Cell output is byte-identical
+	// at every NodeLPs value (1 included — it builds the same partitioned
+	// model on a single LP), but a partitioned store models explicit
+	// cross-node latency, so its numbers differ from the NodeLPs=0
+	// single-engine build — never mix the two in one comparison.
+	NodeLPs int
 }
 
 // EffectiveParallelism resolves a requested parallelism to the worker
@@ -46,9 +55,22 @@ func EffectiveParallelism(p int) int {
 	return p
 }
 
-// workers resolves the worker count for n jobs.
+// cellSlots is the number of parallelism slots one running cell
+// occupies: a partitioned cell holds NodeLPs safe-window workers for
+// its whole run, a single-engine cell exactly one.
+func (r Runner) cellSlots() int {
+	if r.NodeLPs > 1 {
+		return r.NodeLPs
+	}
+	return 1
+}
+
+// workers resolves the pool worker count for n jobs. Each concurrent
+// cell is charged cellSlots() against the Runner's parallelism budget,
+// so a sweep of 4-LP cells on an 8-way Runner drives 2 cells at a time
+// (8 OS threads), not 8 cells (32 threads).
 func (r Runner) workers(n int) int {
-	w := EffectiveParallelism(r.Parallelism)
+	w := EffectiveParallelism(r.Parallelism) / r.cellSlots()
 	if w > n {
 		w = n
 	}

@@ -199,7 +199,20 @@ func (r Runner) Saturation(seed int64, scale SatScale) Saturation {
 	}
 
 	results := make([]loadgen.OpenResult, len(cells))
-	if r.Engine == EngineParallel {
+	if r.NodeLPs > 0 {
+		// Intra-run partitioning: each cell is its own NodeLPs-way
+		// safe-window cluster, drained with NodeLPs workers; cells still
+		// fan out across the (slot-weighted) pool.
+		r.forEach(len(cells), func(i int) {
+			opts := cells[i].opts()
+			opts.NodeLPs = r.NodeLPs
+			s := ods.Build(opts)
+			pend := loadgen.StartOpen(s, cells[i].cfg())
+			r.addClusterStats(s.Part.Run(r.NodeLPs))
+			results[i] = pend.Collect()
+			s.Shutdown()
+		})
+	} else if r.Engine == EngineParallel {
 		stores := make([]*ods.Store, len(cells))
 		pends := make([]*loadgen.OpenPending, len(cells))
 		for i, c := range cells {
@@ -210,14 +223,7 @@ func (r Runner) Saturation(seed int64, scale SatScale) Saturation {
 		for _, s := range stores {
 			cl.AddLP(s.Eng, nil)
 		}
-		stats := cl.Run(EffectiveParallelism(r.Parallelism))
-		if r.ClusterStats != nil {
-			r.ClusterStats.Workers = stats.Workers
-			r.ClusterStats.Windows += stats.Windows
-			r.ClusterStats.Occupied += stats.Occupied
-			r.ClusterStats.Events += stats.Events
-			r.ClusterStats.Messages += stats.Messages
-		}
+		r.addClusterStats(cl.Run(EffectiveParallelism(r.Parallelism)))
 		for i := range pends {
 			results[i] = pends[i].Collect()
 			stores[i].Eng.Shutdown()

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"fmt"
+
+	"persistmem/internal/servernet"
+	"persistmem/internal/sim"
+	"persistmem/internal/sim/parallel"
+)
+
+// Partition is the intra-run LP-partitioning runtime (DESIGN.md §10): one
+// logical cluster whose node topology — CPUs plus their co-located
+// devices — is split across N logical processes, each a full sim.Engine,
+// advanced together by the conservative safe-window scheduler in
+// internal/sim/parallel.
+//
+// The unit of ownership is the NODE, not the LP: node i (CPU i, its
+// fabric endpoint, and every device placed on it) lives on engine
+// i mod N. Every node owns a private servernet.Fabric holding only its
+// own endpoints; an operation addressed to a foreign node's endpoint
+// misses the local fabric map and is forwarded through the Router seam
+// (servernet/router.go) as a closure posted via parallel.LP.SendFrom with
+// delay exactly the cluster lookahead, Config.MinLatency().
+//
+// Crucially the seam triggers on foreign-NODE ownership even when both
+// nodes share an engine. All cross-node traffic therefore takes the
+// outbox → barrier → arrival-queue path at every partition count,
+// including N = 1, so the simulated model is a pure function of the node
+// topology and the produced schedules are byte-identical at any N and
+// any worker count. N only changes how nodes are grouped for threading.
+//
+// Out of scope in partitioned mode (the legacy single-engine cluster
+// remains the tool for these): CPU fail/restore, power-fail, process-pair
+// takeover, and fabric-path fault injection. CPU.Fail panics when the
+// cluster is partitioned.
+type Partition struct {
+	cl      *Cluster
+	pc      *parallel.Cluster
+	lps     []*parallel.LP
+	engines []*sim.Engine
+	fabs    []*servernet.Fabric // one per node, on the owning LP's engine
+	owner   map[servernet.EndpointID]int
+	la      sim.Time
+}
+
+// NewPartitioned builds a cluster whose cfg.CPUs nodes are partitioned
+// round-robin across nlps engines (clamped to [1, cfg.CPUs]), all seeded
+// with the same root seed so that derived randomness streams depend only
+// on (seed, name) and stay partition-invariant. It returns the cluster
+// plus its partition runtime, which the caller drives with Run or
+// RunSequential after building the workload.
+func NewPartitioned(seed int64, cfg Config, nlps int) (*Cluster, *Partition) {
+	if cfg.CPUs <= 0 {
+		panic("cluster: need at least one CPU")
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * sim.Second
+	}
+	if nlps < 1 {
+		nlps = 1
+	}
+	if nlps > cfg.CPUs {
+		nlps = cfg.CPUs
+	}
+	la := cfg.Net.MinLatency()
+	pt := &Partition{
+		owner: make(map[servernet.EndpointID]int),
+		la:    la,
+		pc:    parallel.New(la),
+	}
+	for l := 0; l < nlps; l++ {
+		eng := sim.NewEngine(seed)
+		pt.engines = append(pt.engines, eng)
+		pt.lps = append(pt.lps, pt.pc.AddLP(eng, nil))
+	}
+	pt.pc.ReserveSources(cfg.CPUs)
+	cl := &Cluster{
+		eng:      pt.engines[0],
+		cfg:      cfg,
+		registry: make(map[string]*registration),
+		part:     pt,
+	}
+	pt.cl = cl
+	for i := 0; i < cfg.CPUs; i++ {
+		fab := servernet.New(pt.engines[i%nlps], cfg.Net)
+		fab.SetRouter(pt, i)
+		pt.fabs = append(pt.fabs, fab)
+	}
+	cl.fab = pt.fabs[0]
+	// One box-recycling domain per LP: every CPU of an engine shares a
+	// pool, so same-engine messages stay allocation-free and only traffic
+	// crossing the LP seam re-allocates (see boxPool).
+	pools := make([]*boxPool, nlps)
+	for l := range pools {
+		pools[l] = &boxPool{}
+	}
+	for i := 0; i < cfg.CPUs; i++ {
+		eng := pt.engines[i%nlps]
+		id := servernet.EndpointID(i)
+		pt.owner[id] = i
+		cpu := &CPU{
+			cl:    cl,
+			index: i,
+			eng:   eng,
+			fab:   pt.fabs[i],
+			ep:    pt.fabs[i].Attach(id, fmt.Sprintf("cpu%d", i)),
+			exec:  eng.NewResource(fmt.Sprintf("cpu%d-exec", i), 1),
+			up:    true,
+			procs: make(map[*Process]struct{}),
+			pool:  pools[i%nlps],
+		}
+		cl.cpus = append(cl.cpus, cpu)
+	}
+	cl.nextDevEP = servernet.EndpointID(cfg.CPUs + 1000)
+	for _, cpu := range cl.cpus {
+		cpu.startDispatcher()
+	}
+	return cl, pt
+}
+
+// OwnerNode implements servernet.Router.
+func (pt *Partition) OwnerNode(id servernet.EndpointID) int {
+	if n, ok := pt.owner[id]; ok {
+		return n
+	}
+	return -1
+}
+
+// NodeFabric implements servernet.Router.
+func (pt *Partition) NodeFabric(n int) *servernet.Fabric { return pt.fabs[n] }
+
+// Lookahead implements servernet.Router.
+func (pt *Partition) Lookahead() sim.Time { return pt.la }
+
+// Post implements servernet.Router: it forwards fn to node dst's engine
+// through the sending node's LP outbox, keyed by the source NODE index so
+// the delivered order is independent of how nodes are grouped into LPs.
+func (pt *Partition) Post(src, dst int, delay sim.Time, fn func()) {
+	pt.lps[pt.lpOf(src)].SendFrom(src, pt.lpOf(dst), delay, fn)
+}
+
+// lpOf maps a node index to the LP that owns it.
+func (pt *Partition) lpOf(node int) int { return node % len(pt.lps) }
+
+// NumLPs returns the partition count.
+func (pt *Partition) NumLPs() int { return len(pt.lps) }
+
+// Engines returns the per-LP engines (index l owns nodes ≡ l mod NumLPs).
+func (pt *Partition) Engines() []*sim.Engine { return pt.engines }
+
+// EngineFor returns the engine owning node n.
+func (pt *Partition) EngineFor(n int) *sim.Engine { return pt.engines[pt.lpOf(n)] }
+
+// EventsExecuted sums the event counters across all LP engines — the
+// store-wide analogue of Engine.EventsExecuted in single-engine mode.
+func (pt *Partition) EventsExecuted() uint64 {
+	var sum uint64
+	for _, eng := range pt.engines {
+		sum += eng.EventsExecuted()
+	}
+	return sum
+}
+
+// Shutdown releases every LP engine's parked goroutines — the
+// partitioned analogue of Engine.Shutdown for callers that build many
+// stores in one OS process.
+func (pt *Partition) Shutdown() {
+	for _, eng := range pt.engines {
+		eng.Shutdown()
+	}
+}
+
+// Run drains the partitioned simulation on the given number of OS worker
+// threads; RunSequential is the inline reference. Both produce the same
+// schedule byte for byte.
+func (pt *Partition) Run(workers int) parallel.Stats { return pt.pc.Run(workers) }
+
+// RunSequential drains the partitioned simulation inline.
+func (pt *Partition) RunSequential() parallel.Stats { return pt.pc.RunSequential() }
+
+// Exec runs fn on node's engine and returns once it has completed there —
+// the synchronous remote-execution primitive build-time-style control
+// code (PMM ATT programming, fault schedulers) uses to mutate state owned
+// by another node mid-run. Cross-node it costs one lookahead each way; on
+// p's own node fn runs inline. The node-equality test (not LP equality)
+// keeps the cost partition-invariant.
+func (pt *Partition) Exec(p *Process, node int, fn func()) {
+	if p.cpu.index == node {
+		fn()
+		return
+	}
+	sig := p.cpu.eng.NewSignal()
+	src := p.cpu.index
+	pt.Post(src, node, pt.la, func() {
+		fn()
+		pt.Post(node, src, pt.la, func() { sig.Trigger(nil) })
+	})
+	sig.Wait(p.proc)
+	p.cpu.eng.FreeSignal(sig)
+}
+
+// NodeOf returns the node owning the given endpoint — 0 when the cluster
+// is not partitioned (placement is then immaterial) and -1 for an unknown
+// endpoint of a partitioned cluster.
+func (cl *Cluster) NodeOf(id servernet.EndpointID) int {
+	if cl.part == nil {
+		return 0
+	}
+	return cl.part.OwnerNode(id)
+}
+
+// postReply forwards a Call reply across the node seam: the server on
+// node at triggers the caller's signal on node home one lookahead out.
+func (pt *Partition) postReply(at, home int, sig *sim.Signal, v interface{}) {
+	pt.Post(at, home, pt.la, func() { sig.Trigger(v) })
+}

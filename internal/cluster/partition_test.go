@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"persistmem/internal/sim"
+)
+
+// partitionedTranscript runs a fixed cross-node messaging workload on a
+// partitioned cluster and renders every observable outcome — payloads,
+// reply routes, remote-execution effects and their virtual times — into
+// one string, so two runs can be compared byte for byte.
+func partitionedTranscript(t *testing.T, seed int64, nlps, workers int) (string, uint64) {
+	t.Helper()
+	cl, pt := NewPartitioned(seed, DefaultConfig(), nlps)
+	defer pt.Shutdown()
+	n := cl.NumCPUs()
+	logs := make([]string, n)
+	hits := make([]int, n)
+
+	// One echo service per node: replies carry the serving node so the
+	// transcript proves requests crossed to the right owner.
+	for i := 0; i < n; i++ {
+		i := i
+		cl.CPU(i).Spawn(fmt.Sprintf("srv%d", i), func(p *Process) {
+			cl.Register(fmt.Sprintf("svc%d", i), p)
+			for {
+				ev := p.Recv()
+				ev.Reply(fmt.Sprintf("%v@%d", ev.Payload, i))
+			}
+		})
+	}
+
+	for i := 0; i < n; i++ {
+		i := i
+		cl.CPU(i).Spawn(fmt.Sprintf("cli%d", i), func(p *Process) {
+			p.Wait(msec(1))
+			peer := fmt.Sprintf("svc%d", (i+1)%n)
+			// Blocking call across the node seam (reply routes home).
+			v, err := p.Call(peer, 256, fmt.Sprintf("call%d", i))
+			logs[i] += fmt.Sprintf("  t=%v call -> %v err=%v\n", p.Now(), v, err)
+			// Async call: issue, then collect.
+			sig, err := p.CallAsync(peer, 256, fmt.Sprintf("async%d", i))
+			if err != nil {
+				t.Errorf("cli%d: CallAsync: %v", i, err)
+				return
+			}
+			v, err = p.AwaitReply(sig)
+			logs[i] += fmt.Sprintf("  t=%v async -> %v err=%v\n", p.Now(), v, err)
+			// One-way send (Reply is a no-op on the server side).
+			err = p.Send(peer, 64, "oneway")
+			logs[i] += fmt.Sprintf("  t=%v oneway err=%v\n", p.Now(), err)
+			// Remote execution on the peer's engine, synchronous.
+			target := (i + 2) % n
+			cl.RunOn(p, target, func() { hits[target]++ })
+			pt.Exec(p, target, func() { hits[target]++ })
+			logs[i] += fmt.Sprintf("  t=%v exec done\n", p.Now())
+			// Misses: unknown service.
+			if err := p.Send("nobody", 64, nil); err != ErrNoProcess {
+				t.Errorf("cli%d: send to unknown name: %v", i, err)
+			}
+		})
+	}
+
+	if workers > 1 {
+		pt.Run(workers)
+	} else {
+		pt.RunSequential()
+	}
+	var b strings.Builder
+	for i, l := range logs {
+		fmt.Fprintf(&b, "cli%d:\n%s", i, l)
+	}
+	fmt.Fprintf(&b, "hits=%v\n", hits)
+	return b.String(), pt.EventsExecuted()
+}
+
+func msec(ms int64) sim.Time { return sim.Time(ms) * sim.Millisecond }
+
+// TestPartitionedClusterInvariance is the cluster-level differential
+// gate: the same seed must produce a byte-identical transcript — and the
+// same event count — however the four nodes are grouped into LPs and
+// however many workers drain them.
+func TestPartitionedClusterInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		ref, refEvents := partitionedTranscript(t, seed, 1, 1)
+		if !strings.Contains(ref, "call -> call0@1") {
+			t.Fatalf("seed %d: reference transcript missing echo:\n%s", seed, ref)
+		}
+		for _, c := range []struct{ nlps, workers int }{{2, 1}, {2, 2}, {4, 1}, {4, 4}} {
+			got, gotEvents := partitionedTranscript(t, seed, c.nlps, c.workers)
+			if got != ref {
+				t.Errorf("seed %d: %d LPs / %d workers diverged:\n--- ref ---\n%s\n--- got ---\n%s",
+					seed, c.nlps, c.workers, ref, got)
+			}
+			if gotEvents != refEvents {
+				t.Errorf("seed %d: %d LPs executed %d events, ref %d",
+					seed, c.nlps, gotEvents, refEvents)
+			}
+		}
+	}
+}
+
+// TestPartitionedTopologyAccessors pins the ownership map: node i lives
+// on engine i mod N, with every accessor agreeing.
+func TestPartitionedTopologyAccessors(t *testing.T) {
+	cl, pt := NewPartitioned(1, DefaultConfig(), 2)
+	defer pt.Shutdown()
+	if !cl.Partitioned() || cl.Part() != pt {
+		t.Fatal("cluster does not report its partition runtime")
+	}
+	if pt.NumLPs() != 2 || len(pt.Engines()) != 2 {
+		t.Fatalf("NumLPs = %d, want 2", pt.NumLPs())
+	}
+	if cl.Engine() != pt.Engines()[0] {
+		t.Error("Cluster.Engine is not node 0's engine")
+	}
+	for i := 0; i < cl.NumCPUs(); i++ {
+		cpu := cl.CPU(i)
+		want := pt.Engines()[i%2]
+		if cpu.Engine() != want || cl.EngineFor(i) != want || pt.EngineFor(i) != want {
+			t.Errorf("node %d not on engine %d", i, i%2)
+		}
+		if cpu.Index() != i || !cpu.Up() {
+			t.Errorf("node %d: bad index/up", i)
+		}
+		if cpu.Fabric() != pt.NodeFabric(i) {
+			t.Errorf("node %d: fabric mismatch", i)
+		}
+		if cpu.Endpoint().ID() != 0 && i == 0 {
+			t.Errorf("node 0 endpoint id = %d", cpu.Endpoint().ID())
+		}
+		if pt.OwnerNode(cpu.Endpoint().ID()) != i || cl.NodeOf(cpu.Endpoint().ID()) != i {
+			t.Errorf("node %d: ownership map disagrees", i)
+		}
+	}
+	if pt.OwnerNode(9999) != -1 || cl.NodeOf(9999) != -1 {
+		t.Error("unknown endpoint should have no owner")
+	}
+	if pt.Lookahead() != cl.Config().Net.MinLatency() {
+		t.Errorf("lookahead %v != fabric floor %v", pt.Lookahead(), cl.Config().Net.MinLatency())
+	}
+	if !cl.AllUp() {
+		t.Error("fresh partitioned cluster should be all up")
+	}
+	// Devices placed on a node are owned by that node's fabric.
+	dev := cl.AttachDeviceOn("dev0", 1)
+	if pt.OwnerNode(dev.ID()) != 1 {
+		t.Errorf("device owner = %d, want 1", pt.OwnerNode(dev.ID()))
+	}
+	// Fail/restore is out of scope in partitioned mode.
+	defer func() {
+		if recover() == nil {
+			t.Error("CPU.Fail should panic on a partitioned cluster")
+		}
+	}()
+	cl.CPU(0).Fail()
+}
+
+// TestPartitionedProcessAccessors covers the process-side plumbing on a
+// partitioned build, including the inbox receive variants.
+func TestPartitionedProcessAccessors(t *testing.T) {
+	cl, pt := NewPartitioned(1, DefaultConfig(), 2)
+	defer pt.Shutdown()
+	cl.CPU(1).Spawn("probe", func(p *Process) {
+		if p.Name() != "probe" || p.CPU() != cl.CPU(1) || p.Cluster() != cl {
+			t.Error("process accessors disagree")
+		}
+		if p.Engine() != cl.EngineFor(1) || p.Sim() == nil {
+			t.Error("process engine plumbing disagrees")
+		}
+		if _, ok := p.TryRecv(); ok {
+			t.Error("TryRecv on an empty inbox should miss")
+		}
+		if _, ok := p.RecvTimeout(msec(1)); ok {
+			t.Error("RecvTimeout on an empty inbox should time out")
+		}
+		p.Compute(msec(1))
+	})
+	pt.Run(2)
+	if pt.EventsExecuted() == 0 {
+		t.Error("run executed no events")
+	}
+}

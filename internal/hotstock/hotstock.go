@@ -108,15 +108,17 @@ func (r Result) Throughput() float64 {
 // given (opts.Seed, params).
 func Run(opts ods.Options, params Params) Result {
 	s := ods.Build(opts)
-	defer s.Eng.Shutdown()
+	defer s.Shutdown()
 	return RunOn(s, params)
 }
 
 // RunOn executes the benchmark against an existing store (which must be
-// otherwise idle).
+// otherwise idle). Partitioned stores drain under the safe-window
+// scheduler; pass a worker count to ods.Store.Run directly for an
+// intra-run parallel drain (byte-identical result).
 func RunOn(s *ods.Store, params Params) Result {
 	pend := Start(s, params)
-	s.Eng.Run()
+	s.Run(1)
 	return pend.Collect()
 }
 
@@ -196,7 +198,7 @@ func Start(s *ods.Store, params Params) *Pending {
 func (pd *Pending) Collect() Result {
 	s := pd.s
 	r := Result{Params: pd.params, Durability: s.Opts.Durability, Drivers: pd.results,
-		Events: s.Eng.EventsExecuted()}
+		Events: s.EventsExecuted()}
 	for _, t := range pd.doneAt {
 		if t > r.Elapsed {
 			r.Elapsed = t

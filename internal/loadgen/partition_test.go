@@ -1,0 +1,52 @@
+package loadgen
+
+import (
+	"testing"
+
+	"persistmem/internal/ods"
+	"persistmem/internal/sim"
+)
+
+// openInvarianceRun drives one small open-loop cell on a partitioned
+// store with nodeLPs LPs drained by the same number of workers, and
+// returns the rendered result plus the store-wide event count.
+func openInvarianceRun(t *testing.T, seed int64, nodeLPs int) (string, uint64) {
+	t.Helper()
+	opts := ods.DefaultOptions()
+	opts.Seed = seed
+	opts.NodeLPs = nodeLPs
+	s := ods.Build(opts)
+	defer s.Shutdown()
+	pend := StartOpen(s, OpenConfig{
+		Rate:   2000,
+		Window: 100 * sim.Millisecond,
+	})
+	s.Part.Run(nodeLPs)
+	res := pend.Collect()
+	return res.String(), res.Events
+}
+
+// TestOpenLoopPartitionInvariance is the open-loop differential gate: the
+// same seed must render byte-identical summaries — and execute the same
+// number of events — at 1, 2 and 4 node-LPs. The harness is pinned to
+// node 0 in partitioned mode, so any divergence means the cross-LP seam
+// leaked schedule state that depends on the partition count.
+func TestOpenLoopPartitionInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		refStr, refEvents := openInvarianceRun(t, seed, 1)
+		if refEvents == 0 {
+			t.Fatalf("seed %d: reference run executed no events", seed)
+		}
+		for _, lps := range []int{2, 4} {
+			gotStr, gotEvents := openInvarianceRun(t, seed, lps)
+			if gotStr != refStr {
+				t.Errorf("seed %d: %d-LP summary diverged from 1-LP:\n--- 1 LP ---\n%s\n--- %d LPs ---\n%s",
+					seed, lps, refStr, lps, gotStr)
+			}
+			if gotEvents != refEvents {
+				t.Errorf("seed %d: %d LPs executed %d events, 1 LP executed %d",
+					seed, lps, gotEvents, refEvents)
+			}
+		}
+	}
+}

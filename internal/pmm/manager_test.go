@@ -1,0 +1,70 @@
+package pmm
+
+import (
+	"errors"
+	"testing"
+
+	"persistmem/internal/cluster"
+	"persistmem/internal/npmu"
+	"persistmem/internal/sim"
+)
+
+// TestManagerLifecycle drives the management protocol end to end against
+// a mirrored volume: create, double-create, open, list, the busy-delete
+// refusal, close, delete, and the accessors fault-injection code leans on.
+func TestManagerLifecycle(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := cluster.DefaultConfig()
+	cfg.CPUs = 3
+	cl := cluster.New(eng, cfg)
+	prim := npmu.New(cl, "npmu-a", 16<<20)
+	mirr := npmu.New(cl, "npmu-b", 16<<20)
+	m := Start(cl, "$PM0", 0, 1, prim, mirr)
+	if m.Name() != "$PM0" || m.Pair() == nil {
+		t.Fatalf("accessors: name=%q pair=%v", m.Name(), m.Pair())
+	}
+	if p, mr := m.Devices(); p != prim || mr != mirr {
+		t.Fatal("Devices did not return the mirrored pair")
+	}
+	cl.CPU(2).Spawn("client", func(p *cluster.Process) {
+		call := func(req interface{}) Resp {
+			v, err := p.Call("$PM0", 128, req)
+			if err != nil {
+				t.Errorf("call %T: %v", req, err)
+				return Resp{Err: err}
+			}
+			return v.(Resp)
+		}
+		r := call(CreateReq{Name: "log0", Size: 1 << 20, Owner: "test"})
+		if r.Err != nil || r.Info.Size != 1<<20 || r.Info.Primary == r.Info.Mirror {
+			t.Errorf("create: err=%v info=%+v", r.Err, r.Info)
+		}
+		if r = call(CreateReq{Name: "log0", Size: 1 << 20}); !errors.Is(r.Err, ErrExists) {
+			t.Errorf("double create: %v, want ErrExists", r.Err)
+		}
+		if r = call(OpenReq{Name: "log0", ClientCPU: 2}); r.Err != nil || r.Info.Name != "log0" {
+			t.Errorf("open: err=%v info=%+v", r.Err, r.Info)
+		}
+		if r = call(ListReq{}); r.Err != nil || len(r.Regions) != 1 {
+			t.Errorf("list: err=%v regions=%d, want 1", r.Err, len(r.Regions))
+		}
+		if r = call(DeleteReq{Name: "log0"}); !errors.Is(r.Err, ErrBusy) {
+			t.Errorf("delete while open: %v, want ErrBusy", r.Err)
+		}
+		if r = call(CloseReq{Name: "log0", ClientCPU: 2}); r.Err != nil {
+			t.Errorf("close: %v", r.Err)
+		}
+		if r = call(DeleteReq{Name: "log0"}); r.Err != nil {
+			t.Errorf("delete: %v", r.Err)
+		}
+		if r = call(OpenReq{Name: "log0", ClientCPU: 2}); !errors.Is(r.Err, ErrNotFound) {
+			t.Errorf("open after delete: %v, want ErrNotFound", r.Err)
+		}
+	})
+	eng.Run()
+	if m.RequestsSeen == 0 {
+		t.Error("manager served no requests")
+	}
+	m.Stop()
+	eng.Run()
+}

@@ -1,0 +1,218 @@
+package servernet
+
+import "persistmem/internal/sim"
+
+// This file is the cross-LP seam of the partitioned topology (DESIGN.md
+// §10). In partitioned mode every simulated node owns its own Fabric
+// instance (holding only that node's endpoints) on its own engine, and a
+// Router — implemented by internal/cluster's partition runtime — knows
+// which node owns every endpoint. A Send or RDMA addressed to an endpoint
+// this fabric does not hold is forwarded to the owner node as a closure
+// posted through parallel.LP.SendFrom with delay at least the cluster
+// lookahead, which is exactly Config.MinLatency() — the fabric's own
+// latency floor is what makes the conservative safe-window protocol
+// sound at this seam.
+//
+// The remote paths model the same latency constants as the local ones
+// with three documented deviations, all applied uniformly at every
+// partition count (node ownership, not LP placement, selects the path,
+// so a 1-LP run and a 4-LP run execute identical schedules):
+//
+//   - the destination port's bandwidth contention is not modeled (only
+//     the initiator's port serializes remote transfers);
+//   - destination-side message-send failures (endpoint down) drop the
+//     message instead of failing the sender, which has already returned;
+//   - a cross-node op pays one extra lookahead each way — the barrier
+//     hop — on top of the local cost, and RDMA completions return on a
+//     second hop, so a remote RDMA costs ~2×MinLatency more than a local
+//     one. The constants stay period-accurate; only the floor shifts.
+
+// Router routes fabric operations between the nodes of a partitioned
+// topology. It is implemented by internal/cluster's partition runtime;
+// declaring it here keeps the import direction servernet ← cluster.
+type Router interface {
+	// OwnerNode returns the node owning endpoint id, or -1 when no node
+	// has attached it.
+	OwnerNode(id EndpointID) int
+	// NodeFabric returns node n's fabric.
+	NodeFabric(n int) *Fabric
+	// Lookahead returns the minimum cross-node delay Post accepts — the
+	// conservative lookahead of the underlying LP cluster.
+	Lookahead() sim.Time
+	// Post schedules fn on node dst's engine after delay (>= Lookahead()),
+	// stamped as sent by node src. It must be called from code running on
+	// node src's engine.
+	Post(src, dst int, delay sim.Time, fn func())
+}
+
+// SetRouter marks f as node's fabric in a partitioned topology routed by
+// r. Call once, at build time, before any traffic.
+func (f *Fabric) SetRouter(r Router, node int) {
+	f.router = r
+	f.node = node
+}
+
+// Router returns the fabric's router (nil for a single-engine fabric).
+func (f *Fabric) RouterInfo() (Router, int) { return f.router, f.node }
+
+// remoteNode resolves the owner node of a non-local endpoint, or -1 when
+// the id is unknown everywhere (or the fabric is not partitioned).
+func (f *Fabric) remoteNode(to EndpointID) int {
+	if f.router == nil {
+		return -1
+	}
+	n := f.router.OwnerNode(to)
+	if n == f.node {
+		return -1 // owned here but not attached: genuinely unknown
+	}
+	return n
+}
+
+// sendRemote is Send's cross-node tail: the initiator-side costs have the
+// same shape as the local path (software latency, path selection, source
+// port serialization for the transfer time), then the delivery closure is
+// posted to the owner node one lookahead out. Destination-side checks run
+// there; a down endpoint drops the message.
+func (f *Fabric) sendRemote(p *sim.Proc, src *Endpoint, to EndpointID, dstNode, sz int, payload interface{}) error {
+	ostart := f.eng.Now()
+	p.Wait(f.cfg.SoftwareLatency)
+	if !src.up {
+		return ErrEndpointDown
+	}
+	if _, ok := f.pickPath(); !ok {
+		p.Wait(f.cfg.Timeout)
+		return ErrNoPath
+	}
+	tt := f.transferTime(sz)
+	src.link.Acquire(p)
+	released := false
+	defer f.releaseSrcOnce(&released, src)
+	p.Wait(tt)
+	f.releaseSrcOnce(&released, src)
+	if f.crcFault() {
+		return ErrCRC
+	}
+	src.BytesOut += int64(sz)
+	f.mTransfer.Record(f.eng.Now() - ostart)
+	f.mOps.Inc()
+	f.mBytes.Add(int64(sz))
+	r, from := f.router, src.id
+	r.Post(f.node, dstNode, r.Lookahead(), func() {
+		dstFab := r.NodeFabric(dstNode)
+		dst := dstFab.eps[to]
+		if dst == nil || !dst.up {
+			return // no receiver: the message is dropped on the floor
+		}
+		dst.BytesIn += int64(sz)
+		dst.MsgsSeen++
+		m := dstFab.newMessage()
+		m.From = from
+		m.Payload = payload
+		dst.Inbox.TrySend(m) //simlint:allow lpboundary -- seam-internal delivery on the owner node's engine
+	})
+	return nil
+}
+
+// rdmaRemote is rdma's cross-node tail. The initiator pays its local
+// costs (software, path, source-port transfer time), the request closure
+// runs the destination-side checks and the data movement on the owner
+// node one lookahead out, and the completion — success or a
+// destination-side error — returns on a second posted hop that triggers
+// the initiator's completion signal. For reads the closure fills the
+// initiator's buffer directly: the initiator is parked on the signal
+// until after the barrier that delivers the completion, so the write
+// happens-before the wake.
+func (f *Fabric) rdmaRemote(p *sim.Proc, src *Endpoint, to EndpointID, dstNode int, nva uint32, data, buf []byte, write bool) error {
+	n := len(data)
+	if !write {
+		n = len(buf)
+	}
+	ostart := f.eng.Now()
+	p.Wait(f.cfg.SoftwareLatency)
+	if !src.up {
+		return ErrEndpointDown
+	}
+	if _, ok := f.pickPath(); !ok {
+		p.Wait(f.cfg.Timeout)
+		return ErrNoPath
+	}
+	tt := f.transferTime(n)
+	src.link.Acquire(p)
+	released := false
+	defer f.releaseSrcOnce(&released, src)
+	p.Wait(tt)
+	f.releaseSrcOnce(&released, src)
+	if f.crcFault() {
+		return ErrCRC
+	}
+
+	sig := f.eng.NewSignal()
+	r, from, srcNode := f.router, src.id, f.node
+	la := r.Lookahead()
+	r.Post(srcNode, dstNode, la, func() {
+		dstFab := r.NodeFabric(dstNode)
+		var opErr error
+		reply := la
+		dst := dstFab.eps[to]
+		if dst == nil || !dst.up {
+			opErr = ErrEndpointDown
+		} else {
+			reply += dst.service
+			e, err := dst.lookup(nva, n)
+			switch {
+			case err != nil:
+				opErr = err
+			case !e.perm.allows(from, write):
+				opErr = ErrAccessDenied
+			default:
+				off := e.offset + int64(nva-e.base)
+				if write {
+					opErr = e.win.WriteAt(off, data)
+					if opErr == nil {
+						dst.BytesIn += int64(n)
+					}
+				} else {
+					opErr = e.win.ReadAt(off, buf)
+					if opErr == nil {
+						dst.BytesOut += int64(n)
+					}
+				}
+				if opErr == nil {
+					dst.OpsServed++
+				}
+			}
+		}
+		err := opErr
+		r.Post(dstNode, srcNode, reply, func() { sig.Trigger(err) })
+	})
+
+	v, ok := sig.WaitTimeout(p, f.cfg.Timeout)
+	if !ok {
+		// No completion within the ack timeout: the signal is abandoned to
+		// the GC (a late trigger fires into it harmlessly).
+		return ErrEndpointDown
+	}
+	f.eng.FreeSignal(sig)
+	if v != nil {
+		return v.(error)
+	}
+	src.BytesOut += int64(n)
+	if !write {
+		src.BytesIn += int64(n)
+	}
+	f.mTransfer.Record(f.eng.Now() - ostart)
+	f.mOps.Inc()
+	f.mBytes.Add(int64(n))
+	return nil
+}
+
+// releaseSrcOnce releases the source port unless *released is already
+// set — the single-port analogue of releaseOnce for the remote paths.
+//
+//simlint:hotpath
+func (f *Fabric) releaseSrcOnce(released *bool, src *Endpoint) {
+	if !*released {
+		*released = true
+		src.link.Release()
+	}
+}

@@ -1,0 +1,189 @@
+package servernet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"persistmem/internal/sim"
+)
+
+// stubRouter drives the cross-LP seam without the parallel runtime: both
+// node fabrics share one engine and Post degenerates to Schedule. The
+// seam code cannot tell the difference — it only sees the Router
+// interface — so every remote path is exercised exactly as the partition
+// runtime would, minus the barrier.
+type stubRouter struct {
+	eng   *sim.Engine
+	fabs  []*Fabric
+	owner map[EndpointID]int
+	la    sim.Time
+	posts int
+}
+
+func (r *stubRouter) OwnerNode(id EndpointID) int {
+	if n, ok := r.owner[id]; ok {
+		return n
+	}
+	return -1
+}
+
+func (r *stubRouter) NodeFabric(n int) *Fabric { return r.fabs[n] }
+
+func (r *stubRouter) Lookahead() sim.Time { return r.la }
+
+func (r *stubRouter) Post(src, dst int, delay sim.Time, fn func()) {
+	if delay < r.la {
+		panic("stubRouter: post below lookahead")
+	}
+	r.posts++
+	r.eng.Schedule(r.eng.Now()+delay, fn)
+}
+
+// routedPair builds two one-endpoint node fabrics joined by a stubRouter:
+// endpoint 1 on node 0, endpoint 2 (with a mapped 1 MB window) on node 1.
+func routedPair(t *testing.T) (*sim.Engine, *stubRouter, *Endpoint, *Endpoint, ByteWindow) {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	cfg := DefaultConfig()
+	r := &stubRouter{eng: eng, la: cfg.MinLatency(), owner: map[EndpointID]int{1: 0, 2: 1}}
+	for n := 0; n < 2; n++ {
+		fab := New(eng, cfg)
+		fab.SetRouter(r, n)
+		r.fabs = append(r.fabs, fab)
+	}
+	ep1 := r.fabs[0].Attach(1, "cpu0")
+	ep2 := r.fabs[1].Attach(2, "npmu0")
+	win := make(ByteWindow, 1<<20)
+	ep2.MapWindow(0, 1<<20, win, 0, rwPerm())
+	return eng, r, ep1, ep2, win
+}
+
+func TestRouterRemoteSendDelivers(t *testing.T) {
+	eng, r, ep1, ep2, _ := routedPair(t)
+	if rr, node := r.fabs[0].RouterInfo(); rr != Router(r) || node != 0 {
+		t.Fatalf("RouterInfo = (%v, %d), want (stub, 0)", rr, node)
+	}
+	var gotFrom EndpointID
+	var gotPayload interface{}
+	var sentAt, recvAt sim.Time
+	eng.Spawn("receiver", func(p *sim.Proc) {
+		m := ep2.Inbox.Recv(p).(*Message)
+		gotFrom, gotPayload, recvAt = m.From, m.Payload, p.Now()
+		r.fabs[1].FreeMessage(m)
+	})
+	eng.Spawn("sender", func(p *sim.Proc) {
+		sentAt = p.Now()
+		if err := r.fabs[0].Send(p, 1, 2, 256, "over the seam"); err != nil {
+			t.Errorf("remote Send: %v", err)
+		}
+	})
+	eng.Run()
+	if gotFrom != 1 || gotPayload != "over the seam" {
+		t.Errorf("delivered (from=%d, payload=%v), want (1, over the seam)", gotFrom, gotPayload)
+	}
+	if recvAt-sentAt < r.la {
+		t.Errorf("remote delivery after %v, want >= lookahead %v", recvAt-sentAt, r.la)
+	}
+	if r.posts == 0 {
+		t.Error("remote send never crossed the seam")
+	}
+	if ep1.BytesOut == 0 || ep2.BytesIn == 0 || ep2.MsgsSeen != 1 {
+		t.Errorf("stats not kept: out=%d in=%d seen=%d", ep1.BytesOut, ep2.BytesIn, ep2.MsgsSeen)
+	}
+}
+
+func TestRouterRemoteSendUnknownAndDownTargets(t *testing.T) {
+	eng, r, _, ep2, _ := routedPair(t)
+	eng.Spawn("sender", func(p *sim.Proc) {
+		// Unknown everywhere: no node owns endpoint 9.
+		if err := r.fabs[0].Send(p, 1, 9, 64, nil); !errors.Is(err, ErrEndpointDown) {
+			t.Errorf("send to unknown endpoint: %v, want ErrEndpointDown", err)
+		}
+		// Down at the destination: the sender has already returned when
+		// delivery runs, so the message is dropped, not failed.
+		ep2.Fail()
+		if err := r.fabs[0].Send(p, 1, 2, 64, "dropped"); err != nil {
+			t.Errorf("send to down remote endpoint: %v, want nil (fire-and-forget)", err)
+		}
+	})
+	eng.Run()
+	if ep2.MsgsSeen != 0 {
+		t.Errorf("down endpoint saw %d messages, want 0", ep2.MsgsSeen)
+	}
+}
+
+func TestRouterRemoteRDMARoundTrip(t *testing.T) {
+	eng, r, ep1, ep2, win := routedPair(t)
+	data := []byte("crossing the partition seam")
+	var wrote, read sim.Time
+	eng.Spawn("client", func(p *sim.Proc) {
+		start := p.Now()
+		if err := r.fabs[0].RDMAWrite(p, 1, 2, 64, data); err != nil {
+			t.Errorf("remote RDMAWrite: %v", err)
+		}
+		wrote = p.Now() - start
+		buf := make([]byte, len(data))
+		start = p.Now()
+		if err := r.fabs[0].RDMARead(p, 1, 2, 64, buf); err != nil {
+			t.Errorf("remote RDMARead: %v", err)
+		}
+		read = p.Now() - start
+		if !bytes.Equal(buf, data) {
+			t.Errorf("read back %q, want %q", buf, data)
+		}
+	})
+	eng.Run()
+	if !bytes.Equal(win[64:64+len(data)], data) {
+		t.Error("window bytes not written through the seam")
+	}
+	// A remote RDMA pays the request hop and the completion hop on top of
+	// the local cost: both directions must take at least 2x lookahead.
+	if wrote < 2*r.la || read < 2*r.la {
+		t.Errorf("remote RDMA took write=%v read=%v, want >= %v each", wrote, read, 2*r.la)
+	}
+	if ep1.BytesOut == 0 || ep2.OpsServed != 2 {
+		t.Errorf("stats not kept: out=%d served=%d", ep1.BytesOut, ep2.OpsServed)
+	}
+}
+
+func TestRouterRemoteRDMAErrors(t *testing.T) {
+	eng, r, _, ep2, _ := routedPair(t)
+	eng.Spawn("client", func(p *sim.Proc) {
+		// No translation covers this range.
+		if err := r.fabs[0].RDMAWrite(p, 1, 2, 1<<21, make([]byte, 8)); !errors.Is(err, ErrNoTranslation) {
+			t.Errorf("unmapped remote write: %v, want ErrNoTranslation", err)
+		}
+		// Destination down: the completion hop reports it back.
+		ep2.Fail()
+		if err := r.fabs[0].RDMAWrite(p, 1, 2, 0, make([]byte, 8)); !errors.Is(err, ErrEndpointDown) {
+			t.Errorf("write to down remote endpoint: %v, want ErrEndpointDown", err)
+		}
+		ep2.Restore()
+		if err := r.fabs[0].RDMAWrite(p, 1, 2, 0, make([]byte, 8)); err != nil {
+			t.Errorf("write after restore: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestRouterEndpointAccessors(t *testing.T) {
+	eng, r, ep1, ep2, _ := routedPair(t)
+	if ep1.ID() != 1 || ep1.Name() != "cpu0" || !ep1.Up() {
+		t.Errorf("accessors: id=%d name=%q up=%v", ep1.ID(), ep1.Name(), ep1.Up())
+	}
+	if r.fabs[0].Engine() != eng {
+		t.Error("Fabric.Engine did not return the build engine")
+	}
+	if r.fabs[0].Config().PacketBytes <= 0 {
+		t.Error("Fabric.Config returned a zero config")
+	}
+	if ep2.Translations() != 1 {
+		t.Errorf("Translations = %d, want 1", ep2.Translations())
+	}
+	ep2.SetServiceLatency(3 * sim.Microsecond)
+	ep2.ClearATT()
+	if ep2.Translations() != 0 {
+		t.Errorf("Translations after ClearATT = %d, want 0", ep2.Translations())
+	}
+}

@@ -183,6 +183,14 @@ type Fabric struct {
 	eps map[EndpointID]*Endpoint
 	rng *rand.Rand
 
+	// router and node are set on the per-node fabrics of a partitioned
+	// topology (SetRouter): operations addressed to an endpoint this
+	// fabric does not hold are forwarded to the owner node's fabric
+	// through the router's cross-LP seam instead of failing. nil for the
+	// classic single-engine fabric.
+	router Router
+	node   int
+
 	// pathUp tracks the X (0) and Y (1) fabrics; PathOps counts the
 	// transfers each carried.
 	pathUp  [2]bool

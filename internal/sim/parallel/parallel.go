@@ -60,10 +60,13 @@ type Handler func(eng *sim.Engine, m Message)
 
 // routed is an outbox entry: a message plus its routing key. sendSeq is
 // the source-local send counter, the deterministic tie-break when two LPs
-// deliver to the same destination at the same instant.
+// deliver to the same destination at the same instant. fn is non-nil for
+// node-addressed sends (SendFrom), which deliver through the destination
+// engine's arrival queue instead of the handler.
 type routed struct {
 	dst     int
 	sendSeq uint64
+	fn      func()
 	m       Message
 }
 
@@ -110,6 +113,36 @@ func (lp *LP) Send(dst int, delay sim.Time, val interface{}) {
 	})
 }
 
+// SendFrom schedules fn to run on LP dst's engine after delay, stamped as
+// coming from source node src — the partitioned-topology variant of Send,
+// where one LP hosts several simulated nodes and the message key must
+// name the node, not the LP. Delivery goes through the destination
+// engine's arrival queue, ordered by (arrival time, src, per-src
+// sequence); because src and the sequence are properties of the sending
+// node alone, the delivered order — and therefore the destination's
+// schedule — is identical however nodes are grouped into LPs. delay must
+// be at least the cluster lookahead. SendFrom must be called from code
+// running on the LP's own engine, and only for a src node the LP owns
+// (the per-src counters are not synchronized across LPs).
+func (lp *LP) SendFrom(src, dst int, delay sim.Time, fn func()) {
+	if delay < lp.cl.lookahead {
+		panic(fmt.Sprintf("parallel: SendFrom delay %v below cluster lookahead %v", delay, lp.cl.lookahead))
+	}
+	if dst < 0 || dst >= len(lp.cl.lps) {
+		panic(fmt.Sprintf("parallel: SendFrom to unknown LP %d", dst))
+	}
+	if src < 0 || src >= len(lp.cl.srcSeq) {
+		panic(fmt.Sprintf("parallel: SendFrom from unreserved source node %d", src))
+	}
+	lp.cl.srcSeq[src]++
+	lp.outbox = append(lp.outbox, routed{
+		dst:     dst,
+		sendSeq: lp.cl.srcSeq[src],
+		fn:      fn,
+		m:       Message{At: lp.eng.Now() + delay, Src: src},
+	})
+}
+
 // Stats describes one cluster run.
 type Stats struct {
 	// Workers is the worker count the run used (0 = sequential reference).
@@ -139,6 +172,11 @@ type Cluster struct {
 	lookahead sim.Time
 	lps       []*LP
 	inflight  []routed // messages collected at the current barrier
+
+	// srcSeq holds one send-sequence counter per simulated source node for
+	// SendFrom. Each counter is bumped only by the LP that owns its node,
+	// so the slice needs no synchronization.
+	srcSeq []uint64
 }
 
 // New returns an empty cluster with the given lookahead (> 0). Use the
@@ -153,6 +191,18 @@ func New(lookahead sim.Time) *Cluster {
 
 // Lookahead returns the cluster's lookahead.
 func (c *Cluster) Lookahead() sim.Time { return c.lookahead }
+
+// ReserveSources sizes the per-node send-sequence table for SendFrom:
+// source node indices 0..n-1 become valid. Call once, before the first
+// Run, when building a partitioned topology.
+func (c *Cluster) ReserveSources(n int) {
+	if n < len(c.srcSeq) {
+		return
+	}
+	s := make([]uint64, n)
+	copy(s, c.srcSeq)
+	c.srcSeq = s
+}
 
 // AddLP registers eng as the next logical process. handler consumes
 // messages sent to this LP; it may be nil for an LP that only sends.
@@ -209,6 +259,13 @@ func (c *Cluster) barrier() uint64 {
 	for i := range msgs {
 		r := msgs[i]
 		lp := c.lps[r.dst]
+		if r.fn != nil {
+			// Node-addressed send: deliver through the arrival queue so the
+			// dispatch order follows the (At, src node, per-src seq) key
+			// regardless of which window the barrier ran in.
+			lp.eng.ScheduleArrival(r.m.At, r.m.Src, r.sendSeq, r.fn)
+			continue
+		}
 		if lp.handler == nil {
 			panic(fmt.Sprintf("parallel: LP %d received a message but has no handler", r.dst))
 		}

@@ -1,0 +1,176 @@
+package parallel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"persistmem/internal/sim"
+)
+
+// buildMesh builds a partitioned-topology workload in the SendFrom style:
+// `nodes` simulated nodes grouped round-robin onto `nlps` LPs (node i on
+// LP i mod nlps), every engine seeded identically so each node's derived
+// randomness depends only on (seed, node). Nodes fire node-addressed
+// closures at pseudo-random peers with delays at or above the lookahead;
+// receivers log the precomputed arrival time and forward while the hop
+// count lasts. Because the transcript records only node-determined values,
+// it must be byte-identical however the nodes are grouped into LPs.
+func buildMesh(seed int64, nodes, nlps, iters int) (*Cluster, []*strings.Builder) {
+	c := New(stormLookahead)
+	c.ReserveSources(nodes)
+	logs := make([]*strings.Builder, nodes)
+	lps := make([]*LP, nlps)
+	for l := 0; l < nlps; l++ {
+		lps[l] = c.AddLP(sim.NewEngine(seed), nil)
+	}
+	// fire sends one node-addressed hop from src; it runs on src's engine
+	// (initially the node's proc, then recursively the arrival closure).
+	var fire func(src, hops int, v uint64)
+	fire = func(src, hops int, v uint64) {
+		dst := int(v>>4) % nodes
+		delay := stormLookahead + sim.Time(v%4)*stormLookahead/3
+		at := lps[src%nlps].Engine().Now() + delay
+		lps[src%nlps].SendFrom(src, dst%nlps, delay, func() {
+			fmt.Fprintf(logs[dst], "rx t=%d src=%d hops=%d v=%d\n", at, src, hops, v)
+			if hops > 0 {
+				fire(dst, hops-1, v*31)
+			}
+		})
+	}
+	for n := 0; n < nodes; n++ {
+		n := n
+		logs[n] = &strings.Builder{}
+		lps[n%nlps].Engine().Spawn(fmt.Sprintf("node%d", n), func(p *sim.Proc) {
+			r := p.Engine().DeriveRand(fmt.Sprintf("mesh/%d", n))
+			for it := 0; it < iters; it++ {
+				p.Wait(sim.Time(r.Intn(50)) * sim.Microsecond / 5)
+				v := r.Uint64()
+				fmt.Fprintf(logs[n], "p t=%d it=%d v=%d\n", p.Now(), it, v)
+				if v%3 == 0 {
+					fire(n, int(v%3), v)
+				}
+			}
+		})
+	}
+	return c, logs
+}
+
+func meshPrint(logs []*strings.Builder) string {
+	var b strings.Builder
+	for i, l := range logs {
+		fmt.Fprintf(&b, "node%d:\n%s", i, l.String())
+	}
+	return b.String()
+}
+
+// TestSendFromGroupingInvariance is the package-local version of the
+// intra-run partitioning gate: the same four-node mesh must produce a
+// byte-identical transcript — and the same event count — whether the
+// nodes share one engine or are split across 2 or 4, at any worker count
+// (including the clamped extremes 0 and 8).
+func TestSendFromGroupingInvariance(t *testing.T) {
+	for _, seed := range []int64{1, 9} {
+		refC, refLogs := buildMesh(seed, 4, 1, 40)
+		refStats := refC.RunSequential()
+		want := meshPrint(refLogs)
+		if refStats.Messages == 0 || refStats.Events == 0 {
+			t.Fatalf("seed %d: degenerate mesh (%+v)", seed, refStats)
+		}
+		if occ := refStats.AvgOccupancy(); occ <= 0 || occ > 1 {
+			t.Fatalf("seed %d: single-LP occupancy = %v, want in (0, 1]", seed, occ)
+		}
+		for _, c := range []struct{ nlps, workers int }{{2, 0}, {2, 2}, {4, 1}, {4, 8}} {
+			mc, logs := buildMesh(seed, 4, c.nlps, 40)
+			stats := mc.Run(c.workers)
+			if got := meshPrint(logs); got != want {
+				t.Fatalf("seed %d: %d LPs / %d workers diverged:\n--- ref ---\n%s\n--- got ---\n%s",
+					seed, c.nlps, c.workers, want, got)
+			}
+			if stats.Events != refStats.Events {
+				t.Fatalf("seed %d: %d LPs executed %d events, ref %d",
+					seed, c.nlps, stats.Events, refStats.Events)
+			}
+		}
+	}
+}
+
+func TestSendFromPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		send func(lp *LP)
+	}{
+		{"below lookahead", func(lp *LP) { lp.SendFrom(0, 0, stormLookahead-1, func() {}) }},
+		{"unknown LP", func(lp *LP) { lp.SendFrom(0, 5, stormLookahead, func() {}) }},
+		{"unreserved source", func(lp *LP) { lp.SendFrom(7, 0, stormLookahead, func() {}) }},
+	}
+	for _, tc := range cases {
+		c := New(stormLookahead)
+		c.ReserveSources(1)
+		lp := c.AddLP(sim.NewEngine(1), nil)
+		lp.Engine().Spawn("tx", func(p *sim.Proc) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SendFrom %s did not panic", tc.name)
+				}
+			}()
+			tc.send(lp)
+		})
+		c.RunSequential()
+	}
+}
+
+func TestSendToUnknownLPPanics(t *testing.T) {
+	c := New(stormLookahead)
+	lp := c.AddLP(sim.NewEngine(1), nil)
+	lp.Engine().Spawn("tx", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send to an unknown LP did not panic")
+			}
+		}()
+		lp.Send(3, stormLookahead, nil)
+	})
+	c.RunSequential()
+}
+
+// TestSendToHandlerlessLPPanics: a handler-addressed message into an LP
+// with no handler is a topology bug the barrier refuses to swallow.
+func TestSendToHandlerlessLPPanics(t *testing.T) {
+	c := New(stormLookahead)
+	lp := c.AddLP(sim.NewEngine(1), nil)
+	c.AddLP(sim.NewEngine(2), nil)
+	lp.Engine().Spawn("tx", func(p *sim.Proc) { lp.Send(1, stormLookahead, "orphan") })
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery into a handlerless LP did not panic")
+		}
+	}()
+	c.RunSequential()
+}
+
+func TestClusterAccessors(t *testing.T) {
+	c := New(stormLookahead)
+	if c.Lookahead() != stormLookahead {
+		t.Errorf("Lookahead = %v, want %v", c.Lookahead(), stormLookahead)
+	}
+	c.ReserveSources(4)
+	c.ReserveSources(2) // shrink requests are no-ops
+	if len(c.srcSeq) != 4 {
+		t.Errorf("srcSeq table sized %d, want 4", len(c.srcSeq))
+	}
+	lp0 := c.AddLP(sim.NewEngine(1), nil)
+	lp1 := c.AddLP(sim.NewEngine(2), nil)
+	if lp0.Index() != 0 || lp1.Index() != 1 {
+		t.Errorf("LP indices = %d, %d, want 0, 1", lp0.Index(), lp1.Index())
+	}
+	if (Stats{}).AvgOccupancy() != 0 {
+		t.Error("empty-run occupancy should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New with a non-positive lookahead did not panic")
+		}
+	}()
+	New(0)
+}

@@ -37,6 +37,38 @@ go run ./cmd/simbench -compare BENCH_kernel.json
 GOMAXPROCS=4 go test -race -count=1 ./internal/sim/parallel
 GOMAXPROCS=4 go test -race -count=1 -run 'EngineDifferential' ./internal/bench
 
+# Intra-run partitioning differential gates: one store split across 1, 2
+# and 4 node-LPs must execute byte-identical schedules, verified under
+# the race detector with the LP workers genuinely concurrent.
+GOMAXPROCS=4 go test -race -count=1 -run 'PartitionInvariance' \
+	./internal/ods ./internal/loadgen ./internal/bench
+
+# Partitioned figure gate: a full-scale Figure 1 cell run as one
+# partitioned simulation prints byte-identical CSV at 1, 2 and 4
+# node-LPs (smoke seeds 1-3 first, then the full-scale acceptance cell).
+for seed in 1 2 3; do
+	go run ./cmd/figures -fig 1cell -scale smoke -seed "$seed" -node-lps 1 > /tmp/cell-a.csv
+	go run ./cmd/figures -fig 1cell -scale smoke -seed "$seed" -node-lps 2 > /tmp/cell-b.csv
+	cmp /tmp/cell-a.csv /tmp/cell-b.csv
+	go run ./cmd/figures -fig 1cell -scale smoke -seed "$seed" -node-lps 4 > /tmp/cell-c.csv
+	cmp /tmp/cell-a.csv /tmp/cell-c.csv
+done
+go run ./cmd/figures -fig 1cell -scale full -seed 1 -node-lps 1 > /tmp/cell-a.csv
+go run ./cmd/figures -fig 1cell -scale full -seed 1 -node-lps 2 > /tmp/cell-b.csv
+cmp /tmp/cell-a.csv /tmp/cell-b.csv
+go run ./cmd/figures -fig 1cell -scale full -seed 1 -node-lps 4 > /tmp/cell-c.csv
+cmp /tmp/cell-a.csv /tmp/cell-c.csv
+rm -f /tmp/cell-a.csv /tmp/cell-b.csv /tmp/cell-c.csv
+
+# Partitioned fault demo: the volume-fault scenario must print the same
+# transcript at every partition count.
+go run ./cmd/faults -node-lps 1 > /tmp/pfault-a.txt
+go run ./cmd/faults -node-lps 2 > /tmp/pfault-b.txt
+cmp /tmp/pfault-a.txt /tmp/pfault-b.txt
+go run ./cmd/faults -node-lps 4 > /tmp/pfault-c.txt
+cmp /tmp/pfault-a.txt /tmp/pfault-c.txt
+rm -f /tmp/pfault-a.txt /tmp/pfault-b.txt /tmp/pfault-c.txt
+
 # Fault-injection smoke matrix: every (durability x fault x phase) cell
 # must pass its invariants, and the whole sweep must be deterministic —
 # three same-seed runs (default pool, sequential, and the parallel LP
@@ -76,6 +108,16 @@ cmp /tmp/sat-a.csv /tmp/sat-b.csv
 go run ./cmd/loadgen -scale smoke -seed 1 -csv -engine parallel > /tmp/sat-c.csv
 cmp /tmp/sat-a.csv /tmp/sat-c.csv
 rm -f /tmp/sat-a.csv /tmp/sat-b.csv /tmp/sat-c.csv
+# The same sweep with every store built as one partitioned simulation:
+# byte-identical CSV at 1, 2 and 4 node-LPs. (A partitioned store models
+# explicit cross-node latency, so its CSV is compared only against other
+# partition counts, never against the single-engine runs above.)
+go run ./cmd/loadgen -scale smoke -seed 1 -csv -node-lps 1 > /tmp/sat-p1.csv
+go run ./cmd/loadgen -scale smoke -seed 1 -csv -node-lps 2 > /tmp/sat-p2.csv
+cmp /tmp/sat-p1.csv /tmp/sat-p2.csv
+go run ./cmd/loadgen -scale smoke -seed 1 -csv -node-lps 4 > /tmp/sat-p4.csv
+cmp /tmp/sat-p1.csv /tmp/sat-p4.csv
+rm -f /tmp/sat-p1.csv /tmp/sat-p2.csv /tmp/sat-p4.csv
 go run ./cmd/loadgen -scale smoke -seed 1 > /tmp/sat-smoke.txt
 skel saturation_full.txt > /tmp/sat-skel-full.txt
 skel /tmp/sat-smoke.txt > /tmp/sat-skel-smoke.txt
