@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"persistmem/internal/avail"
@@ -22,6 +23,7 @@ import (
 	"persistmem/internal/recovery"
 	"persistmem/internal/sim"
 	simparallel "persistmem/internal/sim/parallel"
+	"persistmem/internal/tmf"
 )
 
 // cell is one matrix entry: a durability mode, a named fault, and the
@@ -31,11 +33,16 @@ type cell struct {
 	fault      string
 	phase      string
 	plan       faultinject.Plan
+	// twoPhase runs the workload under the cross-shard outcome-record
+	// protocol (every commit prepares on all 4 participant shards).
+	twoPhase bool
 
 	// filled by run
 	firings   int
 	committed int
 	txnErrs   int
+	resolved  int // in-doubt transactions recovery resolved from an outcome record
+	inDoubt   int // in-doubt transactions recovery presumed aborted
 	mttr      sim.Time
 	bytesRead int64
 	fails     []string
@@ -99,6 +106,45 @@ func planFor(fault string, after int64) faultinject.Plan {
 	panic("unknown fault " + fault)
 }
 
+// crossShardCells builds the cross-shard protocol cells for one
+// durability mode: a clean two-phase run, then phase-precise kills
+// landing inside the prepare window, the in-doubt window (prepares
+// durable, outcome not), right after the commit point, and mid-apply.
+// The coordinator kills fail CPU 0 — the TMF primary's host, taking the
+// in-flight commit coordinator down with it — because killing only the
+// serve process would leave the spawned coordinator running. The
+// participant kills target one shard's DP2 primary. Every kill strikes
+// the seq-th cross-shard commit, so committed work exists on both sides
+// of the fault.
+func crossShardCells(d ods.Durability, seq int64) []*cell {
+	coordKill := func(ph tmf.CommitPhase) faultinject.Plan {
+		when := faultinject.Trigger{AtPhase: ph, AtSeq: seq}
+		return faultinject.Plan{
+			{Kind: faultinject.CPUFail, Target: 0, When: when},
+			{Kind: faultinject.CPURestore, Target: 0,
+				When: faultinject.Trigger{AtPhase: ph, AtSeq: seq, Delay: 300 * sim.Millisecond}},
+		}
+	}
+	partKill := func(ph tmf.CommitPhase) faultinject.Plan {
+		return faultinject.Plan{
+			{Kind: faultinject.ProcessKill, Service: "$DP-TRADES-1",
+				When: faultinject.Trigger{AtPhase: ph, AtSeq: seq}},
+		}
+	}
+	cells := []*cell{
+		{durability: d, fault: "xs-none", phase: "-"},
+		{durability: d, fault: "xs-coord", phase: "prep", plan: coordKill(tmf.PhasePrepareStart)},
+		{durability: d, fault: "xs-coord", phase: "indoubt", plan: coordKill(tmf.PhasePrepared)},
+		{durability: d, fault: "xs-coord", phase: "postout", plan: coordKill(tmf.PhaseOutcomeDurable)},
+		{durability: d, fault: "xs-part", phase: "prep", plan: partKill(tmf.PhasePrepareStart)},
+		{durability: d, fault: "xs-part", phase: "apply", plan: partKill(tmf.PhaseApplyStart)},
+	}
+	for _, c := range cells {
+		c.twoPhase = true
+	}
+	return cells
+}
+
 func main() {
 	var (
 		txns     = flag.Int("txns", 12, "transactions attempted before the crash (4 inserts each)")
@@ -110,6 +156,7 @@ func main() {
 		nines    = flag.Int("nines", 5, "availability class the MTTR budget is derived from")
 		mtbfDays = flag.Int("mtbf-days", 30, "assumed mean time between failures, in days")
 		nodeLPs  = flag.Int("node-lps", 0, "run the partitioned volume-fault demo cell on this many LP workers instead of the matrix; output is identical at 1, 2 and 4")
+		violPath = flag.String("violations", "", "write every cell's failed invariants and history-checker violations to this file; an empty file proves the matrix ran clean (the CI artifact gate)")
 	)
 	flag.Parse()
 	if *nodeLPs > 0 {
@@ -139,6 +186,7 @@ func main() {
 				})
 			}
 		}
+		cells = append(cells, crossShardCells(d, int64(*txns/2))...)
 	}
 	// Chaos cells: plans drawn from the engine's derived rand stream, so
 	// the same -seed sweeps the same random faults. The workload CPU is
@@ -168,10 +216,14 @@ func main() {
 			Seed:       *seed,
 			Plan:       c.plan,
 			Pace:       pace,
+			TwoPhase:   c.twoPhase,
 		}
 	}
-	// judge recovers a crashed scenario and grades the cell. Each cell
-	// writes only its own fields, so verdicts assemble identically at any
+	// judge recovers a crashed scenario and grades the cell: the
+	// ground-truth durability invariants, the MTTR budget, and the
+	// history-based atomicity/serializability checker — every cell runs
+	// the checker, not just the cross-shard ones. Each cell writes only
+	// its own fields, so verdicts assemble identically at any
 	// parallelism and on either engine.
 	judge := func(c *cell, res *faultinject.Result) {
 		rep, rb, err := res.Recover(recovery.Options{})
@@ -179,10 +231,15 @@ func main() {
 			c.fails = append(c.fails, fmt.Sprintf("recovery failed: %v", err))
 		} else {
 			c.fails = res.Violations(rb)
+			for _, hv := range res.CheckHistory(rb).Violations {
+				c.fails = append(c.fails, "history: "+hv.String())
+			}
 			if rep.MTTR > budget {
 				c.fails = append(c.fails, fmt.Sprintf("MTTR %v over the %v budget", rep.MTTR, budget))
 			}
 		}
+		c.resolved = rep.OutcomeResolved
+		c.inDoubt = rep.InDoubt
 		c.firings = len(res.Injector.Firings())
 		c.committed = len(res.Committed)
 		c.txnErrs = res.TxnErrs
@@ -210,8 +267,8 @@ func main() {
 
 	fmt.Printf("fault matrix: %d cells, %d txns/cell, seed %d\n", len(cells), *txns, *seed)
 	fmt.Printf("MTTR budget: %v (%d nines at %d-day MTBF)\n\n", budget, *nines, *mtbfDays)
-	fmt.Printf("%-9s %-9s %-6s %8s %10s %8s %12s %12s  %s\n",
-		"mode", "fault", "phase", "firings", "committed", "txnerrs", "mttr", "bytesread", "verdict")
+	fmt.Printf("%-9s %-9s %-8s %8s %10s %8s %8s %12s %12s  %s\n",
+		"mode", "fault", "phase", "firings", "committed", "txnerrs", "2pc-r/a", "mttr", "bytesread", "verdict")
 	failed := 0
 	for _, c := range cells {
 		verdict := "PASS"
@@ -222,11 +279,23 @@ func main() {
 				verdict += fmt.Sprintf(" (+%d more)", len(c.fails)-1)
 			}
 		}
-		fmt.Printf("%-9s %-9s %-6s %8d %10d %8d %12v %12d  %s\n",
+		fmt.Printf("%-9s %-9s %-8s %8d %10d %8d %8s %12v %12d  %s\n",
 			c.durability, c.fault, c.phase, c.firings, c.committed, c.txnErrs,
-			c.mttr, c.bytesRead, verdict)
+			fmt.Sprintf("%d/%d", c.resolved, c.inDoubt), c.mttr, c.bytesRead, verdict)
 	}
 	fmt.Printf("\n%d/%d cells passed\n", len(cells)-failed, len(cells))
+	if *violPath != "" {
+		var b strings.Builder
+		for _, c := range cells {
+			for _, f := range c.fails {
+				fmt.Fprintf(&b, "%s/%s/%s: %s\n", c.durability, c.fault, c.phase, f)
+			}
+		}
+		if err := os.WriteFile(*violPath, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

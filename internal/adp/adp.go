@@ -94,9 +94,13 @@ type (
 		Err error
 	}
 	// CommitReq appends a commit record for Txn and replies once it (and
-	// all earlier audit) is durable.
+	// all earlier audit) is durable. A non-empty Outcome upgrades the
+	// record to a cross-shard outcome record (audit.RecOutcome) whose body
+	// carries the encoded outcome — the commit point for two-phase
+	// transactions.
 	CommitReq struct {
-		Txn audit.TxnID
+		Txn     audit.TxnID
+		Outcome []byte
 	}
 	// CommitResp reports the durable commit.
 	CommitResp struct {
@@ -308,9 +312,9 @@ func (a *ADP) serve(ctx *cluster.PairCtx) {
 			case AppendReq:
 				a.handleAppend(ctx, st, region, ev, req.Data)
 			case *CommitReq:
-				waiters = a.handleCommit(ctx, st, region, &scratch, waiters, ev, req.Txn)
+				waiters = a.handleCommit(ctx, st, region, &scratch, waiters, ev, req.Txn, req.Outcome)
 			case CommitReq:
-				waiters = a.handleCommit(ctx, st, region, &scratch, waiters, ev, req.Txn)
+				waiters = a.handleCommit(ctx, st, region, &scratch, waiters, ev, req.Txn, req.Outcome)
 			case *AbortReq:
 				a.handleAbort(ctx, st, region, &scratch, ev, req.Txn)
 			case AbortReq:
@@ -378,8 +382,11 @@ func (a *ADP) handleAppend(ctx *cluster.PairCtx, st *adpState, region *pmclient.
 }
 
 //simlint:hotpath
-func (a *ADP) handleCommit(ctx *cluster.PairCtx, st *adpState, region *pmclient.Region, scratch *[]byte, waiters []flushWaiter, ev cluster.Envelope, txn audit.TxnID) []flushWaiter {
+func (a *ADP) handleCommit(ctx *cluster.PairCtx, st *adpState, region *pmclient.Region, scratch *[]byte, waiters []flushWaiter, ev cluster.Envelope, txn audit.TxnID, outcome []byte) []flushWaiter {
 	rec := audit.Record{Type: audit.RecCommit, Txn: txn}
+	if len(outcome) > 0 {
+		rec.Type, rec.Body = audit.RecOutcome, outcome
+	}
 	*scratch = audit.AppendRecord((*scratch)[:0], &rec)
 	end, err := a.append(ctx, st, region, *scratch)
 	if err != nil {

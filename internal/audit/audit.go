@@ -43,12 +43,22 @@ const (
 	// RecControlPoint is a periodic marker allowing log truncation: all
 	// data records before the previous control point are destaged.
 	RecControlPoint
+	// RecPrepare marks a participant shard's vote in a cross-shard
+	// two-phase commit: all of the transaction's data records on this
+	// stream precede it and are durable with it. A prepared transaction
+	// with no outcome record anywhere is presumed aborted at recovery.
+	RecPrepare
+	// RecOutcome is the coordinator's durable outcome record for a
+	// cross-shard transaction: its body encodes the decided state and the
+	// full participant list (see tmf.EncodeOutcome). It is the commit
+	// point for two-phase transactions, subsuming RecCommit's role.
+	RecOutcome
 )
 
 var typeNames = map[RecType]string{
 	RecBegin: "BEGIN", RecInsert: "INSERT", RecUpdate: "UPDATE",
 	RecDelete: "DELETE", RecCommit: "COMMIT", RecAbort: "ABORT",
-	RecControlPoint: "CTRLPT",
+	RecControlPoint: "CTRLPT", RecPrepare: "PREPARE", RecOutcome: "OUTCOME",
 }
 
 // String names the record type.

@@ -41,6 +41,10 @@ type Runner struct {
 	// cross-node latency, so its numbers differ from the NodeLPs=0
 	// single-engine build — never mix the two in one comparison.
 	NodeLPs int
+	// CrossShardPct in [0,100] mixes cross-shard two-phase transactions
+	// into every saturation sweep cell (the xshard sweep keeps its own
+	// fixed axis). Zero leaves every cell's schedule untouched.
+	CrossShardPct float64
 }
 
 // EffectiveParallelism resolves a requested parallelism to the worker

@@ -85,15 +85,32 @@ var satVolumeCounts = []int{1, 2, 4, 64}
 // satVolumeRate is the volume sweep's fixed offered load.
 const satVolumeRate = 3000
 
+// satXShardPcts is the cross-shard sweep's x-axis: the percentage of
+// write transactions committed under the TMF's two-phase outcome-record
+// protocol, spread over every shard.
+var satXShardPcts = []float64{0, 25, 50, 100}
+
+// satXShardRate is the cross-shard sweep's fixed offered load — below
+// the 4-shard PM knee, so the cost axis measures protocol overhead, not
+// queueing.
+const satXShardRate = 2000
+
+// satStreamCounts is the audit-stream sweep's x-axis: independent ADP
+// log-writer pairs under the volume sweep's largest (64-volume, 16-
+// shard) disk topology. 4 is the historical one-per-CPU deployment.
+var satStreamCounts = []int{4, 8, 16}
+
 // satCell is one saturation sweep cell.
 type satCell struct {
-	sweep   string // "knee", "shards" or "volumes"
-	seed    int64
-	d       ods.Durability
-	shards  int
-	volumes int
-	rate    float64
-	window  sim.Time
+	sweep    string // "knee", "shards", "volumes", "xshardN" or "streamsN"
+	seed     int64
+	d        ods.Durability
+	shards   int
+	volumes  int
+	rate     float64
+	window   sim.Time
+	crossPct float64 // cross-shard two-phase mix, percent
+	streams  int     // ADP audit streams; 0 = one per CPU
 }
 
 func (c satCell) opts() ods.Options {
@@ -102,6 +119,7 @@ func (c satCell) opts() ods.Options {
 	opts.Durability = c.d
 	opts.Files = []ods.FileSpec{{Name: "TRADES", Partitions: c.shards}}
 	opts.DataVolumes = c.volumes
+	opts.AuditStreams = c.streams
 	opts.PMRegionBytes = 8 << 20 // per-DP2 regions must fit the NPMU at 16 shards
 	return opts
 }
@@ -111,6 +129,7 @@ func (c satCell) cfg() loadgen.OpenConfig {
 	cfg.File = "TRADES"
 	cfg.Rate = c.rate
 	cfg.Window = c.window
+	cfg.CrossShardPct = c.crossPct
 	return cfg
 }
 
@@ -139,6 +158,10 @@ type SatPoint struct {
 	// HotShardShare is the hottest shard's fraction of all arrivals —
 	// the Zipf skew made visible (1/Shards means perfectly even).
 	HotShardShare float64
+
+	// CrossCommits counts committed cross-shard two-phase transactions
+	// (a subset of Commits; zero unless the cell mixes them in).
+	CrossCommits int64
 }
 
 func satPoint(c satCell, r loadgen.OpenResult) SatPoint {
@@ -148,7 +171,7 @@ func satPoint(c satCell, r loadgen.OpenResult) SatPoint {
 		SojournP50: r.Sojourn.Percentile(50), SojournP99: r.Sojourn.Percentile(99),
 		ServiceP99: r.Service.Percentile(99),
 		Arrivals:   r.Arrivals, Commits: r.Commits, Aborts: r.Aborts,
-		Errors: r.Errors, Drops: r.Drops,
+		Errors: r.Errors, Drops: r.Drops, CrossCommits: r.CrossCommits,
 	}
 	var hot int64
 	for _, sh := range r.Shards {
@@ -166,12 +189,15 @@ func satPoint(c satCell, r loadgen.OpenResult) SatPoint {
 }
 
 // Saturation is the assembled sweep: the knee grid in durability-major
-// order, then the shard cells, then the volume cells.
+// order, then the shard, volume, cross-shard-mix and audit-stream
+// cells.
 type Saturation struct {
-	Scale  SatScale
-	Knee   [][]SatPoint // [durability][multiplier]
-	Shards []SatPoint
-	Vols   []SatPoint
+	Scale   SatScale
+	Knee    [][]SatPoint // [durability][multiplier]
+	Shards  []SatPoint
+	Vols    []SatPoint
+	XShard  []SatPoint // cross-shard two-phase mix axis
+	Streams []SatPoint // ADP audit-stream axis
 }
 
 // RunSaturation executes the saturation sweep with default parallelism.
@@ -196,6 +222,25 @@ func (r Runner) Saturation(seed int64, scale SatScale) Saturation {
 	for _, v := range satVolumeCounts {
 		cells = append(cells, satCell{sweep: "volumes", seed: seed, d: ods.DiskDurability,
 			shards: 16, volumes: v, rate: satVolumeRate, window: scale.Window})
+	}
+	for _, pct := range satXShardPcts {
+		cells = append(cells, satCell{sweep: fmt.Sprintf("xshard%g", pct), seed: seed,
+			d: ods.PMDurability, shards: 4, volumes: 4, rate: satXShardRate,
+			window: scale.Window, crossPct: pct})
+	}
+	for _, n := range satStreamCounts {
+		cells = append(cells, satCell{sweep: fmt.Sprintf("streams%d", n), seed: seed,
+			d: ods.DiskDurability, shards: 16, volumes: 64, rate: satVolumeRate,
+			window: scale.Window, streams: n})
+	}
+	// A Runner-level mix (the -cross-shard-pct flag) applies to every
+	// standard cell; the xshard sweep keeps its own fixed axis.
+	if r.CrossShardPct > 0 {
+		for i := range cells {
+			if !strings.HasPrefix(cells[i].sweep, "xshard") {
+				cells[i].crossPct = r.CrossShardPct
+			}
+		}
 	}
 
 	results := make([]loadgen.OpenResult, len(cells))
@@ -254,6 +299,14 @@ func (r Runner) Saturation(seed int64, scale SatScale) Saturation {
 		sat.Vols = append(sat.Vols, satPoint(cells[i], results[i]))
 		i++
 	}
+	for range satXShardPcts {
+		sat.XShard = append(sat.XShard, satPoint(cells[i], results[i]))
+		i++
+	}
+	for range satStreamCounts {
+		sat.Streams = append(sat.Streams, satPoint(cells[i], results[i]))
+		i++
+	}
 	return sat
 }
 
@@ -265,6 +318,8 @@ func (s Saturation) points() []SatPoint {
 	}
 	out = append(out, s.Shards...)
 	out = append(out, s.Vols...)
+	out = append(out, s.XShard...)
+	out = append(out, s.Streams...)
 	return out
 }
 
@@ -313,6 +368,19 @@ func (s Saturation) Table() string {
 	fmt.Fprintf(&b, "%-8s %12s %14s\n", "volumes", "delivered/s", "sojourn p99")
 	for _, p := range s.Vols {
 		fmt.Fprintf(&b, "%-8d %12.1f %14v\n", p.Volumes, p.Delivered, p.SojournP99)
+	}
+
+	fmt.Fprintf(&b, "\nCross-shard mix: pm durability, 4 shards at %d/s offered (scale=%s)\n", satXShardRate, s.Scale.Name)
+	fmt.Fprintf(&b, "%-8s %12s %14s %12s\n", "mix", "delivered/s", "sojourn p99", "xs-commits")
+	for i, p := range s.XShard {
+		fmt.Fprintf(&b, "%-8s %12.1f %14v %12d\n",
+			fmt.Sprintf("%g%%", satXShardPcts[i]), p.Delivered, p.SojournP99, p.CrossCommits)
+	}
+
+	fmt.Fprintf(&b, "\nAudit-stream scaling: disk durability, 16 shards, 64 volumes at %d/s offered (scale=%s)\n", satVolumeRate, s.Scale.Name)
+	fmt.Fprintf(&b, "%-8s %12s %14s\n", "streams", "delivered/s", "sojourn p99")
+	for i, p := range s.Streams {
+		fmt.Fprintf(&b, "%-8d %12.1f %14v\n", satStreamCounts[i], p.Delivered, p.SojournP99)
 	}
 	return b.String()
 }
@@ -397,6 +465,39 @@ func (s Saturation) CheckShape() []error {
 	if s.Vols[len(s.Vols)-1].Delivered <= s.Vols[0].Delivered {
 		errs = append(errs, fmt.Errorf("saturation: %d volumes (%.1f/s) no faster than 1 (%.1f/s)",
 			s.Vols[len(s.Vols)-1].Volumes, s.Vols[len(s.Vols)-1].Delivered, s.Vols[0].Delivered))
+	}
+	// The cross-shard mix actually materializes: no two-phase commits at
+	// 0%, a share tracking the axis above it, and the store keeps
+	// delivering (the protocol costs latency, not correctness).
+	for i, p := range s.XShard {
+		pct := satXShardPcts[i]
+		switch {
+		case pct == 0 && p.CrossCommits != 0:
+			errs = append(errs, fmt.Errorf("saturation: xshard mix 0%% recorded %d two-phase commits", p.CrossCommits))
+		case pct > 0 && p.CrossCommits == 0:
+			errs = append(errs, fmt.Errorf("saturation: xshard mix %g%% recorded no two-phase commits", pct))
+		}
+		if p.Commits == 0 {
+			errs = append(errs, fmt.Errorf("saturation: xshard mix %g%% delivered nothing", pct))
+		}
+		if i > 0 && p.CrossCommits < s.XShard[i-1].CrossCommits {
+			errs = append(errs, fmt.Errorf("saturation: xshard two-phase commits fell from mix %g%% to %g%% (%d -> %d)",
+				satXShardPcts[i-1], pct, s.XShard[i-1].CrossCommits, p.CrossCommits))
+		}
+	}
+	// More audit streams must not cost throughput on the 64-volume
+	// topology, and the widest spread must beat the one-per-CPU deployment.
+	for i := 1; i < len(s.Streams); i++ {
+		if s.Streams[i].Delivered < s.Streams[i-1].Delivered*0.98 {
+			errs = append(errs, fmt.Errorf("saturation: delivered fell from %d to %d audit streams (%.1f -> %.1f/s)",
+				satStreamCounts[i-1], satStreamCounts[i], s.Streams[i-1].Delivered, s.Streams[i].Delivered))
+		}
+	}
+	if len(s.Streams) > 0 {
+		if first, last := s.Streams[0], s.Streams[len(s.Streams)-1]; last.Delivered <= first.Delivered {
+			errs = append(errs, fmt.Errorf("saturation: %d audit streams (%.1f/s) no faster than %d (%.1f/s)",
+				satStreamCounts[len(satStreamCounts)-1], last.Delivered, satStreamCounts[0], first.Delivered))
+		}
 	}
 	return errs
 }

@@ -16,8 +16,10 @@ func TestSaturationShapeAtSmokeScale(t *testing.T) {
 	for _, err := range s.CheckShape() {
 		t.Error(err)
 	}
-	if got := len(s.points()); got != len(satKneeDurabilities)*len(satMultipliers)+len(satShardCounts)+len(satVolumeCounts) {
-		t.Errorf("sweep produced %d cells", got)
+	want := len(satKneeDurabilities)*len(satMultipliers) + len(satShardCounts) +
+		len(satVolumeCounts) + len(satXShardPcts) + len(satStreamCounts)
+	if got := len(s.points()); got != want {
+		t.Errorf("sweep produced %d cells, want %d", got, want)
 	}
 }
 
@@ -27,7 +29,8 @@ func TestSaturationCSVGolden(t *testing.T) {
 	s := RunSaturation(1, SatSmoke)
 	csv := s.CSV()
 	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
-	wantRows := 1 + len(satKneeDurabilities)*len(satMultipliers) + len(satShardCounts) + len(satVolumeCounts)
+	wantRows := 1 + len(satKneeDurabilities)*len(satMultipliers) + len(satShardCounts) +
+		len(satVolumeCounts) + len(satXShardPcts) + len(satStreamCounts)
 	if len(lines) != wantRows {
 		t.Errorf("CSV has %d lines, want %d", len(lines), wantRows)
 	}
@@ -119,6 +122,13 @@ func TestSaturationCheckShapeDetectsBreaks(t *testing.T) {
 		for i, v := range satVolumeCounts {
 			s.Vols = append(s.Vols, SatPoint{Volumes: v, Delivered: 900 + 100*float64(i)})
 		}
+		for _, pct := range satXShardPcts {
+			s.XShard = append(s.XShard, SatPoint{Delivered: 1900,
+				Commits: 1000, CrossCommits: int64(10 * pct), Shards: 4})
+		}
+		for i := range satStreamCounts {
+			s.Streams = append(s.Streams, SatPoint{Delivered: 1300 + 50*float64(i)})
+		}
 		return s
 	}
 	if errs := healthy().CheckShape(); len(errs) != 0 {
@@ -154,6 +164,26 @@ func TestSaturationCheckShapeDetectsBreaks(t *testing.T) {
 		},
 		"volume scaling regresses": func(s *Saturation) {
 			s.Vols[len(s.Vols)-1].Delivered = s.Vols[0].Delivered * 0.5
+		},
+		"two-phase commits at mix 0%": func(s *Saturation) {
+			s.XShard[0].CrossCommits = 7
+		},
+		"no two-phase commits at a positive mix": func(s *Saturation) {
+			s.XShard[len(s.XShard)-1].CrossCommits = 0
+		},
+		"xshard cell delivered nothing": func(s *Saturation) {
+			s.XShard[1].Commits = 0
+		},
+		"two-phase commits fall along the mix axis": func(s *Saturation) {
+			s.XShard[1].CrossCommits = s.XShard[2].CrossCommits + 1
+		},
+		"audit-stream scaling collapses": func(s *Saturation) {
+			s.Streams[len(s.Streams)-1].Delivered = s.Streams[0].Delivered * 0.5
+		},
+		"widest audit spread no faster than one-per-CPU": func(s *Saturation) {
+			for i := range s.Streams {
+				s.Streams[i].Delivered = 1300
+			}
 		},
 	}
 	for name, mutate := range breaks {

@@ -149,9 +149,13 @@ type (
 		Err  error
 	}
 	// FlushAuditReq pushes this DP2's pending audit to its ADP (commit
-	// preparation).
+	// preparation). Prepare additionally writes a durable prepare record
+	// for Txn — this participant's vote in a cross-shard two-phase
+	// commit: all of the transaction's data records on this shard are
+	// durable once the flush covers it.
 	FlushAuditReq struct {
-		Txn audit.TxnID
+		Txn     audit.TxnID
+		Prepare bool
 	}
 	// FlushAuditResp names the ADP and the LSN the trail must be durable
 	// through for the transaction to commit.
@@ -385,6 +389,9 @@ type DP2 struct {
 	mInsert     *metrics.LatencyHist
 	mCheckpoint *metrics.LatencyHist
 	mAuditSend  *metrics.LatencyHist
+	// hist records protocol events (prepare votes, outcome applies) for
+	// the atomicity checker; nil unless the registry enabled history.
+	hist *metrics.TxnHistory
 
 	stats Stats
 }
@@ -495,6 +502,7 @@ func Start(cl *cluster.Cluster, cfg Config) *DP2 {
 		d.mInsert = cfg.Metrics.DP2.Insert
 		d.mCheckpoint = cfg.Metrics.DP2.Checkpoint
 		d.mAuditSend = cfg.Metrics.DP2.AuditSend
+		d.hist = cfg.Metrics.History
 	}
 	d.waiterName = cfg.Name + "-waiter"
 	d.rwaiterName = cfg.Name + "-rwaiter"
@@ -602,9 +610,9 @@ func (d *DP2) serve(ctx *cluster.PairCtx) {
 		case *ReadReq:
 			d.handleRead(ctx, st, lm, ev, *req)
 		case *FlushAuditReq:
-			d.handleFlush(ctx, &auditBuf, ev)
+			d.handleFlush(ctx, st, &auditBuf, ev, *req)
 		case FlushAuditReq:
-			d.handleFlush(ctx, &auditBuf, ev)
+			d.handleFlush(ctx, st, &auditBuf, ev, req)
 		case *EndTxnReq:
 			d.handleEnd(ctx, st, lm, ev, *req)
 		case EndTxnReq:
@@ -622,8 +630,31 @@ func (d *DP2) serve(ctx *cluster.PairCtx) {
 }
 
 // handleFlush serves a FlushAuditReq: push pending audit to the ADP and
-// name the LSN the trail must reach for commit.
-func (d *DP2) handleFlush(ctx *cluster.PairCtx, auditBuf *[]byte, ev cluster.Envelope) {
+// name the LSN the trail must reach for commit. A prepare vote rides the
+// same flush: the prepare record is appended ahead of the send (Classic)
+// or written straight to this DP2's PM log (PMDirect), so the reported
+// LSN — or the synchronous PM write — covers it.
+func (d *DP2) handleFlush(ctx *cluster.PairCtx, st *dpState, auditBuf *[]byte, ev cluster.Envelope, req FlushAuditReq) {
+	if req.Prepare {
+		d.hist.OnPrepare(uint64(req.Txn), d.cfg.Name, ctx.Process.Now())
+		rec := audit.Record{
+			Type: audit.RecPrepare, Txn: req.Txn,
+			File: d.cfg.File, Partition: d.cfg.Partition,
+		}
+		if d.cfg.Mode == PMDirect {
+			enc := audit.AppendRecord(d.takeEnc(), &rec)
+			err := d.logToPM(ctx.Process, st, enc)
+			d.freeEnc(enc)
+			if err != nil {
+				ev.Reply(FlushAuditResp{Err: err})
+				return
+			}
+			d.checkpointLSN(ctx.Process, lsnDelta{lsn: st.lsn})
+			ev.Reply(flushRespPM)
+			return
+		}
+		*auditBuf = audit.AppendRecord(*auditBuf, &rec)
+	}
 	if d.cfg.Mode == PMDirect {
 		// Nothing to flush: every change is already persistent.
 		ev.Reply(flushRespPM)
@@ -821,6 +852,7 @@ func (d *DP2) handleEnd(ctx *cluster.PairCtx, st *dpState, lm *locks.Manager, ev
 	}
 	delta := endDelta{txn: req.Txn, commit: req.Commit}
 	st.applyEnd(delta)
+	d.hist.OnApply(uint64(req.Txn), d.cfg.Name, req.Commit, ctx.Process.Now())
 	lm.ReleaseAll(req.Txn)
 	if d.cfg.Mode == PMDirect {
 		// Note the local outcome in the PM log so a takeover's cache

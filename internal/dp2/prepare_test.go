@@ -1,0 +1,117 @@
+package dp2
+
+import (
+	"testing"
+
+	"persistmem/internal/adp"
+	"persistmem/internal/audit"
+	"persistmem/internal/cluster"
+	"persistmem/internal/disk"
+	"persistmem/internal/npmu"
+	"persistmem/internal/pmm"
+	"persistmem/internal/sim"
+)
+
+// TestPrepareFlushWritesDurablePrepareRecord: a prepare-marked audit
+// flush must put this participant's RecPrepare vote on the trail ahead
+// of the reported LSN, so the vote is durable exactly when the flush is.
+func TestPrepareFlushWritesDurablePrepareRecord(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl := cluster.New(eng, cluster.DefaultConfig())
+	auditVol := disk.New(eng, "$AUDIT", disk.DefaultConfig(), 64<<20)
+	adp.Start(cl, adp.Config{Name: "$ADP0", PrimaryCPU: 0, BackupCPU: 1, Mode: adp.Disk, Volume: auditVol})
+	dataVol := disk.New(eng, "$DATA", disk.DefaultConfig(), 64<<20)
+	Start(cl, Config{
+		Name: "$DP-F-0", File: "F", Partition: 0,
+		PrimaryCPU: 1, BackupCPU: 2,
+		Volume: dataVol, ADPName: "$ADP0",
+		RetainData: true,
+	})
+	cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+		call(t, p, InsertReq{Txn: 1, Key: 1, Body: []byte("xs")})
+		resp := call(t, p, FlushAuditReq{Txn: 1, Prepare: true}).(FlushAuditResp)
+		if resp.Err != nil || resp.LSN == 0 || resp.ADP != "$ADP0" {
+			t.Fatalf("prepare flush resp = %+v", resp)
+		}
+		// Make the stream durable the way the coordinator would.
+		if _, err := p.Call("$ADP0", 64, adp.CommitReq{Txn: 1}); err != nil {
+			t.Fatalf("adp commit: %v", err)
+		}
+	})
+	eng.Run()
+	read := make([]byte, 64<<10)
+	auditVol.Store().ReadAt(0, read)
+	s := audit.NewScanner(read)
+	var prepares, inserts int
+	for s.Next() {
+		rec := s.Record()
+		switch rec.Type {
+		case audit.RecPrepare:
+			prepares++
+			if rec.Txn != 1 || rec.File != "F" {
+				t.Errorf("prepare record = %+v", rec)
+			}
+		case audit.RecInsert:
+			inserts++
+		}
+	}
+	if prepares != 1 || inserts != 1 {
+		t.Errorf("trail holds %d prepare and %d insert records, want 1 and 1", prepares, inserts)
+	}
+	eng.Shutdown()
+}
+
+// pmDirectHarness builds a PMDirect-mode DP2 whose log region lives on a
+// PMM-managed mirrored NPMU pair.
+func pmDirectHarness(t *testing.T) (*sim.Engine, *cluster.Cluster, *DP2) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cl := cluster.New(eng, cluster.DefaultConfig())
+	a := npmu.New(cl, "npmu-a", 64<<20)
+	b := npmu.New(cl, "npmu-b", 64<<20)
+	pmm.Start(cl, "$PM1", 0, 1, a, b)
+	dataVol := disk.New(eng, "$DATA", disk.DefaultConfig(), 64<<20)
+	d := Start(cl, Config{
+		Name: "$DP-F-0", File: "F", Partition: 0,
+		PrimaryCPU: 1, BackupCPU: 2,
+		Volume: dataVol, Mode: PMDirect, PMVolume: "$PM1",
+		RetainData: true,
+	})
+	return eng, cl, d
+}
+
+// TestPMDirectPrepareLandsInPMLog: under PMDirect there is no ADP — the
+// prepare vote is written synchronously into this DP2's own PM log, and
+// the flush reply needs no LSN wait.
+func TestPMDirectPrepareLandsInPMLog(t *testing.T) {
+	eng, cl, d := pmDirectHarness(t)
+	cl.CPU(3).Spawn("client", func(p *cluster.Process) {
+		call(t, p, InsertReq{Txn: 1, Key: 1, Body: []byte("xs")})
+		before := d.Stats().PMLogBytes
+		resp := call(t, p, FlushAuditReq{Txn: 1, Prepare: true}).(FlushAuditResp)
+		if resp.Err != nil || resp.LSN != 0 {
+			t.Fatalf("pmdirect prepare flush resp = %+v", resp)
+		}
+		if after := d.Stats().PMLogBytes; after <= before {
+			t.Errorf("prepare wrote no PM log bytes (%d -> %d)", before, after)
+		}
+		// A plain (non-prepare) flush has nothing to do.
+		plain := call(t, p, FlushAuditReq{Txn: 1}).(FlushAuditResp)
+		if plain.Err != nil || plain.LSN != 0 || plain.ADP != "" {
+			t.Errorf("pmdirect plain flush resp = %+v", plain)
+		}
+		call(t, p, EndTxnReq{Txn: 1, Commit: true})
+		body, err := p.Call("$DP-F-0", 128, ReadReq{Key: 1})
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if r := body.(ReadResp); r.Err != nil || string(r.Body) != "xs" {
+			t.Errorf("read back = %+v", r)
+		}
+	})
+	eng.Run()
+	if d.Stats().PMLogWrites == 0 {
+		t.Error("no PM log writes recorded")
+	}
+	eng.Shutdown()
+}

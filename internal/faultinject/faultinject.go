@@ -20,9 +20,11 @@ import (
 	"math/rand"
 	"sort"
 
+	"persistmem/internal/audit"
 	"persistmem/internal/cluster"
 	"persistmem/internal/ods"
 	"persistmem/internal/sim"
+	"persistmem/internal/tmf"
 )
 
 // Kind enumerates the fault actions a Plan can schedule.
@@ -99,8 +101,10 @@ func (k Kind) String() string {
 	}
 }
 
-// Trigger says when a fault fires. Exactly one of the two forms is
-// used: AfterCommits > 0 means "Delay after the AfterCommits-th commit
+// Trigger says when a fault fires. Exactly one of the three forms is
+// used: AtPhase != 0 means "when a cross-shard commit reaches this
+// two-phase protocol phase" (armed through the store's phase hook);
+// AfterCommits > 0 means "Delay after the AfterCommits-th commit
 // becomes durable" (armed through the store's commit hook); otherwise
 // the fault fires at absolute virtual time At + Delay.
 type Trigger struct {
@@ -109,6 +113,13 @@ type Trigger struct {
 	// AfterCommits fires the fault once the store's total durable commit
 	// count reaches this value (event-triggered faults).
 	AfterCommits int64
+	// AtPhase fires the fault when a cross-shard two-phase commit
+	// reports this protocol phase — the lever for landing a kill inside
+	// the prepare window, before outcome durability, or mid-apply.
+	AtPhase tmf.CommitPhase
+	// AtSeq selects which two-phase commit AtPhase watches (1-based
+	// sequence of cross-shard commits); zero means the first.
+	AtSeq int64
 	// Delay postpones the firing past its trigger point — how a restore
 	// action is paired with the fail that shares its trigger.
 	Delay sim.Time
@@ -127,10 +138,14 @@ type Fault struct {
 }
 
 func (f Fault) String() string {
+	desc := fmt.Sprintf("%v(%d)", f.Kind, f.Target)
 	if f.Kind == ProcessKill {
-		return fmt.Sprintf("%v(%s)", f.Kind, f.Service)
+		desc = fmt.Sprintf("%v(%s)", f.Kind, f.Service)
 	}
-	return fmt.Sprintf("%v(%d)", f.Kind, f.Target)
+	if f.When.AtPhase != 0 {
+		desc += "@" + f.When.AtPhase.String()
+	}
+	return desc
 }
 
 // Plan is a deterministic fault schedule.
@@ -157,6 +172,7 @@ type Injector struct {
 	disarmed bool
 	firings  []Firing
 	pending  []Fault // commit-triggered faults not yet scheduled
+	phased   []Fault // phase-triggered faults not yet scheduled
 	pairs    []pairRef
 
 	// TakeoverViolations describes every service pair whose backup did
@@ -175,16 +191,40 @@ type pairRef struct {
 // Arm schedules plan against s. An empty plan arms nothing — the run's
 // schedule is identical to an uninjected one. Time-triggered faults are
 // engine callbacks; commit-triggered faults hang off the store's commit
-// hook, so Arm takes sole ownership of s.SetCommitHook.
+// hook and phase-triggered faults off its two-phase phase hook, so Arm
+// takes sole ownership of s.SetCommitHook and s.SetPhaseHook.
 func Arm(s *ods.Store, plan Plan) *Injector {
 	inj := &Injector{s: s, pairs: collectPairs(s)}
 	for _, f := range plan {
+		if f.When.AtPhase != 0 {
+			inj.phased = append(inj.phased, f)
+			continue
+		}
 		if f.When.AfterCommits > 0 {
 			inj.pending = append(inj.pending, f)
 			continue
 		}
 		f := f
 		s.Eng.Schedule(f.When.At+f.When.Delay, func() { inj.fire(f) })
+	}
+	if len(inj.phased) > 0 {
+		s.SetPhaseHook(func(phase tmf.CommitPhase, txn audit.TxnID, seq int64) {
+			eng := s.Eng
+			kept := inj.phased[:0]
+			for _, f := range inj.phased {
+				want := f.When.AtSeq
+				if want == 0 {
+					want = 1
+				}
+				if f.When.AtPhase == phase && want == seq {
+					f := f
+					eng.Schedule(eng.Now()+f.When.Delay, func() { inj.fire(f) })
+				} else {
+					kept = append(kept, f)
+				}
+			}
+			inj.phased = kept
+		})
 	}
 	if len(inj.pending) > 0 {
 		s.SetCommitHook(func(total int64) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"persistmem/internal/cluster"
+	"persistmem/internal/consistency"
 	"persistmem/internal/metrics"
 	"persistmem/internal/ods"
 	"persistmem/internal/recovery"
@@ -25,6 +26,10 @@ type ScenarioConfig struct {
 	// time-delayed plan actions land mid-stream instead of after the
 	// crash. Zero means back-to-back transactions.
 	Pace sim.Time
+	// TwoPhase runs every workload transaction under the cross-shard
+	// outcome-record protocol (the 4 inserts span all 4 partitions, so
+	// each commit prepares on 4 participant shards).
+	TwoPhase bool
 }
 
 // Begin-retry policy: a client whose transaction monitor is mid-
@@ -56,6 +61,12 @@ type Result struct {
 	// laws are written with occupancy terms, so they must balance even at
 	// a crash point — Violations checks every one.
 	Metrics *metrics.Registry
+	// History is the protocol event stream every scenario records, the
+	// input to the atomicity checker.
+	History *metrics.TxnHistory
+	// Ops lists every write the workload issued, per transaction — the
+	// checker's ground truth for all-or-nothing visibility.
+	Ops []consistency.Op
 }
 
 // Run executes the scenario: build a data-retaining store, arm the
@@ -100,9 +111,14 @@ func Start(cfg ScenarioConfig) *Pending {
 	opts.NPMUBytes = 256 << 20
 	opts.PMRegionBytes = 32 << 20
 	opts.Metrics = metrics.NewRegistry()
+	hist := opts.Metrics.EnableHistory()
 	s := ods.Build(opts)
 
-	res := &Result{ScenarioResult: recovery.ScenarioResult{Store: s}, Metrics: opts.Metrics}
+	res := &Result{
+		ScenarioResult: recovery.ScenarioResult{Store: s},
+		Metrics:        opts.Metrics,
+		History:        hist,
+	}
 	inj := Arm(s, cfg.Plan)
 	res.Injector = inj
 
@@ -110,6 +126,15 @@ func Start(cfg ScenarioConfig) *Pending {
 	crashNow := s.Eng.NewChan("crash")
 	s.Cl.CPU(workCPU).Spawn("workload", func(p *cluster.Process) {
 		se := s.NewSession(p)
+		se.SetTwoPhase(cfg.TwoPhase)
+		record := func(txn *ods.Txn, key uint64) {
+			res.Ops = append(res.Ops, consistency.Op{
+				Txn:   uint64(txn.ID()),
+				File:  "TRADES",
+				Key:   key,
+				Shard: s.DP2Name("TRADES", s.PartitionOf("TRADES", key)),
+			})
+		}
 		begin := func() *ods.Txn {
 			for attempt := 0; ; attempt++ {
 				txn, err := se.Begin()
@@ -136,6 +161,7 @@ func Start(cfg ScenarioConfig) *Pending {
 				key := uint64(i*10 + j + 1)
 				txn.InsertAsync("TRADES", key, []byte(fmt.Sprintf("row-%d", key)))
 				keys = append(keys, key)
+				record(txn, key)
 			}
 			if err := txn.Commit(); err != nil {
 				res.TxnErrs++
@@ -150,6 +176,7 @@ func Start(cfg ScenarioConfig) *Pending {
 				key := uint64(1000000 + j)
 				txn.InsertAsync("TRADES", key, []byte("uncommitted"))
 				res.InFlight = append(res.InFlight, key)
+				record(txn, key)
 			}
 			txn.WaitPending()
 		}
@@ -240,4 +267,18 @@ func (res *Result) Violations(rb *recovery.Rebuilt) []string {
 		v = append(v, "conservation: "+err.Error())
 	}
 	return v
+}
+
+// CheckHistory runs the offline atomicity/serializability checker over
+// the scenario's recorded protocol history against the recovered image.
+// It subsumes nothing from Violations — that method checks ground-truth
+// buckets the client observed; this one checks the protocol's own event
+// grammar and all-or-nothing visibility per transaction, including the
+// in-doubt ones whose coordinator died before recording an outcome.
+func (res *Result) CheckHistory(rb *recovery.Rebuilt) consistency.Result {
+	visible := func(file string, key uint64) bool {
+		_, ok := rb.Get(file, key)
+		return ok
+	}
+	return consistency.Check(res.History.Events(), res.Ops, visible)
 }

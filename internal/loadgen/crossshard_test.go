@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"testing"
+
+	"persistmem/internal/ods"
+	"persistmem/internal/sim"
+)
+
+func runOpenWithMix(seed int64, pct float64) OpenResult {
+	s := shardedStore(ods.PMDurability, seed, 4)
+	cfg := DefaultOpenConfig()
+	cfg.Rate = 800
+	cfg.Window = 500 * sim.Millisecond
+	cfg.CrossShardPct = pct
+	r := RunOpen(s, cfg)
+	s.Eng.Shutdown()
+	return r
+}
+
+// TestOpenLoopCrossShardMixMaterializes: a positive mix produces
+// two-phase commits, tracked monotonically by the mix percentage, and
+// a 100% mix makes every commit cross-shard.
+func TestOpenLoopCrossShardMixMaterializes(t *testing.T) {
+	half := runOpenWithMix(11, 50)
+	checkIdentities(t, &half)
+	if half.CrossCommits == 0 {
+		t.Fatalf("50%% mix produced no two-phase commits:\n%s", half.String())
+	}
+	if half.CrossCommits >= half.Commits {
+		t.Errorf("50%% mix: every commit was cross-shard (%d of %d)", half.CrossCommits, half.Commits)
+	}
+	all := runOpenWithMix(11, 100)
+	checkIdentities(t, &all)
+	if all.CrossCommits != all.Commits {
+		t.Errorf("100%% mix: %d of %d commits cross-shard", all.CrossCommits, all.Commits)
+	}
+	if all.CrossCommits < half.CrossCommits {
+		t.Errorf("two-phase commits fell as the mix rose: %d at 50%%, %d at 100%%", half.CrossCommits, all.CrossCommits)
+	}
+}
+
+// TestOpenLoopCrossShardZeroIsScheduleIdentical pins the zero-draw
+// guarantee the committed artifacts ride on: CrossShardPct 0 must not
+// consume a single random draw, so its run is event-for-event identical
+// to one that never heard of the knob.
+func TestOpenLoopCrossShardZeroIsScheduleIdentical(t *testing.T) {
+	base := runOpenWithMix(11, 0)
+	run := func() OpenResult {
+		s := shardedStore(ods.PMDurability, 11, 4)
+		cfg := DefaultOpenConfig()
+		cfg.Rate = 800
+		cfg.Window = 500 * sim.Millisecond
+		r := RunOpen(s, cfg)
+		s.Eng.Shutdown()
+		return r
+	}
+	plain := run()
+	if base.CrossCommits != 0 {
+		t.Errorf("0%% mix recorded %d two-phase commits", base.CrossCommits)
+	}
+	if base.Arrivals != plain.Arrivals || base.Commits != plain.Commits ||
+		base.Events != plain.Events || base.Elapsed != plain.Elapsed || base.Inserts != plain.Inserts {
+		t.Errorf("0%% mix diverged from the knob-free run:\n%s\nvs\n%s", base.String(), plain.String())
+	}
+}
+
+// TestOpenLoopCrossShardSingleShardIsInert: with one partition there is
+// no second participant, so any mix percentage degrades to ordinary
+// single-shard commits without drawing from the rng.
+func TestOpenLoopCrossShardSingleShardIsInert(t *testing.T) {
+	s := shardedStore(ods.PMDurability, 11, 1)
+	cfg := DefaultOpenConfig()
+	cfg.Rate = 500
+	cfg.Window = 300 * sim.Millisecond
+	cfg.CrossShardPct = 100
+	r := RunOpen(s, cfg)
+	s.Eng.Shutdown()
+	if r.CrossCommits != 0 {
+		t.Errorf("single-shard store recorded %d two-phase commits", r.CrossCommits)
+	}
+	if r.Commits == 0 {
+		t.Error("single-shard store committed nothing")
+	}
+}

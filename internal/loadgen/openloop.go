@@ -69,6 +69,13 @@ type OpenConfig struct {
 	// MaxQueue waiting is dropped (counted, never executed). 0 means
 	// unbounded.
 	MaxQueue int
+	// CrossShardPct in [0,100] is the percentage of write transactions
+	// that spread their inserts round-robin across every shard and
+	// commit under the TMF's cross-shard two-phase outcome-record
+	// protocol. Zero (the default) draws no extra randomness, so the
+	// run's schedule is byte-identical to one built before the knob
+	// existed.
+	CrossShardPct float64
 }
 
 // DefaultOpenConfig returns a moderate Poisson configuration.
@@ -140,6 +147,9 @@ type OpenResult struct {
 	Inserts    int64
 	Reads      int64
 	ReadErrors int64
+	// CrossCommits counts committed transactions that ran under the
+	// cross-shard two-phase protocol (a subset of Commits).
+	CrossCommits int64
 
 	// Sojourn is arrival→commit (queueing included) — the open-loop
 	// latency. Service is dispatch→commit (queueing excluded). QueueWait
@@ -186,6 +196,11 @@ func (r *OpenResult) String() string {
 		r.Sojourn.Summary(), r.Service.Summary(), r.QueueWait.Summary())
 }
 
+// openCrossBase offsets the per-home-shard cross-shard key sequence
+// blocks far above any key the local nextSeq sequences can reach at
+// simulation scale.
+const openCrossBase = uint64(1) << 40
+
 // arrival is one generated transaction request, carried from the
 // generator through a shard's admission queue to a worker. Records are
 // recycled through OpenPending.free once the worker retires them.
@@ -201,6 +216,11 @@ type openShard struct {
 	stats   ShardStats
 	written []uint64 // committed keys, the shard's read working set
 	nextSeq uint64   // per-shard insert-key sequence
+	// crossSeq numbers this home shard's cross-shard inserts. Each home
+	// shard owns a disjoint block of the sequence space (see runTxn), so
+	// cross-shard keys synthesized by different homes never collide with
+	// each other or with any shard's local nextSeq keys.
+	crossSeq uint64
 }
 
 // OpenPending is an open-loop run whose processes have been spawned but
@@ -443,6 +463,14 @@ func (op *OpenPending) runTxn(p *cluster.Process, se *ods.Session, st *openShard
 		return
 	}
 	dispatched := p.Now()
+	// The cross-shard draw happens only when the knob is set, so a
+	// CrossShardPct of zero consumes no randomness and the schedule is
+	// byte-identical to a run without the knob.
+	cross := false
+	if cfg.CrossShardPct > 0 && nShards > 1 {
+		cross = rng.Float64()*100 < cfg.CrossShardPct
+	}
+	se.SetTwoPhase(cross)
 	failed := false
 	for i := 0; i < cfg.OpsPerTxn; i++ {
 		if len(st.written) > 0 && rng.Float64() < cfg.ReadFraction {
@@ -457,9 +485,18 @@ func (op *OpenPending) runTxn(p *cluster.Process, se *ods.Session, st *openShard
 			continue
 		}
 		// Synthesize an insert key unique to this shard that PartitionOf
-		// routes back to it: stride by the shard count.
-		key := st.nextSeq*nShards + uint64(shard)
-		st.nextSeq++
+		// routes back to it: stride by the shard count. A cross-shard
+		// transaction instead rotates its inserts round-robin over every
+		// shard, drawing keys from this home shard's private block of the
+		// cross sequence space so no two homes ever collide.
+		var key uint64
+		if target := (shard + len(staged)) % len(op.shards); cross && target != shard {
+			key = (openCrossBase*(uint64(shard)+1)+st.crossSeq)*nShards + uint64(target)
+			st.crossSeq++
+		} else {
+			key = st.nextSeq*nShards + uint64(shard)
+			st.nextSeq++
+		}
 		if err := txn.InsertAsync(cfg.File, key, body); err != nil {
 			failed = true
 			break
@@ -477,9 +514,19 @@ func (op *OpenPending) runTxn(p *cluster.Process, se *ods.Session, st *openShard
 		st.stats.Aborts++
 		return
 	}
-	// Only now do the inserted keys join the shard's read working set:
-	// a key staged by an aborted transaction must never be browsed.
-	st.written = append(st.written, staged...)
+	// Only now do the inserted keys join the shard's read working set —
+	// a key staged by an aborted transaction must never be browsed —
+	// and only home-shard keys: the working set stays shard-local.
+	if !cross {
+		st.written = append(st.written, staged...)
+	} else {
+		res.CrossCommits++
+		for _, k := range staged {
+			if k%nShards == uint64(shard) {
+				st.written = append(st.written, k)
+			}
+		}
+	}
 	res.Commits++
 	st.stats.Commits++
 	res.Inserts += int64(len(staged))

@@ -1,0 +1,110 @@
+package metrics
+
+import "persistmem/internal/sim"
+
+// HistKind enumerates transaction-history event kinds.
+type HistKind uint8
+
+// Transaction-history events, in protocol order.
+const (
+	// HistBegin marks the monitor registering the transaction.
+	HistBegin HistKind = iota + 1
+	// HistPrepare marks one participant shard's durable prepare vote.
+	HistPrepare
+	// HistOutcome marks the durable outcome decision at the coordinator.
+	HistOutcome
+	// HistApply marks one participant shard applying the outcome
+	// (releasing locks; on abort, undoing the transaction's rows).
+	HistApply
+)
+
+// HistEvent is one recorded transaction-protocol event. Shard names the
+// participant DP2 for prepare/apply events and is empty for coordinator
+// events; Commit carries the decision for outcome/apply events.
+type HistEvent struct {
+	Txn    uint64
+	Kind   HistKind
+	Shard  string
+	Commit bool
+	At     sim.Time
+}
+
+// TxnHistory is the deterministic protocol-event recorder behind the
+// offline atomicity/serializability checker (internal/consistency). It
+// is nil unless EnableHistory was called on the registry, so figure and
+// saturation runs pay nothing — every recording method nil-short-
+// circuits and the event slice is never touched. Recording is a pure
+// in-memory append of scalars (the shard string is a service-name
+// header copy, not an allocation), so enabling it cannot perturb a
+// simulation's schedule. Events are appended in each recorder's
+// execution order, which the cooperative scheduler makes deterministic;
+// per-shard apply order is the store's externalized serial order.
+type TxnHistory struct {
+	events []HistEvent
+}
+
+// EnableHistory attaches a transaction-history recorder to the registry
+// (idempotent) and returns it. Call before the store starts so every
+// subsystem wires the same recorder.
+func (r *Registry) EnableHistory() *TxnHistory {
+	if r.History == nil {
+		r.History = &TxnHistory{}
+	}
+	return r.History
+}
+
+// Record appends one event. Nil-safe.
+//
+//simlint:hotpath
+func (h *TxnHistory) Record(txn uint64, kind HistKind, shard string, commit bool, at sim.Time) {
+	if h == nil {
+		return
+	}
+	//simlint:allow hotalloc -- opt-in checker mode; disabled runs never reach the append
+	h.events = append(h.events, HistEvent{Txn: txn, Kind: kind, Shard: shard, Commit: commit, At: at})
+}
+
+// OnBegin records the monitor registering txn. Nil-safe.
+//
+//simlint:hotpath
+func (h *TxnHistory) OnBegin(txn uint64, at sim.Time) {
+	h.Record(txn, HistBegin, "", false, at)
+}
+
+// OnPrepare records shard's durable prepare vote for txn. Nil-safe.
+//
+//simlint:hotpath
+func (h *TxnHistory) OnPrepare(txn uint64, shard string, at sim.Time) {
+	h.Record(txn, HistPrepare, shard, false, at)
+}
+
+// OnOutcome records the durable outcome decision for txn. Nil-safe.
+//
+//simlint:hotpath
+func (h *TxnHistory) OnOutcome(txn uint64, commit bool, at sim.Time) {
+	h.Record(txn, HistOutcome, "", commit, at)
+}
+
+// OnApply records shard applying txn's outcome. Nil-safe.
+//
+//simlint:hotpath
+func (h *TxnHistory) OnApply(txn uint64, shard string, commit bool, at sim.Time) {
+	h.Record(txn, HistApply, shard, commit, at)
+}
+
+// Events returns the recorded events in append order. The slice is the
+// recorder's own; callers must not mutate it.
+func (h *TxnHistory) Events() []HistEvent {
+	if h == nil {
+		return nil
+	}
+	return h.events
+}
+
+// Len returns the number of recorded events.
+func (h *TxnHistory) Len() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.events)
+}

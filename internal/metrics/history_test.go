@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"testing"
+
+	"persistmem/internal/sim"
+)
+
+func TestTxnHistoryRecordsProtocolOrder(t *testing.T) {
+	var r Registry
+	h := r.EnableHistory()
+	if again := r.EnableHistory(); again != h {
+		t.Fatal("EnableHistory not idempotent")
+	}
+	h.OnBegin(1, 10)
+	h.OnPrepare(1, "$DP-TRADES-0", 20)
+	h.OnPrepare(1, "$DP-TRADES-1", 25)
+	h.OnOutcome(1, true, 30)
+	h.OnApply(1, "$DP-TRADES-0", true, 40)
+	h.OnApply(1, "$DP-TRADES-1", true, 45)
+
+	want := []HistEvent{
+		{Txn: 1, Kind: HistBegin, At: 10},
+		{Txn: 1, Kind: HistPrepare, Shard: "$DP-TRADES-0", At: 20},
+		{Txn: 1, Kind: HistPrepare, Shard: "$DP-TRADES-1", At: 25},
+		{Txn: 1, Kind: HistOutcome, Commit: true, At: 30},
+		{Txn: 1, Kind: HistApply, Shard: "$DP-TRADES-0", Commit: true, At: 40},
+		{Txn: 1, Kind: HistApply, Shard: "$DP-TRADES-1", Commit: true, At: 45},
+	}
+	got := h.Events()
+	if h.Len() != len(want) || len(got) != len(want) {
+		t.Fatalf("recorded %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTxnHistoryNilIsFreeAndSafe pins the disabled-mode contract: every
+// recording method on a nil recorder is a no-op and allocates nothing,
+// so figure and saturation runs pay zero for carrying the hooks.
+func TestTxnHistoryNilIsFreeAndSafe(t *testing.T) {
+	var h *TxnHistory
+	allocs := testing.AllocsPerRun(100, func() {
+		h.OnBegin(1, 0)
+		h.OnPrepare(1, "$DP-TRADES-0", 0)
+		h.OnOutcome(1, true, 0)
+		h.OnApply(1, "$DP-TRADES-0", true, 0)
+		h.Record(1, HistBegin, "", false, sim.Time(0))
+	})
+	if allocs != 0 {
+		t.Errorf("disabled recorder allocated %.1f times per op batch, want 0", allocs)
+	}
+	if h.Events() != nil || h.Len() != 0 {
+		t.Error("nil recorder reports events")
+	}
+}

@@ -278,6 +278,11 @@ type Registry struct {
 	PM        *PMSpans
 	Commit    *CommitPath
 	Load      *LoadSpans
+
+	// History is the transaction-protocol event recorder behind the
+	// offline atomicity checker. Nil (and free) unless EnableHistory was
+	// called; see history.go.
+	History *TxnHistory
 }
 
 // NewRegistry returns a registry with every subsystem bundle and its

@@ -1,0 +1,96 @@
+package ods
+
+import (
+	"fmt"
+	"testing"
+
+	"persistmem/internal/audit"
+	"persistmem/internal/tmf"
+)
+
+// TestCrossShardCommitFiresPhasesInOrder drives one two-phase commit
+// spanning both TRADES partitions and pins the protocol window order the
+// fault matrix keys its kills off: prepare-start, prepared,
+// outcome-durable, apply-start, done — once per commit, with a stable
+// sequence number.
+func TestCrossShardCommitFiresPhasesInOrder(t *testing.T) {
+	for _, d := range []Durability{DiskDurability, PMDurability, PMDirectDurability} {
+		t.Run(d.String(), func(t *testing.T) {
+			s := Build(smallOptions(d))
+			var phases []tmf.CommitPhase
+			var seqs []int64
+			s.SetPhaseHook(func(ph tmf.CommitPhase, txn audit.TxnID, seq int64) {
+				phases = append(phases, ph)
+				seqs = append(seqs, seq)
+			})
+			runClient(s, func(se *Session) {
+				se.SetTwoPhase(true)
+				txn, err := se.Begin()
+				if err != nil {
+					t.Fatalf("Begin: %v", err)
+				}
+				for k := uint64(1); k <= 4; k++ { // keys 1..4 span both partitions
+					if err := txn.InsertAsync("TRADES", k, []byte(fmt.Sprintf("xs-%d", k))); err != nil {
+						t.Fatalf("InsertAsync: %v", err)
+					}
+				}
+				if err := txn.Commit(); err != nil {
+					t.Fatalf("Commit: %v", err)
+				}
+				for k := uint64(1); k <= 4; k++ {
+					body, err := se.ReadBrowse("TRADES", k)
+					if err != nil || string(body) != fmt.Sprintf("xs-%d", k) {
+						t.Fatalf("ReadBrowse(%d) = %q, %v", k, body, err)
+					}
+				}
+			})
+			want := []tmf.CommitPhase{tmf.PhasePrepareStart, tmf.PhasePrepared,
+				tmf.PhaseOutcomeDurable, tmf.PhaseApplyStart, tmf.PhaseDone}
+			if len(phases) != len(want) {
+				t.Fatalf("phase hook fired %d times (%v), want %d", len(phases), phases, len(want))
+			}
+			for i := range want {
+				if phases[i] != want[i] {
+					t.Errorf("phase %d = %v, want %v", i, phases[i], want[i])
+				}
+				if seqs[i] != 1 {
+					t.Errorf("phase %d carried seq %d, want 1 (first two-phase commit)", i, seqs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAuditStreamsSpreadLogWriters builds a disk store with more audit
+// streams than the default one-per-CPU and checks commits still land and
+// every stream got its own ADP pair and audit volume.
+func TestAuditStreamsSpreadLogWriters(t *testing.T) {
+	o := smallOptions(DiskDurability)
+	o.AuditStreams = 8
+	s := Build(o)
+	if got := len(s.ADPs); got != 8 {
+		t.Fatalf("built %d ADP pairs, want 8", got)
+	}
+	if got := len(s.AuditVolumes); got != 8 {
+		t.Fatalf("built %d audit volumes, want 8", got)
+	}
+	runClient(s, func(se *Session) {
+		for k := uint64(1); k <= 8; k++ {
+			txn, err := se.Begin()
+			if err != nil {
+				t.Fatalf("Begin: %v", err)
+			}
+			if err := txn.InsertAsync("TRADES", k, []byte("spread")); err != nil {
+				t.Fatalf("InsertAsync: %v", err)
+			}
+			if err := txn.Commit(); err != nil {
+				t.Fatalf("Commit: %v", err)
+			}
+		}
+		for k := uint64(1); k <= 8; k++ {
+			if body, err := se.ReadBrowse("TRADES", k); err != nil || string(body) != "spread" {
+				t.Fatalf("ReadBrowse(%d) = %q, %v", k, body, err)
+			}
+		}
+	})
+}

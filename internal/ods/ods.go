@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"persistmem/internal/adp"
+	"persistmem/internal/audit"
 	"persistmem/internal/cluster"
 	"persistmem/internal/disk"
 	"persistmem/internal/metrics"
@@ -78,6 +79,15 @@ type Options struct {
 	Files []FileSpec
 	// DataVolumes across which partitions are spread (paper: 16).
 	DataVolumes int
+	// AuditStreams is the number of independent ADP audit streams (log
+	// writer pairs, each with its own audit volume or PM log region).
+	// 0 means one per CPU — the paper's deployment and the historical
+	// behavior of this store. More streams than CPUs spreads the audit
+	// path across more log writers so the volume sweep keeps scaling
+	// past the per-CPU bottleneck; the assignment of DP2s to streams is
+	// unchanged when AuditStreams == CPUs. Ignored under
+	// PMDirectDurability (no log writers exist).
+	AuditStreams int
 	// Durability selects disk or PM audit.
 	Durability Durability
 	// UsePMP substitutes the paper's process-based prototype device for
@@ -134,6 +144,15 @@ func DefaultOptions() Options {
 		DataVolumeBytes:  2 << 30,
 		AuditVolumeBytes: 2 << 30,
 	}
+}
+
+// auditStreams resolves the effective audit-stream count (default: one
+// per CPU).
+func (o *Options) auditStreams() int {
+	if o.AuditStreams > 0 {
+		return o.AuditStreams
+	}
+	return o.CPUs
 }
 
 // PMVolumeName is the PMM service name for the store's PM volume.
@@ -206,10 +225,10 @@ func checkOptions(opts Options) {
 	}
 	switch opts.Durability {
 	case PMDurability:
-		need := int64(opts.CPUs)*opts.PMRegionBytes + (2 << 20) + pmm.MetaBytes
+		need := int64(opts.auditStreams())*opts.PMRegionBytes + (2 << 20) + pmm.MetaBytes
 		if need > opts.NPMUBytes {
-			panic(fmt.Sprintf("ods: NPMUBytes %d too small: %d CPUs × %d PM log regions + TCB + metadata need %d",
-				opts.NPMUBytes, opts.CPUs, opts.PMRegionBytes, need))
+			panic(fmt.Sprintf("ods: NPMUBytes %d too small: %d audit streams × %d PM log regions + TCB + metadata need %d",
+				opts.NPMUBytes, opts.auditStreams(), opts.PMRegionBytes, need))
 		}
 	case PMDirectDurability:
 		nDP2 := 0
@@ -285,13 +304,15 @@ func assemble(cl *cluster.Cluster, opts Options) *Store {
 		s.PMM = pmm.Start(cl, PMVolumeName, 0, 1%opts.CPUs, s.NPMUPrimary, s.NPMUMirror)
 	}
 
-	// One ADP per CPU, backup on the next CPU, audit volume per CPU.
-	// PMDirect has no log writers at all.
+	// One ADP per audit stream (default: one per CPU), backup on the next
+	// CPU, audit volume per stream. Streams beyond the CPU count wrap
+	// around the CPUs round-robin. PMDirect has no log writers at all.
+	nStreams := opts.auditStreams()
 	if opts.Durability != PMDirectDurability {
-		for i := 0; i < opts.CPUs; i++ {
+		for i := 0; i < nStreams; i++ {
 			acfg := adp.Config{
 				Name:          fmt.Sprintf("$ADP%d", i),
-				PrimaryCPU:    i,
+				PrimaryCPU:    i % opts.CPUs,
 				BackupCPU:     (i + 1) % opts.CPUs,
 				Mode:          adp.Disk,
 				NoGroupCommit: opts.NoGroupCommit,
@@ -302,7 +323,7 @@ func assemble(cl *cluster.Cluster, opts Options) *Store {
 				acfg.PMVolume = PMVolumeName
 				acfg.RegionSize = opts.PMRegionBytes
 			} else {
-				vol := mkVolume(i, fmt.Sprintf("$AUDIT%d", i), opts.AuditVolumeBytes, auditSpans)
+				vol := mkVolume(i%opts.CPUs, fmt.Sprintf("$AUDIT%d", i), opts.AuditVolumeBytes, auditSpans)
 				s.AuditVolumes = append(s.AuditVolumes, vol)
 				acfg.Volume = vol
 			}
@@ -335,7 +356,9 @@ func assemble(cl *cluster.Cluster, opts Options) *Store {
 				dcfg.PMVolume = PMVolumeName
 				dcfg.PMRegionSize = opts.PMRegionBytes
 			} else {
-				dcfg.ADPName = fmt.Sprintf("$ADP%d", cpu)
+				// volIdx % nStreams == volIdx % CPUs at the default stream
+				// count, so the historical assignment is preserved.
+				dcfg.ADPName = fmt.Sprintf("$ADP%d", volIdx%nStreams)
 			}
 			s.DP2s[name] = dp2.Start(cl, dcfg)
 		}
@@ -392,6 +415,13 @@ func (s *Store) Run(workers int) {
 // the store-level handle fault-injection plans arm their "after the Nth
 // commit" triggers through.
 func (s *Store) SetCommitHook(fn func(total int64)) { s.TMF.SetCommitHook(fn) }
+
+// SetPhaseHook forwards to the transaction monitor's two-phase window
+// observer — the handle fault-injection plans use to land kills inside
+// the prepare, pre-outcome, and apply windows of cross-shard commits.
+func (s *Store) SetPhaseHook(fn func(phase tmf.CommitPhase, txn audit.TxnID, seq int64)) {
+	s.TMF.SetPhaseHook(fn)
+}
 
 // DP2Name returns the service name for a file partition.
 func (s *Store) DP2Name(file string, partition int) string {

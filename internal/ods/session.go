@@ -51,6 +51,11 @@ type Session struct {
 	names    []string
 	insfree  []*dp2.InsertReq //simlint:box -- insert-request pool
 	cmtfree  []*tmf.CommitReq //simlint:box -- commit-request pool
+
+	// twoPhase opts this session's multi-shard commits into the
+	// cross-shard outcome-record protocol (see tmf.CommitReq.TwoPhase).
+	// Single-shard commits always take the plain path.
+	twoPhase bool
 }
 
 // pendingIns pairs an in-flight insert's completion signal with its
@@ -94,6 +99,11 @@ func (se *Session) freeCommitReq(r *tmf.CommitReq) {
 
 // SetTracer attaches a timeline recorder to the session (nil detaches).
 func (se *Session) SetTracer(r *trace.Recorder) { se.tracer = r }
+
+// SetTwoPhase opts the session's multi-shard commits into (or out of)
+// the cross-shard two-phase outcome-record protocol. Commits touching a
+// single DP2 are unaffected either way.
+func (se *Session) SetTwoPhase(on bool) { se.twoPhase = on }
 
 // emit records a trace event if a tracer is attached.
 func (se *Session) emit(txn audit.TxnID, kind trace.Kind, detail string) {
@@ -250,6 +260,7 @@ func (t *Txn) Commit() error {
 	}
 	req := se.newCommitReq()
 	req.Txn, req.DP2s = t.id, se.setToList()
+	req.TwoPhase = se.twoPhase && len(req.DP2s) > 1 // always assigned: the box is recycled
 	se.cp.Mark(uint64(t.id), metrics.MarkCommitSend, se.p.Now())
 	//simlint:allow hotalloc -- *tmf.CommitReq is pointer-shaped: no box is allocated
 	raw, err := se.p.Call(se.s.TMF.Name(), 64+16*len(se.involved), req)

@@ -22,6 +22,7 @@ package recovery
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"persistmem/internal/audit"
 	"persistmem/internal/btree"
@@ -73,6 +74,13 @@ type Report struct {
 	// UsedTCB reports whether fine-grained control blocks provided the
 	// outcomes (PM path).
 	UsedTCB bool
+	// InDoubt counts cross-shard transactions found prepared on at least
+	// one stream with no durable outcome anywhere — resolved by presumed
+	// abort.
+	InDoubt int
+	// OutcomeResolved counts prepared cross-shard transactions whose
+	// outcome record (or other durable outcome) named their fate.
+	OutcomeResolved int
 }
 
 // Rebuilt holds the recovered database image: one tree per file, merged
@@ -102,8 +110,9 @@ func (r *Rebuilt) Rows() int {
 
 // analyze classifies transactions from scanned records.
 type analysis struct {
-	outcome map[audit.TxnID]uint8 // tmf.TCBCommitted / TCBAborted
-	data    []*audit.Record
+	outcome  map[audit.TxnID]uint8 // tmf.TCBCommitted / TCBAborted
+	prepared map[audit.TxnID]bool  // cross-shard prepare votes seen
+	data     []*audit.Record
 }
 
 // scanStream walks one log stream's bytes, feeding records into the
@@ -119,8 +128,44 @@ func scanStream(p *sim.Proc, opts Options, data []byte, an *analysis, count *int
 			an.outcome[rec.Txn] = tmf.TCBCommitted
 		case audit.RecAbort:
 			an.outcome[rec.Txn] = tmf.TCBAborted
+		case audit.RecPrepare:
+			an.prepared[rec.Txn] = true
+		case audit.RecOutcome:
+			// The coordinator's durable decision for a cross-shard
+			// transaction — authoritative over anything else seen so far.
+			if o, err := tmf.DecodeOutcome(rec.Body); err == nil {
+				an.outcome[rec.Txn] = o.State
+			}
 		case audit.RecInsert, audit.RecUpdate, audit.RecDelete:
 			an.data = append(an.data, rec)
+		}
+	}
+}
+
+// resolveInDoubt settles every prepared cross-shard transaction: a
+// durable outcome anywhere names its fate; with none, it is presumed
+// aborted. Must run after all streams (and the TCB, on the PM path)
+// have been scanned and before redo.
+func resolveInDoubt(an *analysis, rep *Report) {
+	if len(an.prepared) == 0 {
+		return
+	}
+	txns := make([]audit.TxnID, 0, len(an.prepared))
+	//simlint:ordered -- collected into a slice and sorted below
+	for txn := range an.prepared {
+		txns = append(txns, txn)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+	for _, txn := range txns {
+		switch an.outcome[txn] {
+		case tmf.TCBCommitted, tmf.TCBAborted:
+			rep.OutcomeResolved++
+		default:
+			// Prepared on some shard, no outcome record on any stream and
+			// no decided TCB state: the coordinator died inside the
+			// in-doubt window before the commit point. Presumed abort.
+			an.outcome[txn] = tmf.TCBAborted
+			rep.InDoubt++
 		}
 	}
 }
@@ -171,7 +216,7 @@ func FromDisk(p *sim.Proc, volumes []*disk.Volume, opts Options) (Report, *Rebui
 	opts.defaults()
 	var rep Report
 	start := p.Now()
-	an := &analysis{outcome: make(map[audit.TxnID]uint8)}
+	an := &analysis{outcome: make(map[audit.TxnID]uint8), prepared: make(map[audit.TxnID]bool)}
 
 	streams := make([][]byte, 0, len(volumes))
 	for _, v := range volumes {
@@ -186,6 +231,7 @@ func FromDisk(p *sim.Proc, volumes []*disk.Volume, opts Options) (Report, *Rebui
 	for _, data := range streams {
 		scanStream(p, opts, data, an, &rep.RecordsScanned)
 	}
+	resolveInDoubt(an, &rep)
 	// Pass 2: redo.
 	rb, _ := redo(p, opts, an, &rep)
 	rep.MTTR = p.Now() - start
@@ -237,7 +283,7 @@ func FromPM(p *cluster.Process, vol *pmclient.Volume, logRegions []string, tcbRe
 	opts.defaults()
 	var rep Report
 	start := p.Now()
-	an := &analysis{outcome: make(map[audit.TxnID]uint8)}
+	an := &analysis{outcome: make(map[audit.TxnID]uint8), prepared: make(map[audit.TxnID]bool)}
 
 	// Fine-grained outcomes first.
 	if tcbRegion != "" {
@@ -291,9 +337,16 @@ func FromPM(p *cluster.Process, vol *pmclient.Volume, logRegions []string, tcbRe
 				an.outcome[rec.Txn] = tmf.TCBCommitted
 			case audit.RecAbort:
 				an.outcome[rec.Txn] = tmf.TCBAborted
+			case audit.RecPrepare:
+				an.prepared[rec.Txn] = true
+			case audit.RecOutcome:
+				if o, err := tmf.DecodeOutcome(rec.Body); err == nil {
+					an.outcome[rec.Txn] = o.State
+				}
 			}
 		}
 	}
+	resolveInDoubt(an, &rep)
 	rb, seen := redo(p.Sim(), opts, an, &rep)
 	if rep.UsedTCB {
 		// Fine-grained knowledge: control blocks name in-flight

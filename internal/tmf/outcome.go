@@ -1,0 +1,123 @@
+// Outcome records are the durable half of the cross-shard two-phase
+// protocol (§4–5): once every participant shard has durably prepared,
+// the coordinator writes one outcome record to the master audit stream.
+// Its body names the decided state and the complete participant list, so
+// restart recovery can resolve every in-doubt participant from a single
+// record — presumed abort covers prepared transactions with no outcome.
+//
+// The body rides inside an audit.Record (Type audit.RecOutcome), which
+// already frames and CRCs it; the body carries its own magic and CRC as
+// well so a body handed around outside a frame (TCB-adjacent tooling,
+// fuzzing) is still self-validating.
+package tmf
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Outcome is the decoded form of an outcome-record body.
+type Outcome struct {
+	// State is TCBCommitted or TCBAborted.
+	State uint8
+	// Participants names every DP2 the transaction touched, in the
+	// coordinator's canonical (sorted) order.
+	Participants []string
+}
+
+// ErrBadOutcome means an outcome body failed structural validation.
+var ErrBadOutcome = errors.New("tmf: malformed outcome record")
+
+// outcomeMagic guards against interpreting arbitrary bytes as an outcome.
+const outcomeMagic = 0x4F43524F // "OCRO"
+
+// Body layout: magic u32 | state u8 | count u16 | (len u16, name)* | crc u32.
+const outcomeFixed = 4 + 1 + 2 + 4
+
+// maxParticipantName bounds one participant name; real DP2 names are
+// short ("$DP-TRADES-12"), so the bound mainly rejects hostile lengths.
+const maxParticipantName = 0xFFFF
+
+// EncodedOutcomeSize returns the body size for the given participants.
+func EncodedOutcomeSize(participants []string) int {
+	n := outcomeFixed
+	for _, p := range participants {
+		n += 2 + len(p)
+	}
+	return n
+}
+
+// AppendOutcome encodes an outcome body onto buf and returns the
+// extended slice.
+func AppendOutcome(buf []byte, state uint8, participants []string) []byte {
+	if len(participants) > 0xFFFF {
+		panic("tmf: too many participants")
+	}
+	start := len(buf)
+	var scratch [4]byte
+	binary.LittleEndian.PutUint32(scratch[:4], outcomeMagic)
+	buf = append(buf, scratch[:4]...)
+	buf = append(buf, state)
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(participants)))
+	buf = append(buf, scratch[:2]...)
+	for _, p := range participants {
+		if len(p) > maxParticipantName {
+			panic("tmf: participant name too long")
+		}
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(p)))
+		buf = append(buf, scratch[:2]...)
+		buf = append(buf, p...)
+	}
+	crc := crc32.ChecksumIEEE(buf[start:])
+	binary.LittleEndian.PutUint32(scratch[:4], crc)
+	buf = append(buf, scratch[:4]...)
+	if len(buf)-start != EncodedOutcomeSize(participants) {
+		panic("tmf: EncodedOutcomeSize mismatch")
+	}
+	return buf
+}
+
+// DecodeOutcome parses an outcome body. It is total over arbitrary
+// bytes: truncated, overflowed, or trailing-garbage inputs return
+// ErrBadOutcome, never a panic. Length arithmetic is done in int over
+// widened uint16 reads, so no prefix can overflow the bounds checks.
+func DecodeOutcome(body []byte) (Outcome, error) {
+	var o Outcome
+	if len(body) < outcomeFixed {
+		return o, ErrBadOutcome
+	}
+	crcOff := len(body) - 4
+	want := binary.LittleEndian.Uint32(body[crcOff:])
+	if crc32.ChecksumIEEE(body[:crcOff]) != want {
+		return o, ErrBadOutcome
+	}
+	if binary.LittleEndian.Uint32(body) != outcomeMagic {
+		return o, ErrBadOutcome
+	}
+	o.State = body[4]
+	if o.State != TCBCommitted && o.State != TCBAborted {
+		return Outcome{}, ErrBadOutcome
+	}
+	count := int(binary.LittleEndian.Uint16(body[5:]))
+	pos := 7
+	if count > 0 {
+		o.Participants = make([]string, 0, count)
+	}
+	for i := 0; i < count; i++ {
+		if pos+2 > crcOff {
+			return Outcome{}, ErrBadOutcome
+		}
+		nl := int(binary.LittleEndian.Uint16(body[pos:]))
+		pos += 2
+		if pos+nl > crcOff {
+			return Outcome{}, ErrBadOutcome
+		}
+		o.Participants = append(o.Participants, string(body[pos:pos+nl]))
+		pos += nl
+	}
+	if pos != crcOff {
+		return Outcome{}, ErrBadOutcome
+	}
+	return o, nil
+}

@@ -1,0 +1,133 @@
+package tmf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+// outcomeCorpus builds seed bodies the way real commits produce them:
+// the participant lists the coordinator writes for 1-, 2- and 4-shard
+// transactions, both outcomes, plus degenerate shapes.
+func outcomeCorpus() [][]byte {
+	cases := []struct {
+		state uint8
+		parts []string
+	}{
+		{TCBCommitted, []string{"$DP-TRADES-0"}},
+		{TCBCommitted, []string{"$DP-TRADES-0", "$DP-TRADES-1", "$DP-TRADES-2", "$DP-TRADES-3"}},
+		{TCBAborted, []string{"$DP-TRADES-1", "$DP-TRADES-3"}},
+		{TCBCommitted, nil},
+		{TCBAborted, []string{""}},
+		{TCBCommitted, []string{strings.Repeat("x", 300)}},
+	}
+	var out [][]byte
+	for _, c := range cases {
+		out = append(out, AppendOutcome(nil, c.state, c.parts))
+	}
+	return out
+}
+
+// FuzzDecodeOutcome asserts DecodeOutcome is total over arbitrary bytes:
+// it never panics, rejects anything structurally wrong with
+// ErrBadOutcome, and any body it accepts re-encodes to the exact input
+// (the encoding is canonical, so decode must be its inverse).
+func FuzzDecodeOutcome(f *testing.F) {
+	for _, body := range outcomeCorpus() {
+		f.Add(body)
+	}
+	// Truncations and corruptions of a real body.
+	base := outcomeCorpus()[1]
+	f.Add(base[:len(base)-1])
+	f.Add(base[:outcomeFixed-1])
+	flip := append([]byte(nil), base...)
+	flip[6] ^= 0xFF
+	f.Add(flip)
+	// A name-length prefix far past the buffer end: must be rejected by
+	// the bounds check, not chased into a panic.
+	huge := append([]byte(nil), base[:7]...)
+	huge = append(huge, 0xFF, 0xFF)
+	f.Add(huge)
+	// Zero-filled and empty inputs.
+	f.Add(make([]byte, 64))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := DecodeOutcome(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadOutcome) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			if o.State != 0 || o.Participants != nil {
+				t.Fatalf("error return leaked state: %+v", o)
+			}
+			return
+		}
+		if o.State != TCBCommitted && o.State != TCBAborted {
+			t.Fatalf("accepted invalid state %d", o.State)
+		}
+		if reenc := AppendOutcome(nil, o.State, o.Participants); !bytes.Equal(reenc, data) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", reenc, data)
+		}
+	})
+}
+
+// TestOutcomeRoundTrip pins the happy-path round trip on every plain
+// `go test`, without the fuzz harness.
+func TestOutcomeRoundTrip(t *testing.T) {
+	parts := []string{"$DP-TRADES-0", "$DP-TRADES-2"}
+	body := AppendOutcome(nil, TCBCommitted, parts)
+	o, err := DecodeOutcome(body)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if o.State != TCBCommitted || len(o.Participants) != 2 ||
+		o.Participants[0] != parts[0] || o.Participants[1] != parts[1] {
+		t.Fatalf("round trip mismatch: %+v", o)
+	}
+}
+
+// TestDecodeOutcomeRejections pins the rejection paths that matter:
+// truncated bodies, overflowed length prefixes, trailing garbage, bad
+// magic, bad CRC, and states outside the committed/aborted pair.
+func TestDecodeOutcomeRejections(t *testing.T) {
+	good := AppendOutcome(nil, TCBAborted, []string{"$DP-TRADES-1"})
+
+	reject := func(name string, body []byte) {
+		t.Helper()
+		if _, err := DecodeOutcome(body); !errors.Is(err, ErrBadOutcome) {
+			t.Fatalf("%s: got %v, want ErrBadOutcome", name, err)
+		}
+	}
+
+	reject("empty", nil)
+	reject("truncated fixed", good[:outcomeFixed-1])
+	reject("truncated name", good[:len(good)-6])
+
+	badCRC := append([]byte(nil), good...)
+	badCRC[len(badCRC)-1] ^= 0x01
+	reject("bad crc", badCRC)
+
+	// Rebuild variants with a valid CRC so the specific check is what
+	// rejects them.
+	withCRC := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), good[:len(good)-4]...)
+		mutate(b)
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b))
+		return append(b, crc[:]...)
+	}
+	reject("bad magic", withCRC(func(b []byte) { b[0] ^= 0xFF }))
+	reject("active state", withCRC(func(b []byte) { b[4] = TCBActive }))
+	reject("zero state", withCRC(func(b []byte) { b[4] = 0 }))
+	reject("overflowed name length", withCRC(func(b []byte) {
+		binary.LittleEndian.PutUint16(b[7:], 0xFFFF)
+	}))
+	reject("trailing garbage", withCRC(func(b []byte) {
+		// Claim zero participants but leave the name bytes in place.
+		binary.LittleEndian.PutUint16(b[5:], 0)
+	}))
+}

@@ -96,9 +96,15 @@ type (
 		Err error
 	}
 	// CommitReq commits a transaction that touched the named DP2s.
+	// TwoPhase selects the cross-shard outcome-record protocol: every
+	// participant durably writes a prepare record in phase 1, and phase
+	// 2's master-log record becomes an outcome record naming the decided
+	// state and full participant list, from which recovery resolves
+	// in-doubt participants (prepared, no outcome ⇒ presumed abort).
 	CommitReq struct {
-		Txn  audit.TxnID
-		DP2s []string
+		Txn      audit.TxnID
+		DP2s     []string
+		TwoPhase bool
 	}
 	// CommitResp reports the outcome; on error the transaction aborted.
 	CommitResp struct {
@@ -122,6 +128,47 @@ type Stats struct {
 	Begins, Commits, Aborts int64
 	ActiveTxns              int
 	TCBWrites               int64
+	// TwoPhaseCommits counts commits coordinated under the cross-shard
+	// outcome-record protocol.
+	TwoPhaseCommits int64
+}
+
+// CommitPhase names the observable windows of a two-phase commit, for
+// phase-precise fault injection.
+type CommitPhase uint8
+
+// Two-phase commit windows, in protocol order.
+const (
+	// PhasePrepareStart fires before any participant is asked to prepare.
+	PhasePrepareStart CommitPhase = iota + 1
+	// PhasePrepared fires once every participant's prepare is durable —
+	// the in-doubt window opens here.
+	PhasePrepared
+	// PhaseOutcomeDurable fires once the outcome record is durable — the
+	// commit point; the in-doubt window closes here.
+	PhaseOutcomeDurable
+	// PhaseApplyStart fires before participants are told the outcome.
+	PhaseApplyStart
+	// PhaseDone fires after every participant applied the outcome.
+	PhaseDone
+)
+
+// String names the phase for fault plans and matrix tables.
+func (ph CommitPhase) String() string {
+	switch ph {
+	case PhasePrepareStart:
+		return "prepare-start"
+	case PhasePrepared:
+		return "prepared"
+	case PhaseOutcomeDurable:
+		return "outcome-durable"
+	case PhaseApplyStart:
+		return "apply-start"
+	case PhaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("phase(%d)", int(ph))
+	}
 }
 
 // checkpoint deltas
@@ -155,6 +202,15 @@ type TMF struct {
 	// "after the Nth commit" triggers. The hook must not block.
 	commitHook func(total int64)
 
+	// phaseHook, when set, observes each two-phase commit's protocol
+	// windows with the 1-based sequence number of that two-phase commit.
+	// Fault-injection plans use it for "inside the Nth cross-shard
+	// commit's prepare/pre-outcome/apply window" triggers. The hook must
+	// not block.
+	phaseHook func(phase CommitPhase, txn audit.TxnID, seq int64)
+	// twoPhaseSeq numbers two-phase commit attempts for the phase hook.
+	twoPhaseSeq int64
+
 	// Free lists. Commit coordinators run concurrently (they interleave
 	// at blocking points), so scratch is checked out per coordinator and
 	// returned when it finishes — never shared. The delta boxes are
@@ -167,8 +223,11 @@ type TMF struct {
 	namebuf                   []byte
 	commitPrefix, abortPrefix string
 
-	// cp records commit critical-path marks (nil when unmetered).
-	cp *metrics.CommitPath
+	// cp records commit critical-path marks (nil when unmetered); hist
+	// records protocol events for the atomicity checker (nil when the
+	// registry has no history enabled).
+	cp   *metrics.CommitPath
+	hist *metrics.TxnHistory
 }
 
 // Pre-boxed success replies (read-only after init).
@@ -190,6 +249,7 @@ type commitScratch struct {
 	creq    adp.CommitReq
 	adpLSNs map[string]audit.LSN
 	adps    []string
+	outbuf  []byte // reused outcome-record encode buffer
 	dirty   bool
 }
 
@@ -305,6 +365,7 @@ func Start(cl *cluster.Cluster, cfg Config) *TMF {
 	t := &TMF{cl: cl, cfg: cfg}
 	if cfg.Metrics != nil {
 		t.cp = cfg.Metrics.Commit
+		t.hist = cfg.Metrics.History
 	}
 	t.commitPrefix = cfg.Name + "-commit-"
 	t.abortPrefix = cfg.Name + "-abort-"
@@ -324,6 +385,12 @@ func (t *TMF) Stats() Stats { return t.stats }
 // SetCommitHook installs fn as the commit observer (nil removes it). See
 // the commitHook field for the contract.
 func (t *TMF) SetCommitHook(fn func(total int64)) { t.commitHook = fn }
+
+// SetPhaseHook installs fn as the two-phase window observer (nil removes
+// it). See the phaseHook field for the contract.
+func (t *TMF) SetPhaseHook(fn func(phase CommitPhase, txn audit.TxnID, seq int64)) {
+	t.phaseHook = fn
+}
 
 // Stop shuts the monitor down.
 func (t *TMF) Stop() { t.pair.Stop() }
@@ -378,6 +445,7 @@ func (t *TMF) serve(ctx *cluster.PairCtx) {
 			if tcb != nil {
 				t.writeTCB(ctx.Process, tcb, txn, TCBActive)
 			}
+			t.hist.OnBegin(uint64(txn), ctx.Process.Now())
 			ev.Reply(BeginResp{Txn: txn})
 		case *CommitReq:
 			t.handleCommit(ctx, st, tcb, ev, *req)
@@ -451,21 +519,37 @@ func (t *TMF) handleAbort(ctx *cluster.PairCtx, st *tmfState, tcb *pmclient.Regi
 //simlint:hotpath
 func (t *TMF) coordinateCommit(p *cluster.Process, tcb *pmclient.Region, sc *commitScratch, req CommitReq) error {
 	t.cp.Mark(uint64(req.Txn), metrics.MarkCoordStart, p.Now())
-	// Phase 1: gather and flush every involved audit stream.
-	if err := t.flushDataAudit(p, sc, req.Txn, req.DP2s); err != nil {
+	var seq int64
+	if req.TwoPhase {
+		t.twoPhaseSeq++
+		seq = t.twoPhaseSeq
+		t.firePhase(PhasePrepareStart, req.Txn, seq)
+	}
+	// Phase 1: gather and flush every involved audit stream; under the
+	// cross-shard protocol every participant durably votes prepare here.
+	if err := t.flushDataAudit(p, sc, req.Txn, req.DP2s, req.TwoPhase); err != nil {
 		t.rollback(p, sc, req.Txn, req.DP2s)
 		//simlint:allow hotalloc -- commit-failure path, cold
 		return fmt.Errorf("%w: %v", ErrCommitFailed, err)
 	}
 	t.cp.Mark(uint64(req.Txn), metrics.MarkDataFlushed, p.Now())
+	if req.TwoPhase {
+		t.firePhase(PhasePrepared, req.Txn, seq)
+	}
 
-	// Phase 2: commit record in the master log.
+	// Phase 2: commit record in the master log — an outcome record
+	// naming state and participants when two-phase.
 	adps := sc.sortedADPs()
 	if len(adps) > 0 {
 		master := adps[0]
 		sc.creq.Txn = req.Txn
+		sc.creq.Outcome = nil
+		if req.TwoPhase {
+			sc.outbuf = AppendOutcome(sc.outbuf[:0], TCBCommitted, req.DP2s)
+			sc.creq.Outcome = sc.outbuf
+		}
 		//simlint:allow hotalloc -- *adp.CommitReq is pointer-shaped: no box is allocated
-		raw, cerr := p.Call(master, 64, &sc.creq)
+		raw, cerr := p.Call(master, 64+len(sc.creq.Outcome), &sc.creq)
 		if cerr != nil {
 			sc.dirty = true // the master may still hold the request box
 			t.rollback(p, sc, req.Txn, req.DP2s)
@@ -480,16 +564,35 @@ func (t *TMF) coordinateCommit(p *cluster.Process, tcb *pmclient.Region, sc *com
 	}
 	t.cp.Mark(uint64(req.Txn), metrics.MarkCommitDurable, p.Now())
 
-	// Fine-grained outcome in PM, before externalizing the commit.
+	// Fine-grained outcome in PM, before externalizing the commit. For
+	// PMDirect stores (no audit streams) this is the commit point.
 	if tcb != nil {
 		t.writeTCB(p, tcb, req.Txn, TCBCommitted)
 	}
 	t.cp.Mark(uint64(req.Txn), metrics.MarkTCBWritten, p.Now())
+	t.hist.OnOutcome(uint64(req.Txn), true, p.Now())
+	if req.TwoPhase {
+		t.stats.TwoPhaseCommits++
+		t.firePhase(PhaseOutcomeDurable, req.Txn, seq)
+		t.firePhase(PhaseApplyStart, req.Txn, seq)
+	}
 
 	// Release locks and retire the transaction at the DP2s.
 	t.endAll(p, sc, req.Txn, req.DP2s, true)
 	t.cp.Mark(uint64(req.Txn), metrics.MarkLocksReleased, p.Now())
+	if req.TwoPhase {
+		t.firePhase(PhaseDone, req.Txn, seq)
+	}
 	return nil
+}
+
+// firePhase invokes the phase hook if one is installed.
+//
+//simlint:hotpath
+func (t *TMF) firePhase(phase CommitPhase, txn audit.TxnID, seq int64) {
+	if t.phaseHook != nil {
+		t.phaseHook(phase, txn, seq)
+	}
 }
 
 // flushDataAudit implements phase 1: each DP2 pushes pending audit and
@@ -499,11 +602,12 @@ func (t *TMF) coordinateCommit(p *cluster.Process, tcb *pmclient.Region, sc *com
 // may still be outstanding, so their boxes cannot be recycled.
 //
 //simlint:hotpath
-func (t *TMF) flushDataAudit(p *cluster.Process, sc *commitScratch, txn audit.TxnID, dp2s []string) error {
+func (t *TMF) flushDataAudit(p *cluster.Process, sc *commitScratch, txn audit.TxnID, dp2s []string, prepare bool) error {
 	sc.sigs = sc.sigs[:0]
 	for i, name := range dp2s {
 		r := sc.flushReq(i)
 		r.Txn = txn
+		r.Prepare = prepare // always assigned: the box is recycled across commits
 		//simlint:allow hotalloc -- *dp2.FlushAuditReq is pointer-shaped: no box is allocated
 		sig, err := p.CallAsync(name, 48, r)
 		if err != nil {
@@ -576,6 +680,7 @@ func (t *TMF) coordinateAbort(p *cluster.Process, tcb *pmclient.Region, sc *comm
 // rollback undoes the transaction at every DP2 and writes abort records.
 // Cold path: its own allocations are left alone.
 func (t *TMF) rollback(p *cluster.Process, sc *commitScratch, txn audit.TxnID, dp2s []string) {
+	t.hist.OnOutcome(uint64(txn), false, p.Now())
 	t.endAll(p, sc, txn, dp2s, false)
 	seen := map[string]bool{}
 	for _, name := range dp2s {

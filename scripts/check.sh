@@ -24,7 +24,10 @@ rm -f simlint.json
 go test -coverprofile=/tmp/persistmem-cover.out ./...
 go run ./cmd/covcheck -profile /tmp/persistmem-cover.out
 rm -f /tmp/persistmem-cover.out
-go test -race ./...
+# The bench package's sweep differentials run ~9 minutes under the race
+# detector on one core; give the race pass explicit headroom over the
+# 10-minute per-package default.
+go test -race -timeout 20m ./...
 
 # Kernel perf gate: re-measure scheduler ns/event and data-plane
 # allocs/txn and fail on >20% regression against the committed baseline.
@@ -70,15 +73,23 @@ cmp /tmp/pfault-a.txt /tmp/pfault-c.txt
 rm -f /tmp/pfault-a.txt /tmp/pfault-b.txt /tmp/pfault-c.txt
 
 # Fault-injection smoke matrix: every (durability x fault x phase) cell
-# must pass its invariants, and the whole sweep must be deterministic —
-# three same-seed runs (default pool, sequential, and the parallel LP
-# engine) print byte-identical tables.
-go run ./cmd/faults -txns 8 -chaos 1 > /tmp/faults-a.txt
+# must pass its invariants — the history-based atomicity/serializability
+# checker runs inside every cell, and the -violations artifact must come
+# out empty — and the whole sweep must be deterministic: three same-seed
+# runs (default pool, sequential, and the parallel LP engine) print
+# byte-identical tables. The cell-count grep pins the matrix size so the
+# cross-shard cells (coordinator/participant kills inside the prepare,
+# in-doubt, post-outcome and apply windows) cannot silently drop out.
+go run ./cmd/faults -txns 8 -chaos 1 -violations /tmp/faults-viol.txt > /tmp/faults-a.txt
+test ! -s /tmp/faults-viol.txt
+grep -q '64/64 cells passed' /tmp/faults-a.txt
+grep -c 'xs-coord' /tmp/faults-a.txt | grep -qx 9
+grep -c 'xs-part' /tmp/faults-a.txt | grep -qx 6
 go run ./cmd/faults -txns 8 -chaos 1 -parallel 1 > /tmp/faults-b.txt
 cmp /tmp/faults-a.txt /tmp/faults-b.txt
 go run ./cmd/faults -txns 8 -chaos 1 -engine parallel > /tmp/faults-c.txt
 cmp /tmp/faults-a.txt /tmp/faults-c.txt
-rm -f /tmp/faults-a.txt /tmp/faults-b.txt /tmp/faults-c.txt
+rm -f /tmp/faults-a.txt /tmp/faults-b.txt /tmp/faults-c.txt /tmp/faults-viol.txt
 
 # Figure-artifact staleness gate: regenerate every table at quick scale
 # and compare its format skeleton (numbers, durations and the scale name
@@ -118,6 +129,21 @@ cmp /tmp/sat-p1.csv /tmp/sat-p2.csv
 go run ./cmd/loadgen -scale smoke -seed 1 -csv -node-lps 4 > /tmp/sat-p4.csv
 cmp /tmp/sat-p1.csv /tmp/sat-p4.csv
 rm -f /tmp/sat-p1.csv /tmp/sat-p2.csv /tmp/sat-p4.csv
+# The same determinism contract with a cross-shard two-phase mix in
+# every cell: byte-identical CSV at -parallel 1/8, on the parallel LP
+# engine, and (separately, as above) at 1, 2 and 4 node-LPs.
+go run ./cmd/loadgen -scale smoke -seed 1 -csv -cross-shard-pct 50 -parallel 1 > /tmp/sat-x1.csv
+go run ./cmd/loadgen -scale smoke -seed 1 -csv -cross-shard-pct 50 -parallel 8 > /tmp/sat-x2.csv
+cmp /tmp/sat-x1.csv /tmp/sat-x2.csv
+go run ./cmd/loadgen -scale smoke -seed 1 -csv -cross-shard-pct 50 -engine parallel > /tmp/sat-x3.csv
+cmp /tmp/sat-x1.csv /tmp/sat-x3.csv
+rm -f /tmp/sat-x1.csv /tmp/sat-x2.csv /tmp/sat-x3.csv
+go run ./cmd/loadgen -scale smoke -seed 1 -csv -cross-shard-pct 50 -node-lps 1 > /tmp/sat-xp1.csv
+go run ./cmd/loadgen -scale smoke -seed 1 -csv -cross-shard-pct 50 -node-lps 2 > /tmp/sat-xp2.csv
+cmp /tmp/sat-xp1.csv /tmp/sat-xp2.csv
+go run ./cmd/loadgen -scale smoke -seed 1 -csv -cross-shard-pct 50 -node-lps 4 > /tmp/sat-xp4.csv
+cmp /tmp/sat-xp1.csv /tmp/sat-xp4.csv
+rm -f /tmp/sat-xp1.csv /tmp/sat-xp2.csv /tmp/sat-xp4.csv
 go run ./cmd/loadgen -scale smoke -seed 1 > /tmp/sat-smoke.txt
 skel saturation_full.txt > /tmp/sat-skel-full.txt
 skel /tmp/sat-smoke.txt > /tmp/sat-skel-smoke.txt
